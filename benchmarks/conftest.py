@@ -1,0 +1,15 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's figures (or an ablation).
+The figure computations are deterministic, so a single round is
+meaningful; the interesting output is the printed series (run with
+``-s`` to see the tables) and the shape assertions, with wall-clock time
+tracked by pytest-benchmark as a regression signal.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a deterministic experiment with one warm round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

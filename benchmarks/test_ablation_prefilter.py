@@ -1,0 +1,35 @@
+"""Ablation: low-level prefilter threshold fraction (DESIGN.md §7).
+
+The paper fixes the prefilter at 1/10th of the dynamic threshold.  The
+sweep exposes the trade: a higher fraction cuts low-level forwarding
+cost further but starves the dynamic sampler; a lower fraction forwards
+more (costlier) while adding no accuracy.
+"""
+
+from repro.bench import figures
+from benchmarks.conftest import run_once
+
+
+def test_ablation_prefilter_fraction(benchmark):
+    result = run_once(
+        benchmark,
+        figures.ablation_prefilter,
+        fractions=(1.0, 0.5, 0.1, 0.02),
+        target=1000,
+        duration_seconds=2,
+        window_seconds=1,
+    )
+    print("\nAblation — prefilter threshold fraction z_pre/z_dyn:")
+    print(result.to_text())
+
+    low_cpu = {row[0]: row[1] for row in result.rows}
+    outputs = {row[0]: row[3] for row in result.rows}
+    benchmark.extra_info["low_cpu_at_0.1"] = round(low_cpu[0.1], 2)
+
+    # Forwarding cost falls monotonically as the prefilter tightens.
+    assert low_cpu[0.02] > low_cpu[0.1] > low_cpu[1.0]
+    # The paper's 1/10 setting keeps the sampler near its target.
+    assert outputs[0.1] > 0.8 * 1000
+    # A prefilter at the dynamic threshold itself starves the sampler's
+    # headroom (no over-collection left for the estimator to clean).
+    assert outputs[1.0] <= outputs[0.1] + 50

@@ -1,0 +1,33 @@
+"""Ablation: the relaxation factor f (DESIGN.md §7).
+
+f=1 is the paper's non-relaxed algorithm; f=10 is its published fix.
+The sweep shows the accuracy/cleaning-cost trade: accuracy improves
+steeply up to f≈10 and saturates, while cleaning phases keep growing
+(each window re-adapts from a lower starting threshold).
+"""
+
+from repro.bench import figures
+from benchmarks.conftest import run_once
+
+
+def test_ablation_relax_factor(benchmark):
+    result = run_once(
+        benchmark,
+        figures.ablation_relax_factor,
+        factors=(1.0, 2.0, 5.0, 10.0, 30.0),
+        target=200,
+        duration_seconds=240,
+        rate_scale=0.02,
+    )
+    print("\nAblation — relaxation factor f:")
+    print(result.to_text())
+
+    errors = {row[0]: row[1] for row in result.rows}
+    cleanings = {row[0]: row[2] for row in result.rows}
+    benchmark.extra_info["err_f1"] = round(errors[1.0], 4)
+    benchmark.extra_info["err_f10"] = round(errors[10.0], 4)
+
+    assert errors[10.0] < errors[1.0], "the paper's fix must help"
+    assert cleanings[30.0] > cleanings[1.0], "relaxation costs cleanings"
+    # Saturation: pushing f far beyond the feed's variability gains little.
+    assert abs(errors[30.0] - errors[10.0]) < 0.05

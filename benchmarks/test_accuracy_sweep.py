@@ -1,0 +1,33 @@
+"""Paper §7.1 in-text: repeating the accuracy study at 100 / 1,000 /
+10,000 samples per period gives "nearly identical results".
+
+We sweep proportionally scaled targets and check the relaxed algorithm's
+error is small and roughly flat across them.
+"""
+
+from repro.bench import figures
+from benchmarks.conftest import run_once
+
+
+def test_accuracy_sweep_across_targets(benchmark):
+    result = run_once(
+        benchmark,
+        figures.accuracy_sweep,
+        targets=(20, 200, 2000),
+        duration_seconds=240,
+        rate_scale=0.02,
+    )
+    print("\n§7.1 — accuracy at different samples-per-period targets:")
+    print(result.to_text())
+
+    relaxed_errors = {row[0]: row[1] for row in result.rows}
+    nonrelaxed_errors = {row[0]: row[2] for row in result.rows}
+    for target, err in relaxed_errors.items():
+        benchmark.extra_info[f"relaxed_err_{target}"] = round(err, 4)
+        assert err < 0.1, f"relaxed error too large at target {target}"
+        assert err < nonrelaxed_errors[target] + 0.02
+
+    # "Nearly identical": the relaxed error band stays narrow across
+    # two orders of magnitude of sample size.
+    errs = list(relaxed_errors.values())
+    assert max(errs) - min(errs) < 0.08

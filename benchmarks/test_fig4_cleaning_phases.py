@@ -1,0 +1,35 @@
+"""Paper Fig 4: cleaning phases per period.
+
+Claim reproduced: after warm-up the relaxed algorithm runs a small,
+stable number of cleaning phases per window (paper: ~4) and the
+non-relaxed algorithm runs fewer (paper: ~1).
+"""
+
+from repro.bench import figures
+from benchmarks.conftest import run_once
+
+
+def test_fig4_cleaning_phases(benchmark):
+    result = run_once(
+        benchmark,
+        figures.figure4,
+        target=200,
+        duration_seconds=240,
+        rate_scale=0.02,
+    )
+    print("\nFigure 4 — cleaning phases per period:")
+    print(result.cleanings_to_text())
+
+    windows = result.windows[1:]
+    relaxed_mean = sum(
+        result.relaxed.cleanings.get(w, 0) for w in windows
+    ) / len(windows)
+    nonrelaxed_mean = sum(
+        result.nonrelaxed.cleanings.get(w, 0) for w in windows
+    ) / len(windows)
+    benchmark.extra_info["relaxed_cleanings_per_window"] = round(relaxed_mean, 2)
+    benchmark.extra_info["nonrelaxed_cleanings_per_window"] = round(nonrelaxed_mean, 2)
+
+    assert relaxed_mean > nonrelaxed_mean
+    assert 1.0 <= relaxed_mean <= 8.0
+    assert nonrelaxed_mean <= 2.0

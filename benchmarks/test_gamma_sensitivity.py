@@ -1,0 +1,28 @@
+"""Paper §7.2 in-text: "We found little dependence of CPU load on γ."
+
+Increasing γ makes cleaning rarer but each pass costlier; the two effects
+cancel under the cost model just as they did on the authors' testbed.
+"""
+
+from repro.bench import figures
+from benchmarks.conftest import run_once
+
+
+def test_gamma_sensitivity(benchmark):
+    result = run_once(
+        benchmark,
+        figures.gamma_sweep,
+        gammas=(1.5, 2.0, 4.0, 8.0),
+        target=1000,
+        duration_seconds=2,
+        window_seconds=1,
+    )
+    print("\n§7.2 — cleaning-trigger (γ) sensitivity:")
+    print(result.to_text())
+
+    cpus = [row[1] for row in result.rows]
+    cleanings = [row[2] for row in result.rows]
+    benchmark.extra_info["cpu_spread"] = round(max(cpus) - min(cpus), 3)
+
+    assert max(cpus) - min(cpus) < 1.5, "CPU must be nearly flat in gamma"
+    assert cleanings[0] >= cleanings[-1], "larger gamma, fewer cleanings"

@@ -1,0 +1,63 @@
+"""Real wall-clock throughput of the Python operators.
+
+The paper's line-rate numbers come from compiled C; these benchmarks
+measure what this pure-Python reproduction actually sustains, so readers
+can relate the cost-model figures to wall-clock reality.  Reported as
+records/second via pytest-benchmark's ops/sec.
+"""
+
+import pytest
+
+from repro.dsms.runtime import Gigascope
+from repro.streams.schema import TCP_SCHEMA
+from repro.streams.traces import TraceConfig, data_center_feed
+from repro.algorithms.bindings import (
+    BASIC_SUBSET_SUM_QUERY,
+    SUBSET_SUM_QUERY,
+    basic_subset_sum_library,
+    subset_sum_library,
+)
+
+
+@pytest.fixture(scope="module")
+def packets():
+    config = TraceConfig(duration_seconds=10, rate_scale=0.01, seed=1)
+    return list(data_center_feed(config))
+
+
+def test_throughput_selection(benchmark, packets):
+    def run():
+        gs = Gigascope()
+        gs.register_stream(TCP_SCHEMA)
+        gs.add_query("SELECT time, len FROM TCP WHERE len > 200",
+                     name="sel", keep_results=False)
+        return gs.run(iter(packets))
+
+    processed = benchmark(run)
+    assert processed == len(packets)
+
+
+def test_throughput_basic_subset_sum(benchmark, packets):
+    def run():
+        gs = Gigascope()
+        gs.register_stream(TCP_SCHEMA)
+        gs.use_stateful_library(basic_subset_sum_library())
+        gs.add_query(BASIC_SUBSET_SUM_QUERY.format(z=50_000),
+                     name="basic", keep_results=False)
+        return gs.run(iter(packets))
+
+    processed = benchmark(run)
+    assert processed == len(packets)
+
+
+def test_throughput_sampling_operator(benchmark, packets):
+    def run():
+        gs = Gigascope()
+        gs.register_stream(TCP_SCHEMA)
+        gs.use_stateful_library(subset_sum_library(relax_factor=10.0))
+        gs.add_query(SUBSET_SUM_QUERY.format(window=2, target=100),
+                     name="ss", keep_results=False)
+        return gs.run(iter(packets))
+
+    processed = benchmark(run)
+    assert processed == len(packets)

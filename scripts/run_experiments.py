@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Regenerate every paper figure at full reproduction scale.
+
+Writes the tables EXPERIMENTS.md records.  Run:
+
+    python scripts/run_experiments.py [output-file]
+"""
+
+import sys
+import time
+
+from repro.bench import figures
+
+
+def main() -> None:
+    out = open(sys.argv[1], "w") if len(sys.argv) > 1 else sys.stdout
+
+    def emit(title, text):
+        out.write(f"\n=== {title} ===\n{text}\n")
+        out.flush()
+
+    t0 = time.time()
+    acc = figures.figure2(target=200, duration_seconds=300, rate_scale=0.02)
+    emit("Figure 2: accuracy of summation", acc.to_text())
+    emit("Figure 3: samples per period", acc.samples_to_text())
+    emit("Figure 4: cleaning phases per period", acc.cleanings_to_text())
+
+    fig5 = figures.figure5(targets=(100, 1000, 10000), duration_seconds=3)
+    emit("Figure 5: CPU usage for sampling", fig5.to_text())
+
+    fig6 = figures.figure6(targets=(100, 1000, 10000), duration_seconds=3)
+    emit("Figure 6: effect of low-level query type", fig6.to_text())
+
+    sweep = figures.accuracy_sweep(targets=(20, 200, 2000),
+                                   duration_seconds=300, rate_scale=0.02)
+    emit("7.1 accuracy sweep", sweep.to_text())
+
+    gamma = figures.gamma_sweep(gammas=(1.5, 2.0, 4.0, 8.0),
+                                target=1000, duration_seconds=3)
+    emit("7.2 gamma sensitivity", gamma.to_text())
+
+    relax = figures.ablation_relax_factor(
+        factors=(1.0, 2.0, 5.0, 10.0, 30.0, 100.0),
+        target=200, duration_seconds=300, rate_scale=0.02)
+    emit("Ablation: relaxation factor", relax.to_text())
+
+    adj = figures.ablation_adjustment(target=200, duration_seconds=300,
+                                      rate_scale=0.02)
+    emit("Ablation: re-threshold rule", adj.to_text())
+
+    pre = figures.ablation_prefilter(fractions=(1.0, 0.5, 0.2, 0.1, 0.02),
+                                     target=1000, duration_seconds=3)
+    emit("Ablation: prefilter fraction", pre.to_text())
+
+    emit("Total runtime", f"{time.time() - t0:.1f}s")
+    if out is not sys.stdout:
+        out.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""``python -m repro`` — regenerate the paper's evaluation tables.
+
+Delegates to the same per-figure entry points as
+``scripts/run_experiments.py`` but with smaller default sizes so a first
+run finishes in ~30 seconds.  Pass ``--full`` for reproduction scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import figures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the SIGMOD 2005 sampling-operator figures.",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at full reproduction scale (~2 minutes)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.full:
+        acc_kwargs = dict(target=200, duration_seconds=300, rate_scale=0.02)
+        cpu_kwargs = dict(targets=(100, 1000, 10000), duration_seconds=3)
+    else:
+        acc_kwargs = dict(target=100, duration_seconds=120, rate_scale=0.01)
+        cpu_kwargs = dict(targets=(100, 1000), duration_seconds=1)
+
+    acc = figures.figure2(**acc_kwargs)
+    print("=== Figure 2: accuracy of summation ===")
+    print(acc.to_text())
+    print("\n=== Figure 3: samples per period ===")
+    print(acc.samples_to_text())
+    print("\n=== Figure 4: cleaning phases per period ===")
+    print(acc.cleanings_to_text())
+
+    print("\n=== Figure 5: CPU usage for sampling (cost model) ===")
+    print(figures.figure5(**cpu_kwargs).to_text())
+
+    print("\n=== Figure 6: effect of low-level query type (cost model) ===")
+    print(figures.figure6(**cpu_kwargs).to_text())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Stream sampling algorithms (paper §4) and their operator bindings.
+
+Each algorithm exists in two forms:
+
+* a **standalone** library class, usable without the DSMS — these are the
+  reference implementations the property tests exercise directly;
+* an **SFUN pack** in :mod:`repro.algorithms.bindings` — a
+  :class:`~repro.dsms.stateful.StatefulLibrary` exposing the stateful
+  functions (``ssample``, ``rsample``, ``local_count``...) that the §6.6
+  example queries call, so the same algorithm runs inside the generic
+  sampling operator.
+"""
+
+from repro.algorithms.reservoir import (
+    ReservoirSampler,
+    SkipReservoirSampler,
+    ConstantTimeSkipReservoirSampler,
+    BufferedReservoirSampler,
+    WeightedReservoirSampler,
+)
+from repro.algorithms.uniform import BernoulliSampler, DropSampler, EveryKthSampler
+from repro.algorithms.priority import PrioritySample, PrioritySampler
+from repro.algorithms.concise import ConciseSampler
+from repro.algorithms.sticky import StickySampling
+from repro.algorithms.estimators import (
+    EstimatorReport,
+    replicate,
+    threshold_variance_bound,
+    bernoulli_variance,
+    subset_sum_variance_gap,
+)
+from repro.algorithms.heavy_hitters import LossyCounting, HeavyHitter
+from repro.algorithms.minhash import MinHashSignature, KMVSketch, estimate_resemblance
+from repro.algorithms.subset_sum import (
+    ThresholdSampler,
+    DynamicSubsetSumSampler,
+    adjust_threshold,
+    solve_threshold,
+    estimate_sum,
+)
+from repro.algorithms.quantiles import GKQuantileSummary
+from repro.algorithms.flow_sampling import (
+    FlowEntry,
+    NaiveFlowAggregator,
+    SampledFlowAggregator,
+    flow_key,
+)
+from repro.algorithms.distinct import DistinctSampler
+from repro.algorithms.sample_hold import HeldFlow, SampleAndHold
+from repro.algorithms.bindings import (
+    subset_sum_library,
+    basic_subset_sum_library,
+    reservoir_library,
+    heavy_hitters_library,
+    distinct_sampling_library,
+    subset_sum_query,
+    SUBSET_SUM_QUERY,
+    BASIC_SUBSET_SUM_QUERY,
+    PREFILTER_QUERY,
+    RESERVOIR_QUERY,
+    HEAVY_HITTERS_QUERY,
+    MIN_HASH_QUERY,
+    DISTINCT_SAMPLING_QUERY,
+)
+
+__all__ = [
+    "ReservoirSampler",
+    "SkipReservoirSampler",
+    "ConstantTimeSkipReservoirSampler",
+    "BufferedReservoirSampler",
+    "WeightedReservoirSampler",
+    "BernoulliSampler",
+    "DropSampler",
+    "EveryKthSampler",
+    "PrioritySample",
+    "PrioritySampler",
+    "ConciseSampler",
+    "StickySampling",
+    "EstimatorReport",
+    "replicate",
+    "threshold_variance_bound",
+    "bernoulli_variance",
+    "subset_sum_variance_gap",
+    "LossyCounting",
+    "HeavyHitter",
+    "MinHashSignature",
+    "KMVSketch",
+    "estimate_resemblance",
+    "ThresholdSampler",
+    "DynamicSubsetSumSampler",
+    "adjust_threshold",
+    "solve_threshold",
+    "estimate_sum",
+    "GKQuantileSummary",
+    "FlowEntry",
+    "NaiveFlowAggregator",
+    "SampledFlowAggregator",
+    "flow_key",
+    "DistinctSampler",
+    "HeldFlow",
+    "SampleAndHold",
+    "distinct_sampling_library",
+    "DISTINCT_SAMPLING_QUERY",
+    "subset_sum_library",
+    "basic_subset_sum_library",
+    "reservoir_library",
+    "heavy_hitters_library",
+    "subset_sum_query",
+    "SUBSET_SUM_QUERY",
+    "BASIC_SUBSET_SUM_QUERY",
+    "PREFILTER_QUERY",
+    "RESERVOIR_QUERY",
+    "HEAVY_HITTERS_QUERY",
+    "MIN_HASH_QUERY",
+]

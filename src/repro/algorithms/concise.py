@@ -1,0 +1,108 @@
+"""Concise and counting sampling (Gibbons & Matias, SIGMOD 1998).
+
+Uniform sampling wastes space on skewed data: a hot value occupies many
+sample slots that a single ``(value, count)`` pair could represent.
+*Concise sampling* stores the sample as value/count pairs under an
+adaptive inclusion threshold ``τ``: each arrival enters the sample with
+probability ``1/τ``; when the footprint (counting singletons as 1 and
+pairs as 2) exceeds the capacity, ``τ`` is raised and every retained
+*sample point* is kept with probability ``τ_old / τ_new`` — precisely the
+admit/clean structure of the paper's sampling operator, which is why it
+belongs in this library.
+
+The retained multiset is distributed as a Bernoulli(1/τ) sample of the
+stream, so ``count * τ`` estimates a value's true frequency.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class ConciseSampler:
+    """Adaptive-threshold Bernoulli sample stored as (value, count) pairs."""
+
+    def __init__(
+        self,
+        capacity: int = 100,
+        tau: float = 1.0,
+        tau_growth: float = 2.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if capacity <= 1:
+            raise ReproError("capacity must exceed 1")
+        if tau < 1.0:
+            raise ReproError("initial tau must be >= 1")
+        if tau_growth <= 1.0:
+            raise ReproError("tau growth factor must exceed 1")
+        self.capacity = capacity
+        self.tau = tau
+        self.tau_growth = tau_growth
+        self._rng = rng or random.Random(0xC0C1)
+        self._counts: Dict[Hashable, int] = {}
+        self.offered = 0
+        self.cleanings = 0
+
+    # -- stream path -------------------------------------------------------------
+
+    def offer(self, value: Hashable) -> bool:
+        """Process one element; True if a sample point was added for it."""
+        self.offered += 1
+        if self.tau > 1.0 and self._rng.random() >= 1.0 / self.tau:
+            return False
+        self._counts[value] = self._counts.get(value, 0) + 1
+        if self.footprint > self.capacity:
+            self._clean()
+        return value in self._counts
+
+    def extend(self, values: Iterable[Hashable]) -> None:
+        for value in values:
+            self.offer(value)
+
+    def _clean(self) -> None:
+        """Raise tau; keep each retained sample point w.p. tau_old/tau_new."""
+        while self.footprint > self.capacity:
+            self.cleanings += 1
+            keep_probability = 1.0 / self.tau_growth
+            self.tau *= self.tau_growth
+            thinned: Dict[Hashable, int] = {}
+            for value, count in self._counts.items():
+                kept = sum(
+                    1 for _ in range(count) if self._rng.random() < keep_probability
+                )
+                if kept:
+                    thinned[value] = kept
+            self._counts = thinned
+            if not self._counts:
+                return
+
+    # -- results ---------------------------------------------------------------------
+
+    @property
+    def footprint(self) -> int:
+        """Storage units used: 1 per singleton, 2 per (value, count) pair."""
+        return sum(1 if count == 1 else 2 for count in self._counts.values())
+
+    def sample_points(self) -> int:
+        """Total retained sample points (with multiplicity)."""
+        return sum(self._counts.values())
+
+    def values(self) -> List[Hashable]:
+        return list(self._counts)
+
+    def estimated_frequency(self, value: Hashable) -> float:
+        """Estimated stream frequency of a value: count * tau."""
+        return self._counts.get(value, 0) * self.tau
+
+    def frequent_values(self, min_estimated: float) -> List[Tuple[Hashable, float]]:
+        """Values with estimated frequency above a threshold, descending."""
+        result = [
+            (value, count * self.tau)
+            for value, count in self._counts.items()
+            if count * self.tau >= min_estimated
+        ]
+        result.sort(key=lambda pair: pair[1], reverse=True)
+        return result

@@ -1,0 +1,128 @@
+"""Distinct sampling (Gibbons, VLDB 2001 — the paper's reference [19]).
+
+Maintains a uniform sample of the *distinct* values in a stream — the
+problem the paper's introduction singles out as hard ("even uniform
+sampling of the distinct items in the data stream is tricky", §1) —
+using level-based hash thresholding:
+
+* every value is hashed to the unit interval with the deterministic
+  32-bit mixer;
+* the sample retains the values whose hash falls below ``2^-level``;
+* when the sample exceeds its capacity, ``level`` increments and the
+  sample is subsampled by the same rule (a *cleaning phase* in the
+  sampling-operator vocabulary — the SFUN pack in
+  :mod:`repro.algorithms.bindings_distinct` runs this exact algorithm
+  inside the generic operator).
+
+The retained values are a uniform random sample of the distinct values
+(each distinct value survives iff its hash, fixed once, is under the
+threshold), so:
+
+* distinct-count estimate: ``len(sample) * 2^level``;
+* any predicate's distinct-selectivity can be estimated from the sample
+  ("event reports" in Gibbons' terminology).
+
+Multiplicity counts ride along with each retained value, enabling the
+rarity estimator as in the min-hash module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.dsms.functions import hash_to_unit
+
+
+class DistinctSampler:
+    """Level-based uniform sample over distinct stream values."""
+
+    def __init__(self, capacity: int = 100, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ReproError("capacity must be positive")
+        self.capacity = capacity
+        self.seed = seed
+        self.level = 0
+        self._sample: Dict[int, Tuple[Hashable, int]] = {}  # value -> (value, count)
+        self.cleanings = 0
+
+    # -- stream path ----------------------------------------------------------
+
+    @property
+    def threshold(self) -> float:
+        return 2.0 ** (-self.level)
+
+    def _hash(self, value: Hashable) -> float:
+        """Deterministic unit-interval hash (int values use the 32-bit
+        mixer directly; everything else goes through its repr)."""
+        if isinstance(value, int):
+            return hash_to_unit(value, self.seed)
+        return hash_to_unit(
+            sum(ord(c) * 31 ** i for i, c in enumerate(repr(value)[:16])) & 0xFFFFFFFF,
+            self.seed,
+        )
+
+    def offer(self, value: Hashable) -> bool:
+        """Process one stream element; True if it is (now) in the sample."""
+        h = self._hash(value)
+        if h >= self.threshold:
+            return False
+        entry = self._sample.get(value)
+        if entry is not None:
+            self._sample[value] = (value, entry[1] + 1)
+            return True
+        self._sample[value] = (value, 1)
+        if len(self._sample) > self.capacity:
+            self._clean()
+        return value in self._sample
+
+    def extend(self, values: Iterable[Hashable]) -> None:
+        for value in values:
+            self.offer(value)
+
+    def _clean(self) -> None:
+        """Increment the level and drop values above the new threshold."""
+        while len(self._sample) > self.capacity:
+            self.level += 1
+            self.cleanings += 1
+            threshold = self.threshold
+            self._sample = {
+                value: entry
+                for value, entry in self._sample.items()
+                if self._hash(value) < threshold
+            }
+            if threshold == 0.0:  # pragma: no cover - float underflow guard
+                raise ReproError("distinct sampler level underflowed")
+
+    # -- estimators ---------------------------------------------------------------
+
+    def sample(self) -> List[Hashable]:
+        """The retained distinct values (uniform over all distinct values)."""
+        return [value for value, _count in self._sample.values()]
+
+    def multiplicity(self, value: Hashable) -> int:
+        """Occurrences seen for a retained value (0 if not retained)."""
+        entry = self._sample.get(value)
+        return entry[1] if entry is not None else 0
+
+    def distinct_estimate(self) -> float:
+        """Estimated number of distinct values in the stream."""
+        return len(self._sample) * (2.0 ** self.level)
+
+    def rarity_estimate(self) -> float:
+        """Estimated fraction of distinct values appearing exactly once."""
+        if not self._sample:
+            return 0.0
+        singletons = sum(1 for _v, count in self._sample.values() if count == 1)
+        return singletons / len(self._sample)
+
+    def selectivity_estimate(self, predicate) -> float:
+        """Estimated fraction of *distinct* values satisfying ``predicate``."""
+        if not self._sample:
+            return 0.0
+        matching = sum(1 for value, _count in self._sample.values() if predicate(value))
+        return matching / len(self._sample)
+
+    @property
+    def sample_size(self) -> int:
+        return len(self._sample)

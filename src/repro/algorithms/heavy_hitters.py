@@ -1,0 +1,121 @@
+"""Manku–Motwani lossy counting for heavy hitters (paper §4.2; VLDB 2002).
+
+The stream is conceptually divided into buckets of width ``w = ceil(1/ε)``.
+Each tracked element carries an entry ``(e, f, Δ)``: estimated frequency
+``f`` and maximum undercount ``Δ``.  At every bucket boundary, entries
+with ``f + Δ <= b_current`` are pruned.  Querying with support ``s``
+returns all elements with ``f >= (s - ε) N``.
+
+Guarantees (tested in ``tests/algorithms/test_heavy_hitters.py``):
+
+* every element with true frequency ``>= s N`` is returned (no false
+  negatives);
+* no element with true frequency ``< (s - ε) N`` is returned;
+* estimated frequencies undercount by at most ``ε N``;
+* at most ``(1/ε) log(ε N)`` entries are retained.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, List, Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class HeavyHitter:
+    """One query result: the element and its estimated frequency bounds."""
+
+    element: Hashable
+    estimated_frequency: int
+    max_error: int
+
+    @property
+    def frequency_lower_bound(self) -> int:
+        return self.estimated_frequency
+
+    @property
+    def frequency_upper_bound(self) -> int:
+        return self.estimated_frequency + self.max_error
+
+
+class LossyCounting:
+    """The Manku–Motwani frequency-count sketch."""
+
+    def __init__(self, epsilon: float) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ReproError("epsilon must be in (0, 1)")
+        self.epsilon = epsilon
+        self.bucket_width = math.ceil(1.0 / epsilon)
+        self._entries: Dict[Hashable, Tuple[int, int]] = {}  # e -> (f, delta)
+        self._count = 0
+        self.prunes = 0
+
+    @property
+    def stream_length(self) -> int:
+        return self._count
+
+    @property
+    def current_bucket(self) -> int:
+        return math.ceil(self._count / self.bucket_width) if self._count else 1
+
+    def offer(self, element: Hashable) -> None:
+        """Process one stream element."""
+        self._count += 1
+        entry = self._entries.get(element)
+        if entry is not None:
+            frequency, delta = entry
+            self._entries[element] = (frequency + 1, delta)
+        else:
+            self._entries[element] = (1, self.current_bucket - 1)
+        if self._count % self.bucket_width == 0:
+            self._prune()
+
+    def extend(self, elements: Iterable[Hashable]) -> None:
+        for element in elements:
+            self.offer(element)
+
+    def _prune(self) -> None:
+        """Delete entries with f + Δ <= b_current (the bucket-boundary rule)."""
+        self.prunes += 1
+        boundary = self.current_bucket
+        self._entries = {
+            element: (frequency, delta)
+            for element, (frequency, delta) in self._entries.items()
+            if frequency + delta > boundary
+        }
+
+    def query(self, support: float) -> List[HeavyHitter]:
+        """Elements with estimated frequency >= (support - ε) * N."""
+        if not 0.0 < support <= 1.0:
+            raise ReproError("support must be in (0, 1]")
+        if support < self.epsilon:
+            raise ReproError(
+                f"support {support} below epsilon {self.epsilon}: results would"
+                " be meaningless"
+            )
+        threshold = (support - self.epsilon) * self._count
+        hitters = [
+            HeavyHitter(element, frequency, delta)
+            for element, (frequency, delta) in self._entries.items()
+            if frequency >= threshold
+        ]
+        hitters.sort(key=lambda h: h.estimated_frequency, reverse=True)
+        return hitters
+
+    def estimated_frequency(self, element: Hashable) -> int:
+        """Lower-bound frequency estimate for one element (0 if untracked)."""
+        entry = self._entries.get(element)
+        return entry[0] if entry is not None else 0
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    def space_bound(self) -> float:
+        """The paper's space bound: (1/ε) log(ε N)."""
+        if self._count == 0:
+            return 1.0 / self.epsilon
+        return (1.0 / self.epsilon) * max(1.0, math.log(self.epsilon * self._count))

@@ -1,0 +1,159 @@
+"""Min-hash signatures and KMV sketches (paper §4.3; Broder 1997,
+Datar–Muthukrishnan 2002).
+
+Two equivalent constructions:
+
+* :class:`MinHashSignature` — the minimum of ``n`` independent hash
+  functions.  Resemblance ρ(A,B) = |A∩B| / |A∪B| is estimated as the
+  fraction of matching signature positions.
+* :class:`KMVSketch` — the ``k`` minimum values of a *single* hash
+  function ("a substitute for the minimum of N hash functions is the N
+  minimum values of a single hash function", paper §4.3).  This is the
+  form the sampling operator evaluates via ``Kth_smallest_value$``:
+  admit a hash value iff it is within the k smallest seen so far.  A KMV
+  sketch doubles as a uniform sample of the *distinct* elements, which
+  yields the rarity estimator of [Datar–Muthukrishnan].
+
+Both use the deterministic 32-bit mixer from
+:mod:`repro.dsms.functions`, so sketches built in different processes
+agree.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+from repro.dsms.functions import hash32
+
+_MAX32 = 4294967295.0
+
+
+class MinHashSignature:
+    """Signature = elementwise minimum of n seeded hash functions."""
+
+    def __init__(self, n: int = 100, base_seed: int = 0) -> None:
+        if n <= 0:
+            raise ReproError("signature length n must be positive")
+        self.n = n
+        self.base_seed = base_seed
+        self._mins: List[int] = [2**32] * n
+
+    def offer(self, element: int) -> None:
+        base_seed = self.base_seed
+        mins = self._mins
+        for i in range(self.n):
+            h = hash32(element, base_seed + i)
+            if h < mins[i]:
+                mins[i] = h
+
+    def extend(self, elements: Iterable[int]) -> None:
+        for element in elements:
+            self.offer(element)
+
+    def signature(self) -> Tuple[int, ...]:
+        return tuple(self._mins)
+
+    def resemblance(self, other: "MinHashSignature") -> float:
+        """Estimated Jaccard resemblance against another signature."""
+        if self.n != other.n or self.base_seed != other.base_seed:
+            raise ReproError("signatures must share length and seed family")
+        matches = sum(
+            1 for a, b in zip(self._mins, other._mins) if a == b and a < 2**32
+        )
+        return matches / self.n
+
+
+def estimate_resemblance(a: MinHashSignature, b: MinHashSignature) -> float:
+    """Module-level convenience mirroring the paper's ρ̂(A,B) formula."""
+    return a.resemblance(b)
+
+
+class KMVSketch:
+    """The k minimum hash values of a single hash function.
+
+    Maintains a sorted list of the k smallest *distinct* hash values.
+    Supports distinct-count estimation, resemblance estimation between two
+    sketches, and rarity estimation (fraction of distinct elements that
+    appear exactly once), for which per-value multiplicities are tracked.
+    """
+
+    def __init__(self, k: int = 100, seed: int = 0) -> None:
+        if k <= 0:
+            raise ReproError("k must be positive")
+        self.k = k
+        self.seed = seed
+        self._values: List[int] = []  # sorted, at most k
+        self._counts: Dict[int, int] = {}  # hash value -> multiplicity
+
+    def offer(self, element: int) -> bool:
+        """Process one element; True if its hash is (now) in the sketch."""
+        h = hash32(element, self.seed)
+        if h in self._counts:
+            self._counts[h] += 1
+            return True
+        if len(self._values) < self.k:
+            bisect.insort(self._values, h)
+            self._counts[h] = 1
+            return True
+        if h >= self._values[-1]:
+            return False
+        evicted = self._values.pop()
+        del self._counts[evicted]
+        bisect.insort(self._values, h)
+        self._counts[h] = 1
+        return True
+
+    def extend(self, elements: Iterable[int]) -> None:
+        for element in elements:
+            self.offer(element)
+
+    @property
+    def values(self) -> Tuple[int, ...]:
+        return tuple(self._values)
+
+    @property
+    def kth_value(self) -> Optional[int]:
+        """The current threshold (None until k distinct values are held)."""
+        if len(self._values) < self.k:
+            return None
+        return self._values[-1]
+
+    def distinct_estimate(self) -> float:
+        """(k - 1) / v_k scaled to the hash range; exact count if under k."""
+        if len(self._values) < self.k:
+            return float(len(self._values))
+        kth = self._values[-1]
+        if kth == 0:
+            return float(self.k)
+        return (self.k - 1) * _MAX32 / kth
+
+    def rarity_estimate(self) -> float:
+        """Fraction of distinct elements appearing exactly once.
+
+        The k minimum values are a uniform sample of the distinct
+        elements, so the sample's singleton fraction estimates the
+        population's (Datar–Muthukrishnan).
+        """
+        if not self._values:
+            return 0.0
+        singletons = sum(1 for h in self._values if self._counts[h] == 1)
+        return singletons / len(self._values)
+
+    def resemblance(self, other: "KMVSketch") -> float:
+        """Estimated Jaccard resemblance from two single-hash sketches.
+
+        Uses the standard k-minimum-values estimator: take the k smallest
+        values of the union of the two sketches; the fraction of those
+        present in both sketches estimates ρ.
+        """
+        if self.seed != other.seed:
+            raise ReproError("KMV sketches must share the hash seed")
+        k = min(self.k, other.k)
+        union = sorted(set(self._values) | set(other._values))[:k]
+        if not union:
+            return 0.0
+        mine, theirs = set(self._values), set(other._values)
+        both = sum(1 for h in union if h in mine and h in theirs)
+        return both / len(union)

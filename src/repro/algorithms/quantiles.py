@@ -1,0 +1,126 @@
+"""Greenwald–Khanna quantile summary (paper §8's contrast case).
+
+The paper's conclusion singles out GK as the kind of *holistic* algorithm
+the sampling operator deliberately does not cover: its COMPRESS phase
+merges *adjacent* summary entries, i.e. samples communicate with each
+other, while the sampling operator only supports communication between
+individual samples and a shared summary state.  We implement GK as a
+standalone class (usable as a UDAF) both to make that architectural
+boundary concrete and because quantile queries appear throughout the
+motivating workloads.
+
+Guarantee: after n observations, ``query(q)`` returns a value whose rank
+is within ``ε·n`` of ``q·n``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional
+
+from repro.errors import ReproError
+
+
+@dataclass
+class _Entry:
+    """One summary tuple (v, g, Δ): g = rank gap, Δ = max rank error."""
+
+    value: float
+    g: int
+    delta: int
+
+
+class GKQuantileSummary:
+    """ε-approximate online quantiles in O((1/ε) log(εn)) space."""
+
+    def __init__(self, epsilon: float = 0.01) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ReproError("epsilon must be in (0, 1)")
+        self.epsilon = epsilon
+        self._entries: List[_Entry] = []
+        self._count = 0
+        #: COMPRESS every ~1/(2ε) insertions (the GK schedule).
+        self._compress_every = max(1, int(1.0 / (2.0 * epsilon)))
+
+    # -- updates ------------------------------------------------------------
+
+    def offer(self, value: float) -> None:
+        """Insert one observation."""
+        self._count += 1
+        entries = self._entries
+        if not entries or value < entries[0].value:
+            entries.insert(0, _Entry(value, 1, 0))
+        elif value >= entries[-1].value:
+            entries.append(_Entry(value, 1, 0))
+        else:
+            lo, hi = 0, len(entries) - 1
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if entries[mid].value <= value:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            cap = int(2 * self.epsilon * self._count)
+            entries.insert(lo, _Entry(value, 1, max(0, cap - 1)))
+        if self._count % self._compress_every == 0:
+            self._compress()
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.offer(value)
+
+    def _compress(self) -> None:
+        """Merge adjacent entries whose combined error stays within 2εn.
+
+        This is the inter-sample communication the sampling operator
+        cannot express (paper §8).
+        """
+        if len(self._entries) < 3:
+            return
+        cap = int(2 * self.epsilon * self._count)
+        merged: List[_Entry] = [self._entries[0]]
+        for entry in self._entries[1:-1]:
+            candidate = merged[-1]
+            if candidate is not self._entries[0] and (
+                candidate.g + entry.g + entry.delta <= cap
+            ):
+                entry.g += candidate.g
+                merged[-1] = entry
+            else:
+                merged.append(entry)
+        merged.append(self._entries[-1])
+        self._entries = merged
+
+    # -- queries ---------------------------------------------------------------
+
+    def query(self, quantile: float) -> float:
+        """The ε-approximate ``quantile``-quantile (0 <= q <= 1)."""
+        if not 0.0 <= quantile <= 1.0:
+            raise ReproError("quantile must be in [0, 1]")
+        if not self._entries:
+            raise ReproError("summary is empty")
+        target = quantile * self._count
+        margin = self.epsilon * self._count
+        rank = 0
+        for entry in self._entries:
+            rank += entry.g
+            if rank + entry.delta >= target - margin and rank >= target - margin:
+                return entry.value
+        return self._entries[-1].value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    def space_bound(self) -> float:
+        """GK's asymptotic bound (up to constants): (1/ε)·log(εn) + O(1)."""
+        if self._count == 0:
+            return 1.0 / self.epsilon
+        return (11.0 / (2.0 * self.epsilon)) * max(
+            1.0, math.log(max(self.epsilon * self._count, math.e))
+        )

@@ -1,0 +1,306 @@
+"""Reservoir sampling (paper §4.1; Vitter, TOMS 1985).
+
+Three variants:
+
+* :class:`ReservoirSampler` — Vitter's Algorithm R: the textbook
+  replace-at-random reservoir.  Exactly uniform; O(1) per record.
+* :class:`SkipReservoirSampler` — Algorithm X: instead of flipping a coin
+  per record, generate the *skip* Φ(n, t) (how many records to pass over
+  before the next replacement) by sequential search over its exact
+  distribution.  Produces samples distributed identically to Algorithm R
+  while touching far fewer records — the property that makes reservoir
+  sampling viable at line speed.
+* :class:`BufferedReservoirSampler` — the paper's operator-friendly
+  variant (§4.1): candidates accumulate in a buffer of capacity ``T*n``
+  (10 < T < 40); when the buffer fills, a cleaning phase randomly keeps
+  ``n``.  This is the shape the generic sampling operator evaluates
+  (admission predicate + cleaning), at the cost of a small deviation from
+  exact uniformity between cleanings.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Generic, List, Optional, Sequence, TypeVar
+
+from repro.errors import ReproError
+
+T = TypeVar("T")
+
+
+class ReservoirSampler(Generic[T]):
+    """Vitter's Algorithm R: uniform fixed-size sample, unknown N."""
+
+    def __init__(self, n: int, rng: Optional[random.Random] = None) -> None:
+        if n <= 0:
+            raise ReproError("reservoir size n must be positive")
+        self.n = n
+        self._rng = rng or random.Random()
+        self._reservoir: List[T] = []
+        self._seen = 0
+
+    def offer(self, item: T) -> bool:
+        """Present one stream item; returns True if it entered the reservoir."""
+        self._seen += 1
+        if len(self._reservoir) < self.n:
+            self._reservoir.append(item)
+            return True
+        slot = self._rng.randrange(self._seen)
+        if slot < self.n:
+            self._reservoir[slot] = item
+            return True
+        return False
+
+    def extend(self, items: Sequence[T]) -> None:
+        for item in items:
+            self.offer(item)
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    def sample(self) -> List[T]:
+        """The current sample (a copy)."""
+        return list(self._reservoir)
+
+
+class SkipReservoirSampler(Generic[T]):
+    """Vitter's Algorithm X: skip-count generation by sequential search.
+
+    After the reservoir is full at time t, the number of records to skip,
+    Φ, satisfies  P(Φ >= s) = prod_{i=1..s} (t - n + i) / (t + i); Φ is
+    found by walking that product until it drops below a uniform draw.
+    Expected work per *selected* record is O(t/n), giving total expected
+    time O(n (1 + log(N/n))) — the optimal bound quoted in the paper.
+    """
+
+    def __init__(self, n: int, rng: Optional[random.Random] = None) -> None:
+        if n <= 0:
+            raise ReproError("reservoir size n must be positive")
+        self.n = n
+        self._rng = rng or random.Random()
+        self._reservoir: List[T] = []
+        self._seen = 0
+        self._skip = 0  # records still to pass over before next candidate
+
+    def _draw_skip(self) -> int:
+        # Sequential search: find smallest s with cumulative product < u.
+        t = self._seen
+        n = self.n
+        u = self._rng.random()
+        s = 0
+        quotient = 1.0
+        numerator = t - n + 1
+        denominator = t + 1
+        while True:
+            quotient *= numerator / denominator
+            if quotient <= u:
+                return s
+            s += 1
+            numerator += 1
+            denominator += 1
+
+    def offer(self, item: T) -> bool:
+        self._seen += 1
+        if len(self._reservoir) < self.n:
+            self._reservoir.append(item)
+            if len(self._reservoir) == self.n:
+                self._skip = self._draw_skip()
+            return True
+        if self._skip > 0:
+            self._skip -= 1
+            return False
+        slot = self._rng.randrange(self.n)
+        self._reservoir[slot] = item
+        self._skip = self._draw_skip()
+        return True
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    def sample(self) -> List[T]:
+        return list(self._reservoir)
+
+
+class ConstantTimeSkipReservoirSampler(Generic[T]):
+    """Constant-expected-time skip generation (Li's Algorithm L).
+
+    Paper §4.1 highlights that "the fastest version of the algorithm
+    generates Φ in constant time, on the average, by a modification of
+    von Neumann's rejection-acceptance method" (Vitter's Algorithm Z),
+    achieving the optimal O(n(1 + log(N/n))) total time.  This class
+    provides that operating point via Li's Algorithm L (1994), the
+    closed-form successor of Algorithm Z: instead of rejection sampling
+    the skip distribution, it maintains ``W`` — the distribution of the
+    reservoir's smallest "key" under the exponential-jumps formulation —
+    and draws each skip directly as ``floor(log U / log(1 - W))``.  The
+    output distribution is exactly uniform (same as Algorithms R/X/Z)
+    with O(1) work per *selected* record.
+    """
+
+    def __init__(self, n: int, rng: Optional[random.Random] = None) -> None:
+        if n <= 0:
+            raise ReproError("reservoir size n must be positive")
+        self.n = n
+        self._rng = rng or random.Random()
+        self._reservoir: List[T] = []
+        self._seen = 0
+        self._skip = 0
+        self._w = math.exp(math.log(self._rng.random() or 1e-300) / n)
+
+    def _draw_skip(self) -> int:
+        u = self._rng.random() or 1e-300
+        skip = math.floor(math.log(u) / math.log(1.0 - self._w))
+        self._w *= math.exp(math.log(self._rng.random() or 1e-300) / self.n)
+        return skip
+
+    def offer(self, item: T) -> bool:
+        self._seen += 1
+        if len(self._reservoir) < self.n:
+            self._reservoir.append(item)
+            if len(self._reservoir) == self.n:
+                self._skip = self._draw_skip()
+            return True
+        if self._skip > 0:
+            self._skip -= 1
+            return False
+        self._reservoir[self._rng.randrange(self.n)] = item
+        self._skip = self._draw_skip()
+        return True
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    def sample(self) -> List[T]:
+        return list(self._reservoir)
+
+
+class WeightedReservoirSampler(Generic[T]):
+    """Weighted reservoir sampling (Efraimidis–Spirakis A-Res).
+
+    Each item with weight ``w`` draws a key ``u^(1/w)`` for ``u ~ U(0,1)``
+    and the reservoir keeps the ``n`` largest keys; the result is a
+    without-replacement sample where inclusion probabilities follow the
+    successive weighted draws.  One pass, O(log n) per item, unknown N —
+    the weighted counterpart of Algorithm R, included because weighted
+    admission predicates slot straight into the sampling operator's WHERE
+    clause.
+    """
+
+    def __init__(self, n: int, rng: Optional[random.Random] = None) -> None:
+        if n <= 0:
+            raise ReproError("reservoir size n must be positive")
+        self.n = n
+        self._rng = rng or random.Random()
+        # min-heap of (key, counter, item)
+        self._heap: List[tuple] = []
+        self._counter = 0
+        self._seen = 0
+
+    def offer(self, item: T, weight: float) -> bool:
+        """Present one weighted item; True if it entered the reservoir."""
+        if weight <= 0:
+            raise ReproError("weights must be positive")
+        self._seen += 1
+        u = self._rng.random() or 1e-300
+        key = u ** (1.0 / weight)
+        entry = (key, self._counter, item)
+        self._counter += 1
+        import heapq
+
+        if len(self._heap) < self.n:
+            heapq.heappush(self._heap, entry)
+            return True
+        if key > self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    def sample(self) -> List[T]:
+        return [item for _key, _counter, item in self._heap]
+
+
+class BufferedReservoirSampler(Generic[T]):
+    """The paper's §4.1 buffered variant, as the sampling operator runs it.
+
+    * admission: the first ``n`` records enter unconditionally; afterwards
+      record t is admitted with probability ``n / t`` (the skip-generation
+      admission rate);
+    * cleaning: when the candidate buffer exceeds ``T * n``, the buffered
+      candidates are *replayed* as deferred reservoir replacements — each
+      candidate beyond the first ``n`` overwrites a uniformly random slot
+      ("the index of the record being replaced is n*random()", §4.1) —
+      and only the ``n`` slot occupants survive;
+    * finalisation: the same replay runs once more at the end of the
+      window if more than ``n`` candidates remain.
+
+    Because cleaning replays the exact replacement process Algorithm X
+    performs eagerly, the final sample is distributed identically to a
+    textbook reservoir sample (exactly uniform); the tolerance ``T`` only
+    trades buffer memory against cleaning frequency, which is why the
+    paper bounds it to 10 < T < 40.
+    """
+
+    def __init__(
+        self, n: int, tolerance: int = 20, rng: Optional[random.Random] = None
+    ) -> None:
+        if n <= 0:
+            raise ReproError("reservoir size n must be positive")
+        if tolerance <= 1:
+            raise ReproError("tolerance T must exceed 1 (paper: 10 < T < 40)")
+        self.n = n
+        self.tolerance = tolerance
+        self._rng = rng or random.Random()
+        self._candidates: List[T] = []
+        self._seen = 0
+        self.cleanings = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.tolerance * self.n
+
+    def offer(self, item: T) -> bool:
+        self._seen += 1
+        if self._seen <= self.n:
+            self._candidates.append(item)
+            return True
+        if self._rng.random() < self.n / self._seen:
+            self._candidates.append(item)
+            if len(self._candidates) > self.capacity:
+                self._clean()
+            return True
+        return False
+
+    def _replay(self, candidates: List[T]) -> List[T]:
+        """Apply the deferred replacements: candidate i > n overwrites a
+        uniformly random slot, exactly as Algorithm X would have done at
+        admission time."""
+        slots = list(candidates[: self.n])
+        for candidate in candidates[self.n:]:
+            slots[self._rng.randrange(self.n)] = candidate
+        return slots
+
+    def _clean(self) -> None:
+        self.cleanings += 1
+        self._candidates = self._replay(self._candidates)
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    @property
+    def candidate_count(self) -> int:
+        return len(self._candidates)
+
+    def sample(self) -> List[T]:
+        """Final sample of (at most) n records."""
+        if len(self._candidates) <= self.n:
+            return list(self._candidates)
+        return self._replay(self._candidates)

@@ -1,0 +1,131 @@
+"""Sticky sampling (Manku & Motwani, VLDB 2002 — same paper as §4.2).
+
+The probabilistic sibling of lossy counting: entries are *sampled into*
+the table with rate ``1/r`` and, once present, counted exactly (sticky).
+The rate halves (``r`` doubles) on a fixed schedule of ``t = (1/ε)·
+log(1/(s·δ))`` arrivals per epoch; at each rate change every existing
+entry is "re-flipped": its count is reduced by a geometric number of
+failed coin tosses, and entries reaching zero are dropped.
+
+Guarantees (with probability 1−δ): every element with frequency ≥ sN is
+reported, none below (s−ε)N is, and estimates undercount by at most εN.
+Expected space is ``(2/ε)·log(1/(sδ))`` — independent of N, which is the
+advantage over lossy counting's log-growing table.
+
+This is the example the paper's thesis predicts: a new sampling algorithm
+whose admit / trigger / clean structure drops straight into the generic
+operator (see ``examples/prototype_new_algorithm.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.algorithms.heavy_hitters import HeavyHitter
+
+
+class StickySampling:
+    """The Manku–Motwani sticky-sampling frequency sketch."""
+
+    def __init__(
+        self,
+        support: float,
+        epsilon: Optional[float] = None,
+        delta: float = 0.01,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 < support <= 1.0:
+            raise ReproError("support must be in (0, 1]")
+        epsilon = epsilon if epsilon is not None else support / 10.0
+        if not 0.0 < epsilon < support:
+            raise ReproError("need 0 < epsilon < support")
+        if not 0.0 < delta < 1.0:
+            raise ReproError("delta must be in (0, 1)")
+        self.support = support
+        self.epsilon = epsilon
+        self.delta = delta
+        self._rng = rng or random.Random(0x571C)
+        #: Epoch length: t = (1/ε) log(1/(s δ)) arrivals.
+        self.t = int(math.ceil((1.0 / epsilon) * math.log(1.0 / (support * delta))))
+        self._counts: Dict[Hashable, int] = {}
+        self._rate = 1  # r: sample new entries with probability 1/r
+        self._count = 0
+        self.rate_changes = 0
+
+    @property
+    def stream_length(self) -> int:
+        return self._count
+
+    @property
+    def sampling_rate(self) -> int:
+        return self._rate
+
+    # -- stream path -----------------------------------------------------------
+
+    def offer(self, element: Hashable) -> None:
+        self._count += 1
+        self._maybe_advance_epoch()
+        entry = self._counts.get(element)
+        if entry is not None:
+            self._counts[element] = entry + 1
+            return
+        if self._rate == 1 or self._rng.random() < 1.0 / self._rate:
+            self._counts[element] = 1
+
+    def extend(self, elements: Iterable[Hashable]) -> None:
+        for element in elements:
+            self.offer(element)
+
+    def _maybe_advance_epoch(self) -> None:
+        """Epochs: first 2t arrivals at r=1, then 2t at r=2, 4t at r=4, ...
+
+        (Manku–Motwani's schedule; each epoch doubles r.)"""
+        boundary = 2 * self.t * self._rate
+        if self._count <= boundary:
+            return
+        self._rate *= 2
+        self.rate_changes += 1
+        self._reflip()
+
+    def _reflip(self) -> None:
+        """Diminish each entry by a geometric number of failed tosses.
+
+        For each entry, repeatedly toss an unbiased coin and decrement its
+        count for every tail; stop at the first head.  Entries hitting
+        zero are dropped.  This makes the table look as if it had been
+        sampled at the new, lower rate all along.
+        """
+        survivors: Dict[Hashable, int] = {}
+        for element, count in self._counts.items():
+            while count > 0 and self._rng.random() < 0.5:
+                count -= 1
+            if count > 0:
+                survivors[element] = count
+        self._counts = survivors
+
+    # -- queries ---------------------------------------------------------------------
+
+    def query(self) -> List[HeavyHitter]:
+        """Elements with estimated frequency >= (support - ε) N."""
+        threshold = (self.support - self.epsilon) * self._count
+        hitters = [
+            HeavyHitter(element, count, int(self.epsilon * self._count))
+            for element, count in self._counts.items()
+            if count >= threshold
+        ]
+        hitters.sort(key=lambda h: h.estimated_frequency, reverse=True)
+        return hitters
+
+    def estimated_frequency(self, element: Hashable) -> int:
+        return self._counts.get(element, 0)
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._counts)
+
+    def expected_space(self) -> float:
+        """The paper's bound: 2/ε · log(1/(sδ)) expected entries."""
+        return (2.0 / self.epsilon) * math.log(1.0 / (self.support * self.delta))

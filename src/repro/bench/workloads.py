@@ -1,0 +1,70 @@
+"""Experiment workloads: materialised, reusable traces.
+
+Accuracy experiments use the bursty research-center feed ("its high
+variability will tend to emphasize estimation problems", paper §7);
+performance experiments use the steady data-center feed ("its low
+variability and high data rate make measurements much more consistent").
+
+Traces are materialised once per (kind, seed, duration) and replayed, so
+every configuration of an experiment sees byte-identical input — the
+equivalent of the paper running query variants simultaneously on one tap.
+
+``rate_scale`` shrinks packet counts so experiments run in Python time;
+the cost model normalises CPU%% by the *scaled* stream duration
+(``duration * rate_scale`` seconds of full-rate traffic), keeping the
+per-packet arithmetic identical to the full-rate feed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.streams.records import Record
+from repro.streams.traces import TraceConfig, data_center_feed, research_center_feed
+
+#: The paper's accuracy experiments use 20-second windows (§7.1).
+ACCURACY_WINDOW_SECONDS = 20
+#: Performance runs also report per-period numbers over 20 s windows.
+PERFORMANCE_WINDOW_SECONDS = 20
+
+_cache: Dict[Tuple[str, int, int, float], List[Record]] = {}
+
+
+def accuracy_trace(
+    duration_seconds: int = 300,
+    rate_scale: float = 0.01,
+    seed: int = 20050614,
+) -> List[Record]:
+    """Bursty research-center trace (materialised, cached)."""
+    key = ("accuracy", seed, duration_seconds, rate_scale)
+    if key not in _cache:
+        config = TraceConfig(
+            duration_seconds=duration_seconds, rate_scale=rate_scale, seed=seed
+        )
+        _cache[key] = list(research_center_feed(config))
+    return _cache[key]
+
+
+def performance_trace(
+    duration_seconds: int = 60,
+    rate_scale: float = 0.01,
+    seed: int = 20050614,
+) -> List[Record]:
+    """Steady data-center trace (materialised, cached)."""
+    key = ("performance", seed, duration_seconds, rate_scale)
+    if key not in _cache:
+        config = TraceConfig(
+            duration_seconds=duration_seconds, rate_scale=rate_scale, seed=seed
+        )
+        _cache[key] = list(data_center_feed(config))
+    return _cache[key]
+
+
+def stream_seconds(duration_seconds: int, rate_scale: float) -> float:
+    """Full-rate stream time represented by a scaled trace.
+
+    A trace generated at ``rate_scale`` carries ``rate_scale`` times the
+    packets of the full-rate feed, so for CPU%% normalisation it stands
+    for ``duration * rate_scale`` seconds of full-rate traffic.
+    """
+    return duration_seconds * rate_scale

@@ -1,0 +1,144 @@
+"""Command-line interface: generate traces, run ad-hoc queries, explain.
+
+Subcommands (also reachable as ``python -m repro.cli``):
+
+* ``generate`` — synthesise a feed and persist it as a trace file::
+
+      python -m repro.cli generate --feed research --seconds 60 \\
+          --rate-scale 0.01 --out trace.bin
+
+* ``query`` — run one GSQL query over a trace file and print the rows::
+
+      python -m repro.cli query --trace trace.bin \\
+          --sql "SELECT tb, sum(len) FROM TCP GROUP BY time/20 as tb"
+
+  The subset-sum / reservoir / heavy-hitters / distinct SFUN packs are
+  pre-registered, so the paper's sampling queries work out of the box
+  (``--relax-factor`` configures the subset-sum pack).
+
+* ``explain`` — compile a query and print its plan without running it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.dsms.explain import explain
+from repro.dsms.parser import compile_query
+from repro.dsms.runtime import Gigascope
+from repro.streams.persistence import load_trace, save_trace
+from repro.streams.schema import TCP_SCHEMA
+from repro.streams.traces import (
+    TraceConfig,
+    data_center_feed,
+    ddos_feed,
+    research_center_feed,
+)
+from repro.algorithms.bindings import (
+    basic_subset_sum_library,
+    distinct_sampling_library,
+    heavy_hitters_library,
+    reservoir_library,
+    subset_sum_library,
+)
+
+_FEEDS = {
+    "research": research_center_feed,
+    "datacenter": data_center_feed,
+    "ddos": ddos_feed,
+}
+
+
+def _standard_instance(relax_factor: float) -> Gigascope:
+    """A DSMS instance with the TCP stream and all SFUN packs loaded."""
+    gs = Gigascope()
+    gs.register_stream(TCP_SCHEMA)
+    gs.use_stateful_library(subset_sum_library(relax_factor=relax_factor))
+    gs.use_stateful_library(basic_subset_sum_library())
+    gs.use_stateful_library(reservoir_library())
+    gs.use_stateful_library(heavy_hitters_library())
+    gs.use_stateful_library(distinct_sampling_library())
+    return gs
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = TraceConfig(
+        duration_seconds=args.seconds,
+        rate_scale=args.rate_scale,
+        seed=args.seed,
+    )
+    feed = _FEEDS[args.feed](config)
+    count = save_trace(feed, args.out)
+    print(f"wrote {count:,} records to {args.out}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    if not trace:
+        print("trace is empty", file=sys.stderr)
+        return 1
+    gs = _standard_instance(args.relax_factor)
+    # Re-register the trace's own schema if it is not the stock TCP one.
+    if trace[0].schema != TCP_SCHEMA:
+        gs = Gigascope()
+        gs.register_stream(trace[0].schema)
+    handle = gs.add_query(args.sql, name="cli")
+    gs.run(iter(trace))
+    rows = handle.results
+    limit = args.limit if args.limit is not None else len(rows)
+    print("\t".join(handle.output_schema.names))
+    for row in rows[:limit]:
+        print("\t".join(str(value) for value in row.values))
+    if limit < len(rows):
+        print(f"... ({len(rows) - limit} more rows)")
+    print(f"-- {len(rows)} rows", file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    gs = _standard_instance(args.relax_factor)
+    plan = compile_query(args.sql, gs.registries, query_name="cli")
+    print(explain(plan))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stream-sampling-operator reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="synthesise and persist a trace")
+    generate.add_argument("--feed", choices=sorted(_FEEDS), default="research")
+    generate.add_argument("--seconds", type=int, default=60)
+    generate.add_argument("--rate-scale", type=float, default=0.01)
+    generate.add_argument("--seed", type=int, default=20050614)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(fn=_cmd_generate)
+
+    query = sub.add_parser("query", help="run one GSQL query over a trace")
+    query.add_argument("--trace", required=True)
+    query.add_argument("--sql", required=True)
+    query.add_argument("--limit", type=int, default=20)
+    query.add_argument("--relax-factor", type=float, default=10.0)
+    query.set_defaults(fn=_cmd_query)
+
+    explain_cmd = sub.add_parser("explain", help="compile and explain a query")
+    explain_cmd.add_argument("--sql", required=True)
+    explain_cmd.add_argument("--relax-factor", type=float, default=10.0)
+    explain_cmd.set_defaults(fn=_cmd_explain)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

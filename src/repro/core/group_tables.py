@@ -1,0 +1,87 @@
+"""The three hash tables of the sampling-operator implementation.
+
+Paper §6.4 maintains:
+
+* **group table** — group-by key -> per-group aggregate structure;
+* **supergroup table** (two copies, *old* and *new*) — supergroup key
+  (excluding ordered variables, which are constant within a window) ->
+  SFUN states and superaggregates.  The old copy holds last window's
+  supergroups so new states can be initialised from them;
+* **supergroup-group table** — supergroup key -> the set of group keys
+  currently in that supergroup (the cleaning phase iterates it).
+
+Keys are tuples of evaluated group-by variable values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dsms.aggregates import Aggregate
+from repro.dsms.stateful import StatefulState
+from repro.core.superaggregates import SuperAggregate
+
+GroupKey = Tuple[Any, ...]
+SuperGroupKey = Tuple[Any, ...]
+
+
+@dataclass
+class GroupEntry:
+    """One group: its key values and its aggregate vector."""
+
+    key: GroupKey
+    aggregates: List[Aggregate]
+    supergroup_key: SuperGroupKey
+
+
+@dataclass
+class SuperGroupEntry:
+    """One supergroup: SFUN states and superaggregate vector."""
+
+    key: SuperGroupKey
+    states: Dict[str, StatefulState]
+    superaggregates: List[SuperAggregate]
+
+
+class GroupTables:
+    """Container bundling the tables with the swap/clear choreography."""
+
+    def __init__(self) -> None:
+        self.groups: Dict[GroupKey, GroupEntry] = {}
+        self.new_supergroups: Dict[SuperGroupKey, SuperGroupEntry] = {}
+        self.old_supergroups: Dict[SuperGroupKey, SuperGroupEntry] = {}
+        # dict-as-ordered-set: group keys in insertion order per supergroup
+        self.supergroup_groups: Dict[SuperGroupKey, Dict[GroupKey, None]] = {}
+
+    def groups_of(self, supergroup_key: SuperGroupKey) -> List[GroupKey]:
+        """Group keys currently registered under a supergroup."""
+        return list(self.supergroup_groups.get(supergroup_key, ()))
+
+    def add_group(self, entry: GroupEntry) -> None:
+        self.groups[entry.key] = entry
+        self.supergroup_groups.setdefault(entry.supergroup_key, {})[entry.key] = None
+
+    def remove_group(self, group_key: GroupKey) -> Optional[GroupEntry]:
+        """Drop a group from both the group table and its supergroup's set."""
+        entry = self.groups.pop(group_key, None)
+        if entry is not None:
+            members = self.supergroup_groups.get(entry.supergroup_key)
+            if members is not None:
+                members.pop(group_key, None)
+        return entry
+
+    def end_window(self) -> None:
+        """Paper §6.4: clear group tables, move new supergroups to old."""
+        self.groups.clear()
+        self.supergroup_groups.clear()
+        self.old_supergroups = self.new_supergroups
+        self.new_supergroups = {}
+
+    @property
+    def group_count(self) -> int:
+        return len(self.groups)
+
+    @property
+    def supergroup_count(self) -> int:
+        return len(self.new_supergroups)

@@ -1,0 +1,431 @@
+"""The generic stream-sampling operator (paper §5 and §6.4).
+
+Per-tuple evaluation, in the paper's order:
+
+1. Evaluate the group-by expressions; the ordered ones form the window id.
+   A change of window id closes the window: states get their
+   ``on_window_final`` signal, HAVING filters the groups, survivors are
+   emitted, tables are cleared and the new supergroup table becomes the
+   old one.
+2. Find or create the tuple's supergroup.  A new supergroup's SFUN states
+   are initialised from the matching old-window supergroup when one
+   exists (window-to-window carryover, e.g. the subset-sum threshold).
+3. Evaluate WHERE (which may call SFUNs and read superaggregates).  FALSE
+   discards the tuple.
+4. Update tuple-fed superaggregates; find or create the group and update
+   its aggregates; register new groups with group-fed superaggregates.
+5. Evaluate CLEANING WHEN against the supergroup.  If TRUE, run a
+   cleaning phase: evaluate CLEANING BY on every group of the supergroup
+   and evict the groups for which it is FALSE (updating superaggregates).
+
+The operator never blocks: output is produced at window boundaries (and
+by :meth:`finish` for the trailing window).
+
+Deviation note (documented in DESIGN.md): §6.4's prose contains a typo —
+"If the condition evaluates to FALSE, then delete the group" appears
+attached to CLEANING WHEN; deleting the current group whenever the
+cleaning trigger is false would delete every group on every tuple.  We
+follow §5's unambiguous statement: during a cleaning phase a group is
+removed when **CLEANING BY evaluates to FALSE**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.dsms.cost import CostModel, NULL_COST_MODEL
+from repro.dsms.expr import (
+    AggregateCall,
+    EvalContext,
+    Expr,
+    StatefulCall,
+    SuperAggregateCall,
+    evaluate,
+)
+from repro.dsms.functions import FunctionRegistry
+from repro.dsms.parser.planner import SamplingSpec
+from repro.dsms.stateful import StatefulLibrary
+from repro.core.group_tables import GroupEntry, GroupTables, SuperGroupEntry
+from repro.streams.records import Record
+
+
+@dataclass
+class WindowStats:
+    """Per-window observability counters (back the accuracy figures)."""
+
+    window: Tuple[Any, ...]
+    tuples_seen: int = 0
+    tuples_admitted: int = 0
+    groups_created: int = 0
+    groups_evicted: int = 0
+    cleaning_phases: int = 0
+    output_tuples: int = 0
+    #: Tuples whose window id ordered *before* the current window: they
+    #: arrive after their window already closed and are dropped (the
+    #: standard DSMS policy for streams whose ordered attribute is only
+    #: approximately monotone; Gigascope marks time `increasing` and
+    #: assumes the NIC delivers it that way).
+    late_tuples: int = 0
+    #: High-water mark of the group table during the window — the memory
+    #: figure the paper's §8 flow-sampling discussion is about.
+    peak_groups: int = 0
+
+
+class _TupleContext(EvalContext):
+    """WHERE-time context: raw columns, group-by variables, SFUNs,
+    superaggregates."""
+
+    def __init__(self, operator: "SamplingOperator") -> None:
+        self._op = operator
+        self.record: Optional[Record] = None
+        self.gb_values: Tuple[Any, ...] = ()
+        self.supergroup: Optional[SuperGroupEntry] = None
+
+    def column(self, name: str) -> Any:
+        # Prefer the record's own columns: for a plain-column group-by
+        # variable the value is identical, and the group-by expressions
+        # themselves are evaluated before gb_values exists.  Derived
+        # variables (time/20 AS tb, H(destIP) AS HX) resolve via gb_values.
+        assert self.record is not None
+        if name in self.record.schema:
+            return self.record[name]
+        index = self._op._gb_index.get(name)
+        if index is not None and self.gb_values:
+            return self.gb_values[index]
+        raise ExecutionError(f"column {name!r} not available at WHERE time")
+
+    def call_scalar(self, name: str, args: Sequence[Any]) -> Any:
+        self._op._charge("function_call")
+        return self._op._scalars.call(name, args)
+
+    def call_stateful(self, node: StatefulCall, args: Sequence[Any]) -> Any:
+        self._op._charge("sfun_call")
+        assert self.supergroup is not None
+        return self._op._stateful.invoke(node.name, self.supergroup.states, args)
+
+    def superaggregate_value(self, node: SuperAggregateCall) -> Any:
+        assert self.supergroup is not None
+        return self.supergroup.superaggregates[node.slot].value()
+
+
+class _GroupContext(EvalContext):
+    """Group-time context (CLEANING BY / HAVING / SELECT): group-by
+    variable values, finalized aggregates, SFUNs, superaggregates."""
+
+    def __init__(self, operator: "SamplingOperator") -> None:
+        self._op = operator
+        self.group: Optional[GroupEntry] = None
+        self.supergroup: Optional[SuperGroupEntry] = None
+
+    def column(self, name: str) -> Any:
+        index = self._op._gb_index.get(name)
+        if index is None:
+            raise ExecutionError(
+                f"column {name!r} is not a group-by variable"
+            )
+        assert self.group is not None
+        return self.group.key[index]
+
+    def call_scalar(self, name: str, args: Sequence[Any]) -> Any:
+        self._op._charge("function_call")
+        return self._op._scalars.call(name, args)
+
+    def call_stateful(self, node: StatefulCall, args: Sequence[Any]) -> Any:
+        self._op._charge("sfun_call")
+        assert self.supergroup is not None
+        return self._op._stateful.invoke(node.name, self.supergroup.states, args)
+
+    def aggregate_value(self, node: AggregateCall) -> Any:
+        assert self.group is not None
+        return self.group.aggregates[node.slot].value()
+
+    def superaggregate_value(self, node: SuperAggregateCall) -> Any:
+        assert self.supergroup is not None
+        return self.supergroup.superaggregates[node.slot].value()
+
+
+class _SuperGroupContext(EvalContext):
+    """CLEANING WHEN context: supergroup variables, SFUNs, superaggregates."""
+
+    def __init__(self, operator: "SamplingOperator") -> None:
+        self._op = operator
+        self.supergroup: Optional[SuperGroupEntry] = None
+        self.gb_values: Tuple[Any, ...] = ()
+
+    def column(self, name: str) -> Any:
+        index = self._op._gb_index.get(name)
+        if index is None:
+            raise ExecutionError(f"column {name!r} is not a group-by variable")
+        return self.gb_values[index]
+
+    def call_scalar(self, name: str, args: Sequence[Any]) -> Any:
+        self._op._charge("function_call")
+        return self._op._scalars.call(name, args)
+
+    def call_stateful(self, node: StatefulCall, args: Sequence[Any]) -> Any:
+        self._op._charge("sfun_call")
+        assert self.supergroup is not None
+        return self._op._stateful.invoke(node.name, self.supergroup.states, args)
+
+    def superaggregate_value(self, node: SuperAggregateCall) -> Any:
+        assert self.supergroup is not None
+        return self.supergroup.superaggregates[node.slot].value()
+
+
+class SamplingOperator:
+    """Executable instance of one sampling query."""
+
+    def __init__(
+        self,
+        spec: SamplingSpec,
+        scalars: FunctionRegistry,
+        stateful: StatefulLibrary,
+        aggregate_factory,
+        superaggregate_factory,
+        cost_model: CostModel = NULL_COST_MODEL,
+        account: str = "sampling",
+    ) -> None:
+        self.spec = spec
+        self._scalars = scalars
+        self._stateful = stateful
+        self._aggregate_factory = aggregate_factory
+        self._superaggregate_factory = superaggregate_factory
+        self._cost = cost_model
+        self._account = account
+
+        self.output_schema = spec.output_schema
+        self._gb_index = {item.name: i for i, item in enumerate(spec.group_by)}
+        self._tables = GroupTables()
+        self._current_window: Optional[Tuple[Any, ...]] = None
+        self._window_stats: List[WindowStats] = []
+        self._active_stats: Optional[WindowStats] = None
+
+        self._tuple_ctx = _TupleContext(self)
+        self._group_ctx = _GroupContext(self)
+        self._super_ctx = _SuperGroupContext(self)
+
+    # -- public API -------------------------------------------------------------
+
+    def process(self, record: Record) -> List[Record]:
+        """Feed one input record; returns output records (non-empty only
+        when this record closed a window)."""
+        outputs: List[Record] = []
+        self._charge("tuple_read")
+        self._tuple_ctx.record = record
+        self._tuple_ctx.supergroup = None
+        self._tuple_ctx.gb_values = ()
+
+        gb_values = tuple(
+            evaluate(item.expr, self._tuple_ctx) for item in self.spec.group_by
+        )
+        self._tuple_ctx.gb_values = gb_values
+        window = tuple(gb_values[i] for i in self.spec.ordered_indices)
+
+        if self._current_window is None:
+            self._open_window(window)
+        elif window != self._current_window:
+            try:
+                is_late = window < self._current_window
+            except TypeError:
+                is_late = False  # incomparable window ids: treat as new
+            if is_late:
+                # The tuple's window already closed and was emitted; state
+                # for it no longer exists.  Count and drop.
+                assert self._active_stats is not None
+                self._active_stats.late_tuples += 1
+                return outputs
+            outputs = self._close_window()
+            self._open_window(window)
+
+        stats = self._active_stats
+        assert stats is not None
+        stats.tuples_seen += 1
+
+        supergroup = self._lookup_supergroup(gb_values)
+        self._tuple_ctx.supergroup = supergroup
+
+        if self.spec.where is not None:
+            self._charge("predicate_eval")
+            if not evaluate(self.spec.where, self._tuple_ctx):
+                return outputs
+
+        stats.tuples_admitted += 1
+
+        group_key = gb_values
+        for sa_spec, sa in zip(self.spec.superaggregates, supergroup.superaggregates):
+            if sa_spec.feeds == "tuple":
+                value = evaluate(sa_spec.value_expr, self._tuple_ctx)
+                sa.on_tuple(group_key, value)
+                self._charge("aggregate_update")
+
+        self._charge("hash_probe")
+        group = self._tables.groups.get(group_key)
+        is_new_group = group is None
+        if is_new_group:
+            group = GroupEntry(
+                key=group_key,
+                aggregates=[
+                    self._aggregate_factory(node.name) for node in self.spec.aggregates
+                ],
+                supergroup_key=supergroup.key,
+            )
+            self._tables.add_group(group)
+            stats.groups_created += 1
+            if self._tables.group_count > stats.peak_groups:
+                stats.peak_groups = self._tables.group_count
+            self._charge("hash_insert")
+        for node, aggregate in zip(self.spec.aggregates, group.aggregates):
+            arg = node.args[0] if node.args else None
+            value = evaluate(arg, self._tuple_ctx) if arg is not None else 1
+            aggregate.update(value)
+            self._charge("aggregate_update")
+
+        if is_new_group:
+            # Register the brand-new group with the group-fed superaggregates.
+            self._group_ctx.group = group
+            self._group_ctx.supergroup = supergroup
+            for sa_spec, sa in zip(
+                self.spec.superaggregates, supergroup.superaggregates
+            ):
+                if sa_spec.feeds == "group":
+                    value = evaluate(sa_spec.value_expr, self._group_ctx)
+                    sa.on_group_added(group_key, value)
+                    self._charge("aggregate_update")
+
+        if self.spec.cleaning_when is not None:
+            self._super_ctx.supergroup = supergroup
+            self._super_ctx.gb_values = gb_values
+            self._charge("predicate_eval")
+            if evaluate(self.spec.cleaning_when, self._super_ctx):
+                self._run_cleaning_phase(supergroup)
+
+        return outputs
+
+    def run(self, records: Iterable[Record]) -> Iterator[Record]:
+        """Process an entire stream, yielding outputs as windows close."""
+        for record in records:
+            for out in self.process(record):
+                yield out
+        for out in self.finish():
+            yield out
+
+    def finish(self) -> List[Record]:
+        """Close the trailing window and return its output."""
+        if self._current_window is None:
+            return []
+        outputs = self._close_window()
+        self._current_window = None
+        self._active_stats = None
+        return outputs
+
+    def flush(self) -> List[Record]:
+        """Operator-protocol alias for :meth:`finish`."""
+        return self.finish()
+
+    @property
+    def window_stats(self) -> List[WindowStats]:
+        """Stats for all *closed* windows."""
+        return list(self._window_stats)
+
+    @property
+    def tables(self) -> GroupTables:
+        return self._tables
+
+    # -- internals -----------------------------------------------------------------
+
+    def _charge(self, operation: str, count: int = 1) -> None:
+        self._cost.charge(self._account, operation, count)
+
+    def _open_window(self, window: Tuple[Any, ...]) -> None:
+        self._current_window = window
+        self._active_stats = WindowStats(window=window)
+
+    def _lookup_supergroup(self, gb_values: Tuple[Any, ...]) -> SuperGroupEntry:
+        key = tuple(gb_values[i] for i in self.spec.nonordered_supergroup_indices)
+        self._charge("hash_probe")
+        entry = self._tables.new_supergroups.get(key)
+        if entry is not None:
+            return entry
+        old_entry = self._tables.old_supergroups.get(key)
+        old_states = old_entry.states if old_entry is not None else None
+        states = self._stateful.instantiate_states(self.spec.state_names, old_states)
+        superaggs = [
+            self._superaggregate_factory(sa.name, sa.const_args)
+            for sa in self.spec.superaggregates
+        ]
+        entry = SuperGroupEntry(key=key, states=states, superaggregates=superaggs)
+        self._tables.new_supergroups[key] = entry
+        self._charge("hash_insert")
+        return entry
+
+    def _run_cleaning_phase(self, supergroup: SuperGroupEntry) -> None:
+        stats = self._active_stats
+        assert stats is not None
+        stats.cleaning_phases += 1
+        self._charge("cleaning_phase")
+        self._group_ctx.supergroup = supergroup
+        for group_key in self._tables.groups_of(supergroup.key):
+            group = self._tables.groups.get(group_key)
+            if group is None:
+                continue
+            self._group_ctx.group = group
+            self._charge("cleaning_per_group")
+            keep = (
+                True
+                if self.spec.cleaning_by is None
+                else bool(evaluate(self.spec.cleaning_by, self._group_ctx))
+            )
+            if not keep:
+                self._evict_group(group, supergroup)
+                stats.groups_evicted += 1
+
+    def _evict_group(self, group: GroupEntry, supergroup: SuperGroupEntry) -> None:
+        self._group_ctx.group = group
+        self._group_ctx.supergroup = supergroup
+        for sa_spec, sa in zip(self.spec.superaggregates, supergroup.superaggregates):
+            if sa_spec.feeds == "group":
+                value = evaluate(sa_spec.value_expr, self._group_ctx)
+                sa.on_group_removed(group.key, value)
+            else:
+                sa.on_group_removed(group.key, None)
+        self._tables.remove_group(group.key)
+        self._charge("hash_delete")
+
+    def _close_window(self) -> List[Record]:
+        stats = self._active_stats
+        assert stats is not None
+        self._charge("window_flush")
+
+        # 1. Signal window end to every state (paper: final_init()).
+        for supergroup in self._tables.new_supergroups.values():
+            for state in supergroup.states.values():
+                state.on_window_final()
+
+        # 2. HAVING filters groups; survivors are emitted.
+        outputs: List[Record] = []
+        for group_key in list(self._tables.groups.keys()):
+            group = self._tables.groups.get(group_key)
+            if group is None:
+                continue
+            supergroup = self._tables.new_supergroups[group.supergroup_key]
+            self._group_ctx.group = group
+            self._group_ctx.supergroup = supergroup
+            if self.spec.having is not None:
+                self._charge("predicate_eval")
+                if not evaluate(self.spec.having, self._group_ctx):
+                    self._evict_group(group, supergroup)
+                    continue
+            values = [
+                evaluate(item.expr, self._group_ctx) for item in self.spec.select_items
+            ]
+            outputs.append(Record(self.spec.output_schema, values))
+            self._charge("output_tuple")
+
+        stats.output_tuples = len(outputs)
+        self._window_stats.append(stats)
+
+        # 3. Swap tables (paper §6.4).
+        self._tables.end_window()
+        return outputs

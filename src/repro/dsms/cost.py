@@ -1,0 +1,147 @@
+"""Deterministic cycle-cost model for reproducing the CPU-usage figures.
+
+The paper reports CPU utilisation of queries running at 100,000 packets/s
+on a dual 2.8 GHz server (Figs 5 and 6).  A Python reproduction cannot hit
+those packet rates natively, so — per the substitution policy in DESIGN.md
+— the *relative* CPU claims are reproduced through an explicit cost model:
+every operator charges a deterministic number of "cycles" per logical
+operation (tuple copy, hash probe, predicate evaluation, state update,
+cleaning pass...), and CPU% is charged cycles divided by the cycles one
+CPU offers over the stream-time span of the experiment.
+
+The charge constants in :class:`CostBook` are calibrated so the model
+reproduces the paper's anchor points:
+
+* a low-level *selection* query forwarding every packet to a high-level
+  query costs ≈ 60% of one CPU at 100 kpps (dominated by the per-tuple
+  copy out of the ring buffer — paper §7.2);
+* a low-level *basic subset-sum* query that forwards only ~1/25 of packets
+  costs ≈ 4%;
+* the full dynamic subset-sum sampling operator costs only 3–5% more CPU
+  than a basic subset-sum selection at equal input.
+
+What matters downstream is that the same book is used for every
+configuration of an experiment, so ratios and orderings are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import CostModelError
+
+
+@dataclass(frozen=True)
+class CostBook:
+    """Charge constants, in cycles per operation.
+
+    Calibration anchor: at 100,000 pkts/s on a 2.8 GHz CPU there are
+    28,000 cycles available per packet, so a 60% CPU low-level selection
+    query spends ≈ 16,800 cycles per packet — almost all of it in the copy
+    of the tuple from the ring buffer into the inter-query stream.
+    """
+
+    #: Copying one tuple from the ring buffer to a high-level query's input
+    #: stream.  Dominant cost of naive low-level queries (paper Fig 5 text).
+    tuple_copy: int = 16_000
+    #: Reading a tuple in place (ring buffer or inter-query stream).
+    tuple_read: int = 700
+    #: Evaluating one scalar predicate / expression node.
+    predicate_eval: int = 150
+    #: One scalar function call (H(), UMAX(), ...).
+    function_call: int = 80
+    #: One stateful-function (SFUN) call, including the state-pointer pass.
+    sfun_call: int = 250
+    #: One hash-table probe (group, supergroup, or supergroup-group table).
+    hash_probe: int = 150
+    #: Inserting a new entry into a hash table.
+    hash_insert: int = 900
+    #: Deleting an entry from a hash table.
+    hash_delete: int = 400
+    #: Updating one aggregate or superaggregate value.
+    aggregate_update: int = 100
+    #: Per-group work during a cleaning pass (iterate + CLEANING BY eval).
+    cleaning_per_group: int = 400
+    #: Fixed overhead for starting one cleaning phase.
+    cleaning_phase: int = 2_000
+    #: Emitting one output tuple at a window boundary.
+    output_tuple: int = 900
+    #: Per-window fixed overhead (table swaps, state finalisation).
+    window_flush: int = 3_000
+
+
+class CostModel:
+    """Accumulates charged cycles under named accounts.
+
+    One account per query node ("low.selection", "high.sampling", ...);
+    :meth:`cpu_percent` converts an account to the paper's CPU% metric.
+    """
+
+    def __init__(self, book: CostBook | None = None, clock_hz: float = 2.8e9) -> None:
+        if clock_hz <= 0:
+            raise CostModelError("clock_hz must be positive")
+        self.book = book or CostBook()
+        self.clock_hz = clock_hz
+        self._accounts: Dict[str, int] = {}
+        self.enabled = True
+
+    # -- charging ------------------------------------------------------------
+
+    def charge(self, account: str, operation: str, count: int = 1) -> None:
+        """Charge ``count`` occurrences of ``operation`` to ``account``."""
+        if not self.enabled:
+            return
+        try:
+            unit = getattr(self.book, operation)
+        except AttributeError:
+            raise CostModelError(f"unknown cost operation {operation!r}") from None
+        if count < 0:
+            raise CostModelError("cannot charge a negative count")
+        self._accounts[account] = self._accounts.get(account, 0) + unit * count
+
+    # -- reporting -------------------------------------------------------------
+
+    def cycles(self, account: str) -> int:
+        """Total cycles charged to one account (0 if never charged)."""
+        return self._accounts.get(account, 0)
+
+    def total_cycles(self) -> int:
+        return sum(self._accounts.values())
+
+    def cpu_percent(self, account: str, stream_seconds: float) -> float:
+        """CPU utilisation of one account over ``stream_seconds`` of input.
+
+        Mirrors the paper's metric: fraction of a single CPU consumed while
+        keeping up with the feed.
+        """
+        if stream_seconds <= 0:
+            raise CostModelError("stream_seconds must be positive")
+        available = self.clock_hz * stream_seconds
+        return 100.0 * self.cycles(account) / available
+
+    def accounts(self) -> Dict[str, int]:
+        """A copy of all account balances."""
+        return dict(self._accounts)
+
+    def reset(self) -> None:
+        self._accounts.clear()
+
+
+class _NullCostModel(CostModel):
+    """A cost model that ignores all charges (used when accounting is off).
+
+    Charging is on the per-tuple hot path; tests and examples that don't
+    measure CPU use this to avoid both the time and the memory.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.enabled = False
+
+    def charge(self, account: str, operation: str, count: int = 1) -> None:  # noqa: D102
+        return
+
+
+#: Shared do-nothing cost model.
+NULL_COST_MODEL = _NullCostModel()

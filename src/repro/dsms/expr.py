@@ -1,0 +1,352 @@
+"""Expression AST and evaluator for the GSQL subset.
+
+The parser builds these nodes; the analyzer classifies function calls into
+scalar functions, aggregates, superaggregates (``name$``-suffixed, paper
+§6.3) and stateful functions (paper §6.2); the operators evaluate them
+against an :class:`EvalContext`.
+
+Evaluation is context-driven rather than closure-compiled: the sampling
+operator evaluates the same expression trees in several phases (per-tuple
+WHERE, per-supergroup CLEANING WHEN, per-group CLEANING BY / HAVING, and
+output SELECT), and each phase exposes a different context.  A context
+only needs to implement the hooks for node kinds that can legally appear
+in its clause — the analyzer enforces legality, so a hook that is missing
+at runtime is a bug, reported as :class:`ExecutionError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+
+
+# ---------------------------------------------------------------------------
+# AST nodes
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """The ``*`` argument of ``count(*)`` / ``count_distinct$(*)``."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # '-', 'NOT'
+    operand: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # arithmetic: + - * / %   comparison: = <> < <= > >=   logic: AND OR
+    left: Expr
+    right: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    """An unclassified call, as parsed.  The analyzer rewrites these."""
+
+    name: str
+    args: Tuple[Expr, ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class ScalarCall(Expr):
+    """A call to a registered scalar function (H, UMAX, ...)."""
+
+    name: str
+    args: Tuple[Expr, ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expr):
+    """A group aggregate: sum(len), count(*), min(x)...
+
+    ``slot`` is assigned by the planner: the index of this aggregate in the
+    group's aggregate vector.
+    """
+
+    name: str
+    args: Tuple[Expr, ...]
+    slot: int = -1
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class SuperAggregateCall(Expr):
+    """A supergroup aggregate, written ``name$(args)`` (paper §6.3)."""
+
+    name: str
+    args: Tuple[Expr, ...]
+    slot: int = -1
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"{self.name}$({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class StatefulCall(Expr):
+    """A call to an SFUN sharing per-supergroup state (paper §6.2)."""
+
+    name: str
+    state_name: str
+    args: Tuple[Expr, ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+class EvalContext:
+    """Resolution hooks for expression evaluation.
+
+    Subclasses override the hooks relevant to their phase.  The default
+    implementations raise, which surfaces analyzer gaps as explicit errors
+    instead of silent Nones.
+    """
+
+    def column(self, name: str) -> Any:
+        raise ExecutionError(f"column {name!r} not available in this context")
+
+    def call_scalar(self, name: str, args: Sequence[Any]) -> Any:
+        raise ExecutionError(f"scalar function {name!r} not available in this context")
+
+    def aggregate_value(self, node: AggregateCall) -> Any:
+        raise ExecutionError(f"aggregate {node.name!r} not available in this context")
+
+    def superaggregate_value(self, node: SuperAggregateCall) -> Any:
+        raise ExecutionError(
+            f"superaggregate {node.name}$ not available in this context"
+        )
+
+    def call_stateful(self, node: StatefulCall, args: Sequence[Any]) -> Any:
+        raise ExecutionError(
+            f"stateful function {node.name!r} not available in this context"
+        )
+
+
+_ARITHMETIC: dict = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "%": lambda a, b: a % b,
+}
+
+_COMPARISON: dict = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def evaluate(expr: Expr, ctx: EvalContext) -> Any:
+    """Evaluate ``expr`` against ``ctx``.
+
+    Division follows SQL/C integer semantics on two ints (``time/60`` must
+    bucket, not produce floats) and float semantics otherwise.  AND/OR
+    short-circuit.
+    """
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        return ctx.column(expr.name)
+    if isinstance(expr, Star):
+        return 1  # count(*) counts rows; the argument value is irrelevant
+    if isinstance(expr, UnaryOp):
+        value = evaluate(expr.operand, ctx)
+        if expr.op == "-":
+            return -value
+        if expr.op == "NOT":
+            return not value
+        raise ExecutionError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, BinaryOp):
+        return _evaluate_binary(expr, ctx)
+    if isinstance(expr, ScalarCall):
+        args = [evaluate(a, ctx) for a in expr.args]
+        return ctx.call_scalar(expr.name, args)
+    if isinstance(expr, AggregateCall):
+        return ctx.aggregate_value(expr)
+    if isinstance(expr, SuperAggregateCall):
+        return ctx.superaggregate_value(expr)
+    if isinstance(expr, StatefulCall):
+        args = [evaluate(a, ctx) for a in expr.args]
+        return ctx.call_stateful(expr, args)
+    if isinstance(expr, FunctionCall):
+        raise ExecutionError(
+            f"unclassified function call {expr.name!r} reached evaluation;"
+            " run the analyzer before executing"
+        )
+    raise ExecutionError(f"unknown expression node {type(expr).__name__}")
+
+
+def _evaluate_binary(expr: BinaryOp, ctx: EvalContext) -> Any:
+    op = expr.op
+    if op == "AND":
+        return bool(evaluate(expr.left, ctx)) and bool(evaluate(expr.right, ctx))
+    if op == "OR":
+        return bool(evaluate(expr.left, ctx)) or bool(evaluate(expr.right, ctx))
+    left = evaluate(expr.left, ctx)
+    right = evaluate(expr.right, ctx)
+    if op == "/":
+        if isinstance(left, int) and isinstance(right, int):
+            if right == 0:
+                raise ExecutionError("integer division by zero")
+            return left // right
+        if right == 0:
+            raise ExecutionError("division by zero")
+        return left / right
+    if op in _ARITHMETIC:
+        return _ARITHMETIC[op](left, right)
+    if op in _COMPARISON:
+        return _COMPARISON[op](left, right)
+    raise ExecutionError(f"unknown binary operator {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Tree utilities (used by the analyzer / planner)
+# ---------------------------------------------------------------------------
+
+
+def find_nodes(expr: Expr, node_type: type) -> List[Expr]:
+    """All descendants of ``expr`` (inclusive) of the given node type."""
+    return [node for node in expr.walk() if isinstance(node, node_type)]
+
+
+def contains_node(expr: Expr, node_type: type) -> bool:
+    return any(isinstance(node, node_type) for node in expr.walk())
+
+
+def column_names(expr: Expr) -> List[str]:
+    """Names of all column references in the tree, in encounter order."""
+    return [node.name for node in expr.walk() if isinstance(node, ColumnRef)]
+
+
+def free_column_names(expr: Expr) -> List[str]:
+    """Column references *not* enclosed in an aggregate call.
+
+    Aggregate arguments (``sum(len)``) are evaluated per tuple at update
+    time, so the columns inside them are bound to the input stream rather
+    than the clause's own context; clause-legality checks must skip them.
+    """
+    names: List[str] = []
+
+    def visit(node: Expr) -> None:
+        if isinstance(node, AggregateCall):
+            return
+        if isinstance(node, ColumnRef):
+            names.append(node.name)
+        for child in node.children():
+            visit(child)
+
+    visit(expr)
+    return names
+
+
+def rewrite(expr: Expr, fn: Callable[[Expr], Optional[Expr]]) -> Expr:
+    """Bottom-up rewrite: ``fn`` may return a replacement node or ``None``.
+
+    Children are rewritten first, then ``fn`` is offered the (possibly
+    rebuilt) node.  Dataclass frozen-ness means rebuilds create new nodes.
+    """
+    if isinstance(expr, UnaryOp):
+        rebuilt: Expr = UnaryOp(expr.op, rewrite(expr.operand, fn))
+    elif isinstance(expr, BinaryOp):
+        rebuilt = BinaryOp(expr.op, rewrite(expr.left, fn), rewrite(expr.right, fn))
+    elif isinstance(expr, FunctionCall):
+        rebuilt = FunctionCall(expr.name, tuple(rewrite(a, fn) for a in expr.args))
+    elif isinstance(expr, ScalarCall):
+        rebuilt = ScalarCall(expr.name, tuple(rewrite(a, fn) for a in expr.args))
+    elif isinstance(expr, AggregateCall):
+        rebuilt = AggregateCall(
+            expr.name, tuple(rewrite(a, fn) for a in expr.args), expr.slot
+        )
+    elif isinstance(expr, SuperAggregateCall):
+        rebuilt = SuperAggregateCall(
+            expr.name, tuple(rewrite(a, fn) for a in expr.args), expr.slot
+        )
+    elif isinstance(expr, StatefulCall):
+        rebuilt = StatefulCall(
+            expr.name, expr.state_name, tuple(rewrite(a, fn) for a in expr.args)
+        )
+    else:
+        rebuilt = expr
+    replacement = fn(rebuilt)
+    return replacement if replacement is not None else rebuilt

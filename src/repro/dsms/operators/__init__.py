@@ -1,0 +1,16 @@
+"""Executable operators and the plan -> operator factory."""
+
+from repro.dsms.operators.base import Operator
+from repro.dsms.operators.selection import SelectionOperator, StatefulSelectionOperator
+from repro.dsms.operators.aggregation import AggregationOperator
+from repro.dsms.operators.merge import MergeOperator
+from repro.dsms.operators.factory import build_operator
+
+__all__ = [
+    "Operator",
+    "SelectionOperator",
+    "StatefulSelectionOperator",
+    "AggregationOperator",
+    "MergeOperator",
+    "build_operator",
+]

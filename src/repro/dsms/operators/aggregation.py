@@ -1,0 +1,160 @@
+"""Windowed GROUP BY aggregation operator.
+
+The conventional (non-sampling) aggregation path: groups accumulate UDAF
+state within a window; when any ordered group-by variable changes value
+(paper §3: window boundaries derive from ordered-attribute references),
+all groups are finalized, HAVING-filtered and emitted.
+
+This operator doubles as the exact baseline for the accuracy experiments:
+Fig 2's "actual" series is a plain ``sum(len)`` aggregation over 20-second
+windows run next to the sampling query.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.dsms.aggregates import Aggregate, AggregateRegistry
+from repro.dsms.cost import CostModel, NULL_COST_MODEL
+from repro.dsms.expr import AggregateCall, EvalContext, evaluate
+from repro.dsms.functions import FunctionRegistry
+from repro.dsms.operators.base import Operator
+from repro.dsms.parser.analyzer import AnalyzedQuery
+from repro.streams.records import Record
+from repro.streams.schema import StreamSchema
+
+
+class _AggTupleContext(EvalContext):
+    def __init__(self, operator: "AggregationOperator") -> None:
+        self._op = operator
+        self.record: Optional[Record] = None
+        self.gb_values: Tuple[Any, ...] = ()
+
+    def column(self, name: str) -> Any:
+        index = self._op._gb_index.get(name)
+        if index is not None and self.gb_values:
+            return self.gb_values[index]
+        assert self.record is not None
+        return self.record[name]
+
+    def call_scalar(self, name: str, args: Sequence[Any]) -> Any:
+        self._op._cost.charge(self._op._account, "function_call")
+        return self._op._scalars.call(name, args)
+
+
+class _AggGroupContext(EvalContext):
+    def __init__(self, operator: "AggregationOperator") -> None:
+        self._op = operator
+        self.key: Tuple[Any, ...] = ()
+        self.aggregates: List[Aggregate] = []
+
+    def column(self, name: str) -> Any:
+        index = self._op._gb_index.get(name)
+        if index is None:
+            raise ExecutionError(f"column {name!r} is not a group-by variable")
+        return self.key[index]
+
+    def call_scalar(self, name: str, args: Sequence[Any]) -> Any:
+        self._op._cost.charge(self._op._account, "function_call")
+        return self._op._scalars.call(name, args)
+
+    def aggregate_value(self, node: AggregateCall) -> Any:
+        return self.aggregates[node.slot].value()
+
+
+class AggregationOperator(Operator):
+    """Plain windowed grouping and aggregation."""
+
+    def __init__(
+        self,
+        analyzed: AnalyzedQuery,
+        output_schema: StreamSchema,
+        scalars: FunctionRegistry,
+        aggregates: AggregateRegistry,
+        cost_model: CostModel = NULL_COST_MODEL,
+        account: str = "aggregation",
+    ) -> None:
+        if analyzed.kind != "aggregation":
+            raise ExecutionError(
+                f"AggregationOperator built from a {analyzed.kind!r} query"
+            )
+        self.analyzed = analyzed
+        self.output_schema = output_schema
+        self._scalars = scalars
+        self._registry = aggregates
+        self._cost = cost_model
+        self._account = account
+
+        self._gb_index = {item.name: i for i, item in enumerate(analyzed.group_by)}
+        self._ordered_indices = tuple(
+            list(self._gb_index[name] for name in analyzed.ordered_names)
+        )
+        self._groups: Dict[Tuple[Any, ...], List[Aggregate]] = {}
+        self._current_window: Optional[Tuple[Any, ...]] = None
+
+        self._tuple_ctx = _AggTupleContext(self)
+        self._group_ctx = _AggGroupContext(self)
+
+    def process(self, record: Record) -> List[Record]:
+        self._tuple_ctx.record = record
+        self._tuple_ctx.gb_values = ()
+        gb_values = tuple(
+            evaluate(item.expr, self._tuple_ctx) for item in self.analyzed.group_by
+        )
+        self._tuple_ctx.gb_values = gb_values
+        window = tuple(gb_values[i] for i in self._ordered_indices)
+
+        outputs: List[Record] = []
+        if self._current_window is None:
+            self._current_window = window
+        elif window != self._current_window:
+            outputs = self._emit_window()
+            self._current_window = window
+
+        self._cost.charge(self._account, "tuple_read")
+        self._cost.charge(self._account, "hash_probe")
+        where = self.analyzed.ast.where
+        if where is not None:
+            self._cost.charge(self._account, "predicate_eval")
+            if not evaluate(where, self._tuple_ctx):
+                return outputs
+
+        group = self._groups.get(gb_values)
+        if group is None:
+            group = [self._registry.create(node.name) for node in self.analyzed.aggregates]
+            self._groups[gb_values] = group
+            self._cost.charge(self._account, "hash_insert")
+        for node, aggregate in zip(self.analyzed.aggregates, group):
+            arg = node.args[0] if node.args else None
+            value = evaluate(arg, self._tuple_ctx) if arg is not None else 1
+            aggregate.update(value)
+            self._cost.charge(self._account, "aggregate_update")
+        return outputs
+
+    def flush(self) -> List[Record]:
+        if self._current_window is None:
+            return []
+        outputs = self._emit_window()
+        self._current_window = None
+        return outputs
+
+    def _emit_window(self) -> List[Record]:
+        outputs: List[Record] = []
+        having = self.analyzed.ast.having
+        self._cost.charge(self._account, "window_flush")
+        for key, aggregates in self._groups.items():
+            self._group_ctx.key = key
+            self._group_ctx.aggregates = aggregates
+            if having is not None:
+                self._cost.charge(self._account, "predicate_eval")
+                if not evaluate(having, self._group_ctx):
+                    continue
+            values = [
+                evaluate(item.expr, self._group_ctx)
+                for item in self.analyzed.ast.select
+            ]
+            outputs.append(Record(self.output_schema, values))
+            self._cost.charge(self._account, "output_tuple")
+        self._groups.clear()
+        return outputs

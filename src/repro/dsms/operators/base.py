@@ -1,0 +1,34 @@
+"""Push-based operator protocol.
+
+Operators consume one input record at a time and return zero or more
+output records; :meth:`flush` closes any trailing window at end of
+stream.  The runtime chains operators by feeding each output record to
+the downstream node.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.streams.records import Record
+from repro.streams.schema import StreamSchema
+
+
+class Operator:
+    """Base class for executable operators."""
+
+    #: Schema of the records this operator emits.
+    output_schema: StreamSchema
+
+    def process(self, record: Record) -> List[Record]:
+        raise NotImplementedError
+
+    def flush(self) -> List[Record]:
+        """End-of-stream: emit anything still buffered (default: nothing)."""
+        return []
+
+    def run(self, records: Iterable[Record]) -> Iterator[Record]:
+        """Drive the operator over a whole stream."""
+        for record in records:
+            yield from self.process(record)
+        yield from self.flush()

@@ -1,0 +1,54 @@
+"""Plan -> operator construction."""
+
+from __future__ import annotations
+
+from repro.errors import PlanningError
+from repro.dsms.cost import CostModel, NULL_COST_MODEL
+from repro.dsms.operators.aggregation import AggregationOperator
+from repro.dsms.operators.base import Operator
+from repro.dsms.operators.selection import SelectionOperator, StatefulSelectionOperator
+from repro.dsms.parser.planner import QueryPlan
+from repro.core.sampling_operator import SamplingOperator
+
+
+def build_operator(
+    plan: QueryPlan,
+    cost_model: CostModel = NULL_COST_MODEL,
+    account: str = "query",
+) -> Operator:
+    """Instantiate the executable operator for a planned query."""
+    registries = plan.registries
+    if plan.kind == "selection":
+        return SelectionOperator(
+            plan.analyzed, plan.output_schema, registries.scalars, cost_model, account
+        )
+    if plan.kind == "stateful_selection":
+        return StatefulSelectionOperator(
+            plan.analyzed,
+            plan.output_schema,
+            registries.scalars,
+            registries.stateful,
+            cost_model,
+            account,
+        )
+    if plan.kind == "aggregation":
+        return AggregationOperator(
+            plan.analyzed,
+            plan.output_schema,
+            registries.scalars,
+            registries.aggregates,
+            cost_model,
+            account,
+        )
+    if plan.kind == "sampling":
+        assert plan.sampling is not None
+        return SamplingOperator(
+            plan.sampling,
+            registries.scalars,
+            registries.stateful,
+            aggregate_factory=registries.aggregates.create,
+            superaggregate_factory=registries.superaggregates.create,
+            cost_model=cost_model,
+            account=account,
+        )
+    raise PlanningError(f"unknown plan kind {plan.kind!r}")

@@ -1,0 +1,124 @@
+"""Order-preserving stream merge.
+
+Gigascope composes query sets over multiple taps with a MERGE operator:
+it combines streams with identical schemas into one, preserving the
+ordering property of the ordered attribute (so downstream windowed
+queries still see monotone time).
+
+The implementation is watermark-based: records buffer per source; the
+watermark is the minimum, across sources, of the last ordered-attribute
+value seen; buffered records at or below the watermark are released in
+sorted order.  A source that ends (``end_source``) stops holding the
+watermark back.  ``flush`` releases everything that remains.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ExecutionError, SchemaError
+from repro.dsms.operators.base import Operator
+from repro.streams.records import Record
+from repro.streams.schema import StreamSchema
+
+
+class MergeOperator(Operator):
+    """Merge N same-schema streams by their first ordered attribute."""
+
+    def __init__(self, schema: StreamSchema, sources: Sequence[str]) -> None:
+        if len(sources) < 2:
+            raise ExecutionError("a merge needs at least two sources")
+        ordered = schema.ordered_attributes()
+        if not ordered:
+            raise SchemaError(
+                f"schema {schema.name!r} has no ordered attribute to merge on"
+            )
+        self.output_schema = schema
+        self.merge_attribute = ordered[0].name
+        self._key_index = schema.index_of(self.merge_attribute)
+        self._sources = list(sources)
+        self._heap: List[tuple] = []  # (key, seq, record)
+        self._seq = 0
+        #: last ordered value per live source (None until first record)
+        self._frontier: Dict[str, Optional[Any]] = {s: None for s in sources}
+        self._done: set = set()
+
+    # -- input -------------------------------------------------------------------
+
+    def process_from(self, source: str, record: Record) -> List[Record]:
+        """Accept one record from a named source; returns releasable output."""
+        if source not in self._frontier:
+            raise ExecutionError(f"unknown merge source {source!r}")
+        if source in self._done:
+            raise ExecutionError(f"merge source {source!r} already ended")
+        key = record.values[self._key_index]
+        last = self._frontier[source]
+        if last is not None and key < last:
+            raise ExecutionError(
+                f"merge source {source!r} violated ordering:"
+                f" {key!r} after {last!r}"
+            )
+        self._frontier[source] = key
+        heapq.heappush(self._heap, (key, self._seq, record))
+        self._seq += 1
+        return self._release()
+
+    def process(self, record: Record) -> List[Record]:
+        raise ExecutionError(
+            "MergeOperator is fed per source; use process_from(source, record)"
+        )
+
+    def end_source(self, source: str) -> List[Record]:
+        """Mark one source exhausted; it no longer holds the watermark."""
+        if source not in self._frontier:
+            raise ExecutionError(f"unknown merge source {source!r}")
+        self._done.add(source)
+        return self._release()
+
+    # -- output -------------------------------------------------------------------
+
+    def _watermark(self) -> Optional[Any]:
+        """Smallest frontier over live sources (None = a source is silent)."""
+        live = [s for s in self._sources if s not in self._done]
+        if not live:
+            return None  # everything may flow
+        frontiers = [self._frontier[s] for s in live]
+        if any(f is None for f in frontiers):
+            return _HOLD
+        return min(frontiers)
+
+    def _release(self) -> List[Record]:
+        watermark = self._watermark()
+        out: List[Record] = []
+        if watermark is _HOLD:
+            return out
+        while self._heap and (
+            watermark is None or self._heap[0][0] <= watermark
+        ):
+            _key, _seq, record = heapq.heappop(self._heap)
+            out.append(record)
+        return out
+
+    def flush(self) -> List[Record]:
+        """End of all input: release every buffered record in order."""
+        self._done.update(self._sources)
+        out: List[Record] = []
+        while self._heap:
+            _key, _seq, record = heapq.heappop(self._heap)
+            out.append(record)
+        return out
+
+    @property
+    def buffered(self) -> int:
+        return len(self._heap)
+
+
+class _Hold:
+    """Sentinel: a live source has produced nothing yet; hold everything."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<hold>"
+
+
+_HOLD = _Hold()

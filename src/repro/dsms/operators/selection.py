@@ -1,0 +1,117 @@
+"""Selection (and stateful selection) operators.
+
+A selection query has no GROUP BY: it filters tuples with WHERE and
+projects the SELECT list.  The *stateful* variant additionally carries a
+single global SFUN state set, which is how the paper's baseline runs
+"basic subset-sum sampling using a user-defined function in a selection
+operator" (§7.2) and how low-level prefilter queries work (Fig 6).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.dsms.cost import CostModel, NULL_COST_MODEL
+from repro.dsms.expr import EvalContext, StatefulCall, evaluate
+from repro.dsms.functions import FunctionRegistry
+from repro.dsms.operators.base import Operator
+from repro.dsms.parser.analyzer import AnalyzedQuery
+from repro.dsms.stateful import StatefulLibrary
+from repro.streams.records import Record
+from repro.streams.schema import StreamSchema
+
+
+class _SelectionContext(EvalContext):
+    def __init__(
+        self,
+        scalars: FunctionRegistry,
+        stateful: Optional[StatefulLibrary],
+        states: Optional[dict],
+        cost_model: CostModel,
+        account: str,
+    ) -> None:
+        self._scalars = scalars
+        self._stateful = stateful
+        self._states = states
+        self._cost = cost_model
+        self._account = account
+        self.record: Optional[Record] = None
+
+    def column(self, name: str) -> Any:
+        assert self.record is not None
+        return self.record[name]
+
+    def call_scalar(self, name: str, args: Sequence[Any]) -> Any:
+        self._cost.charge(self._account, "function_call")
+        return self._scalars.call(name, args)
+
+    def call_stateful(self, node: StatefulCall, args: Sequence[Any]) -> Any:
+        if self._stateful is None or self._states is None:
+            return super().call_stateful(node, args)
+        self._cost.charge(self._account, "sfun_call")
+        return self._stateful.invoke(node.name, self._states, args)
+
+
+class SelectionOperator(Operator):
+    """Plain WHERE + SELECT over a stream."""
+
+    def __init__(
+        self,
+        analyzed: AnalyzedQuery,
+        output_schema: StreamSchema,
+        scalars: FunctionRegistry,
+        cost_model: CostModel = NULL_COST_MODEL,
+        account: str = "selection",
+    ) -> None:
+        self.analyzed = analyzed
+        self.output_schema = output_schema
+        self._cost = cost_model
+        self._account = account
+        self._ctx = _SelectionContext(scalars, None, None, cost_model, account)
+
+    def process(self, record: Record) -> List[Record]:
+        self._ctx.record = record
+        self._cost.charge(self._account, "tuple_read")
+        where = self.analyzed.ast.where
+        if where is not None:
+            self._cost.charge(self._account, "predicate_eval")
+            if not evaluate(where, self._ctx):
+                return []
+        values = [evaluate(item.expr, self._ctx) for item in self.analyzed.ast.select]
+        return [Record(self.output_schema, values)]
+
+
+class StatefulSelectionOperator(Operator):
+    """Selection whose WHERE calls SFUNs against one global state set.
+
+    The state persists for the life of the operator (there are no windows
+    in a selection query), mirroring a UDF-with-static-state inside the
+    Gigascope selection operator.
+    """
+
+    def __init__(
+        self,
+        analyzed: AnalyzedQuery,
+        output_schema: StreamSchema,
+        scalars: FunctionRegistry,
+        stateful: StatefulLibrary,
+        cost_model: CostModel = NULL_COST_MODEL,
+        account: str = "stateful_selection",
+    ) -> None:
+        self.analyzed = analyzed
+        self.output_schema = output_schema
+        self._cost = cost_model
+        self._account = account
+        self.states = stateful.instantiate_states(analyzed.state_names)
+        self._ctx = _SelectionContext(scalars, stateful, self.states, cost_model, account)
+
+    def process(self, record: Record) -> List[Record]:
+        self._ctx.record = record
+        self._cost.charge(self._account, "tuple_read")
+        where = self.analyzed.ast.where
+        if where is not None:
+            self._cost.charge(self._account, "predicate_eval")
+            if not evaluate(where, self._ctx):
+                return []
+        values = [evaluate(item.expr, self._ctx) for item in self.analyzed.ast.select]
+        return [Record(self.output_schema, values)]

@@ -1,0 +1,41 @@
+"""GSQL-subset front end: lexer, parser, analyzer, planner.
+
+The textual query form (paper §5) is aggregation syntax extended with
+``SUPERGROUP``, ``CLEANING WHEN`` and ``CLEANING BY``::
+
+    SELECT <select expression list>
+    FROM <stream>
+    WHERE <predicate>
+    GROUP BY <group-by variable definition list>
+    [SUPERGROUP <group-by variable list>]
+    [HAVING <predicate>]
+    CLEANING WHEN <predicate>
+    CLEANING BY <predicate>
+
+Pipeline: :func:`tokenize` -> :func:`parse_query` -> :func:`analyze`
+-> :func:`plan`.  The high-level convenience :func:`compile_query` runs
+all four against a registry bundle.
+"""
+
+from repro.dsms.parser.lexer import Token, TokenType, tokenize
+from repro.dsms.parser.ast import GroupByItem, QueryAst, SelectItem
+from repro.dsms.parser.parser import parse_query
+from repro.dsms.parser.analyzer import AnalyzedQuery, Registries, analyze
+from repro.dsms.parser.planner import QueryPlan, SamplingSpec, plan, compile_query
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "tokenize",
+    "GroupByItem",
+    "QueryAst",
+    "SelectItem",
+    "parse_query",
+    "AnalyzedQuery",
+    "Registries",
+    "analyze",
+    "QueryPlan",
+    "SamplingSpec",
+    "plan",
+    "compile_query",
+]

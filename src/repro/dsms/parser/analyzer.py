@@ -1,0 +1,340 @@
+"""Semantic analysis: classification, validation, slot assignment.
+
+The parser leaves every call as an unclassified
+:class:`~repro.dsms.expr.FunctionCall`.  The analyzer rewrites each into
+one of:
+
+* :class:`ScalarCall` — name registered as a scalar function,
+* :class:`StatefulCall` — name registered in the stateful library (SFUN),
+* :class:`AggregateCall` — name registered as a group aggregate,
+* :class:`SuperAggregateCall` — name ends with ``$`` and is registered as
+  a superaggregate,
+
+assigns *slots* (indices into the per-group aggregate vector and the
+per-supergroup superaggregate vector, deduplicated across clauses), and
+enforces the clause-legality rules of the operator semantics (paper §5):
+
+==============  ========================================================
+Clause          May reference
+==============  ========================================================
+WHERE           tuple columns, group-by variables, scalars, SFUNs,
+                superaggregates (min-hash admits via ``Kth_smallest$``)
+CLEANING WHEN   supergroup variables, scalars, SFUNs, superaggregates
+CLEANING BY     group-by variables, aggregates, scalars, SFUNs,
+                superaggregates
+HAVING          same as CLEANING BY
+SELECT          same as CLEANING BY (it is evaluated per surviving group)
+==============  ========================================================
+
+It also derives the *window* variables — group-by variables whose defining
+expressions reference only ordered stream attributes — and folds them into
+the supergroup per paper §6.1 ("all ordered group-by variables are part of
+the supergroup").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.dsms.aggregates import AggregateRegistry
+from repro.dsms.expr import (
+    AggregateCall,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    ScalarCall,
+    Star,
+    StatefulCall,
+    SuperAggregateCall,
+    column_names,
+    find_nodes,
+    free_column_names,
+    rewrite,
+)
+from repro.dsms.functions import FunctionRegistry
+from repro.dsms.parser.ast import GroupByItem, QueryAst, SelectItem
+from repro.dsms.stateful import StatefulLibrary
+from repro.streams.schema import StreamSchema
+
+if TYPE_CHECKING:  # deferred: repro.core imports this module at runtime
+    from repro.core.superaggregates import SuperAggregateRegistry
+
+
+@dataclass
+class Registries:
+    """Everything name resolution needs, bundled."""
+
+    schemas: Dict[str, StreamSchema]
+    scalars: FunctionRegistry
+    aggregates: AggregateRegistry
+    superaggregates: "SuperAggregateRegistry"
+    stateful: StatefulLibrary
+
+
+@dataclass
+class AnalyzedQuery:
+    """Output of :func:`analyze` — the validated, classified query."""
+
+    ast: QueryAst
+    schema: StreamSchema
+    group_by: Tuple[GroupByItem, ...]
+    ordered_names: Tuple[str, ...]
+    supergroup_names: Tuple[str, ...]
+    aggregates: Tuple[AggregateCall, ...]
+    superaggregates: Tuple[SuperAggregateCall, ...]
+    state_names: Tuple[str, ...]
+    kind: str  # "sampling" | "aggregation" | "selection" | "stateful_selection"
+
+    @property
+    def group_by_names(self) -> Tuple[str, ...]:
+        return tuple(item.name for item in self.group_by)
+
+
+class _Classifier:
+    """Rewrites FunctionCall nodes and collects slotted aggregates."""
+
+    def __init__(self, registries: Registries) -> None:
+        self._registries = registries
+        self._agg_slots: Dict[Tuple[str, str], AggregateCall] = {}
+        self._super_slots: Dict[Tuple[str, str], SuperAggregateCall] = {}
+
+    # -- results ---------------------------------------------------------------
+
+    @property
+    def aggregates(self) -> Tuple[AggregateCall, ...]:
+        return tuple(
+            sorted(self._agg_slots.values(), key=lambda node: node.slot)
+        )
+
+    @property
+    def superaggregates(self) -> Tuple[SuperAggregateCall, ...]:
+        return tuple(
+            sorted(self._super_slots.values(), key=lambda node: node.slot)
+        )
+
+    def state_names(self, *exprs: Optional[Expr]) -> Tuple[str, ...]:
+        names: List[str] = []
+        for expr in exprs:
+            if expr is None:
+                continue
+            for node in find_nodes(expr, StatefulCall):
+                if node.state_name not in names:
+                    names.append(node.state_name)
+        return tuple(names)
+
+    # -- classification -----------------------------------------------------------
+
+    def classify(self, expr: Optional[Expr]) -> Optional[Expr]:
+        if expr is None:
+            return None
+        return rewrite(expr, self._classify_node)
+
+    def _classify_node(self, node: Expr) -> Optional[Expr]:
+        if not isinstance(node, FunctionCall):
+            return None
+        name, args = node.name, node.args
+        registries = self._registries
+        if name.endswith("$"):
+            base = name[:-1]
+            if base not in registries.superaggregates:
+                raise AnalysisError(f"unknown superaggregate {name!r}")
+            key = (base, "|".join(map(str, args)))
+            if key not in self._super_slots:
+                slotted = SuperAggregateCall(base, args, slot=len(self._super_slots))
+                self._super_slots[key] = slotted
+            return self._super_slots[key]
+        if name in registries.stateful:
+            return StatefulCall(name, registries.stateful.state_of(name), args)
+        if name in registries.aggregates:
+            key = (name, "|".join(map(str, args)))
+            if key not in self._agg_slots:
+                slotted = AggregateCall(name, args, slot=len(self._agg_slots))
+                self._agg_slots[key] = slotted
+            return self._agg_slots[key]
+        if name in registries.scalars:
+            return ScalarCall(name, args)
+        raise AnalysisError(
+            f"unknown function {name!r}: not a scalar, aggregate, superaggregate,"
+            " or stateful function"
+        )
+
+
+def _check_clause(
+    clause: str,
+    expr: Optional[Expr],
+    allowed_columns: Sequence[str],
+    allow_aggregates: bool,
+    allow_superaggregates: bool = True,
+    allow_stateful: bool = True,
+) -> None:
+    if expr is None:
+        return
+    for name in free_column_names(expr):
+        if name not in allowed_columns:
+            raise AnalysisError(
+                f"{clause} references {name!r}, which is not available there"
+                f" (available: {sorted(set(allowed_columns))})"
+            )
+    if not allow_aggregates and find_nodes(expr, AggregateCall):
+        raise AnalysisError(f"{clause} may not reference group aggregates")
+    if not allow_superaggregates and find_nodes(expr, SuperAggregateCall):
+        raise AnalysisError(f"{clause} may not reference superaggregates")
+    if not allow_stateful and find_nodes(expr, StatefulCall):
+        raise AnalysisError(f"{clause} may not reference stateful functions")
+
+
+def analyze(ast: QueryAst, registries: Registries) -> AnalyzedQuery:
+    """Validate and classify a parsed query."""
+    try:
+        schema = registries.schemas[ast.from_stream]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown stream {ast.from_stream!r};"
+            f" known: {sorted(registries.schemas)}"
+        ) from None
+
+    classifier = _Classifier(registries)
+
+    # -- group-by variables ---------------------------------------------------
+    group_by: List[GroupByItem] = []
+    seen_names: set = set()
+    for item in ast.group_by:
+        if item.name in seen_names:
+            raise AnalysisError(f"duplicate group-by variable {item.name!r}")
+        seen_names.add(item.name)
+        classified = classifier.classify(item.expr)
+        assert classified is not None
+        for col in column_names(classified):
+            if col not in schema:
+                raise AnalysisError(
+                    f"GROUP BY expression for {item.name!r} references unknown"
+                    f" column {col!r}"
+                )
+        bad = find_nodes(classified, AggregateCall) + find_nodes(
+            classified, SuperAggregateCall
+        ) + find_nodes(classified, StatefulCall)
+        if bad:
+            raise AnalysisError(
+                f"GROUP BY expression for {item.name!r} may only use columns and"
+                " scalar functions"
+            )
+        group_by.append(GroupByItem(classified, item.name))
+
+    group_by_names = [item.name for item in group_by]
+
+    # -- ordered (window) variables --------------------------------------------
+    ordered_names: List[str] = []
+    for item in group_by:
+        cols = column_names(item.expr)
+        if cols and all(schema.attribute(c).ordering.is_ordered for c in cols):
+            ordered_names.append(item.name)
+
+    # -- supergroup --------------------------------------------------------------
+    for name in ast.supergroup:
+        if name not in group_by_names:
+            raise AnalysisError(
+                f"SUPERGROUP variable {name!r} is not a GROUP BY variable"
+                " (supergroups are a specialization of grouping sets)"
+            )
+    supergroup_names: List[str] = list(ordered_names)
+    for name in ast.supergroup:
+        if name not in supergroup_names:
+            supergroup_names.append(name)
+
+    # -- clause classification -----------------------------------------------------
+    where = classifier.classify(ast.where)
+    having = classifier.classify(ast.having)
+    cleaning_when = classifier.classify(ast.cleaning_when)
+    cleaning_by = classifier.classify(ast.cleaning_by)
+    select_items = tuple(
+        SelectItem(classifier.classify(item.expr), item.alias) for item in ast.select
+    )
+
+    if (ast.cleaning_when is None) != (ast.cleaning_by is None):
+        raise AnalysisError(
+            "CLEANING WHEN and CLEANING BY must be used together"
+        )
+
+    has_sampling_features = (
+        ast.has_cleaning
+        or bool(ast.supergroup)
+        or bool(classifier.superaggregates)
+        or bool(classifier.state_names(where, having, cleaning_when, cleaning_by,
+                                       *[s.expr for s in select_items]))
+    )
+
+    if not ast.group_by:
+        if classifier.aggregates or classifier.superaggregates:
+            raise AnalysisError(
+                "aggregates require a GROUP BY clause"
+            )
+        if ast.has_cleaning:
+            raise AnalysisError("CLEANING clauses require a GROUP BY clause")
+        _check_clause("WHERE", where, schema.names, allow_aggregates=False)
+        for item in select_items:
+            _check_clause("SELECT", item.expr, schema.names, allow_aggregates=False)
+        state_names = classifier.state_names(
+            where, *[s.expr for s in select_items]
+        )
+        kind = "stateful_selection" if state_names else "selection"
+        analyzed_ast = QueryAst(
+            select=select_items,
+            from_stream=ast.from_stream,
+            where=where,
+            group_by=(),
+            supergroup=(),
+            having=None,
+            cleaning_when=None,
+            cleaning_by=None,
+        )
+        return AnalyzedQuery(
+            ast=analyzed_ast,
+            schema=schema,
+            group_by=(),
+            ordered_names=(),
+            supergroup_names=(),
+            aggregates=(),
+            superaggregates=(),
+            state_names=state_names,
+            kind=kind,
+        )
+
+    # -- grouped query: clause legality ---------------------------------------------
+    where_columns = list(schema.names) + group_by_names
+    _check_clause("WHERE", where, where_columns, allow_aggregates=False)
+    _check_clause(
+        "CLEANING WHEN", cleaning_when, supergroup_names, allow_aggregates=False
+    )
+    group_context_columns = group_by_names
+    _check_clause("CLEANING BY", cleaning_by, group_context_columns, allow_aggregates=True)
+    _check_clause("HAVING", having, group_context_columns, allow_aggregates=True)
+    for item in select_items:
+        _check_clause("SELECT", item.expr, group_context_columns, allow_aggregates=True)
+
+    state_names = classifier.state_names(
+        where, having, cleaning_when, cleaning_by, *[s.expr for s in select_items]
+    )
+
+    analyzed_ast = QueryAst(
+        select=select_items,
+        from_stream=ast.from_stream,
+        where=where,
+        group_by=tuple(group_by),
+        supergroup=ast.supergroup,
+        having=having,
+        cleaning_when=cleaning_when,
+        cleaning_by=cleaning_by,
+    )
+    return AnalyzedQuery(
+        ast=analyzed_ast,
+        schema=schema,
+        group_by=tuple(group_by),
+        ordered_names=tuple(ordered_names),
+        supergroup_names=tuple(supergroup_names),
+        aggregates=classifier.aggregates,
+        superaggregates=classifier.superaggregates,
+        state_names=state_names,
+        kind="sampling" if has_sampling_features else "aggregation",
+    )

@@ -1,0 +1,74 @@
+"""Query-level AST produced by the parser.
+
+Expression nodes live in :mod:`repro.dsms.expr`; this module holds the
+clause structure of a whole query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dsms.expr import Expr
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry of the SELECT list, with an optional ``AS`` alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.expr} AS {self.alias}" if self.alias else str(self.expr)
+
+
+@dataclass(frozen=True)
+class GroupByItem:
+    """One grouping variable definition, e.g. ``time/60 as tb`` or ``srcIP``.
+
+    ``name`` is the variable's name: the alias when given, otherwise the
+    column name (a bare-column item).  Group-by variables with expressions
+    other than a bare column *must* carry an alias so later clauses can
+    reference them.
+    """
+
+    expr: Expr
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.expr} AS {self.name}"
+
+
+@dataclass(frozen=True)
+class QueryAst:
+    """A parsed (not yet analyzed) query."""
+
+    select: Tuple[SelectItem, ...]
+    from_stream: str
+    where: Optional[Expr] = None
+    group_by: Tuple[GroupByItem, ...] = ()
+    supergroup: Tuple[str, ...] = ()
+    having: Optional[Expr] = None
+    cleaning_when: Optional[Expr] = None
+    cleaning_by: Optional[Expr] = None
+
+    @property
+    def has_cleaning(self) -> bool:
+        return self.cleaning_when is not None or self.cleaning_by is not None
+
+    def __str__(self) -> str:
+        parts = ["SELECT " + ", ".join(map(str, self.select)), f"FROM {self.from_stream}"]
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(map(str, self.group_by)))
+        if self.supergroup:
+            parts.append("SUPERGROUP " + ", ".join(self.supergroup))
+        if self.having is not None:
+            parts.append(f"HAVING {self.having}")
+        if self.cleaning_when is not None:
+            parts.append(f"CLEANING WHEN {self.cleaning_when}")
+        if self.cleaning_by is not None:
+            parts.append(f"CLEANING BY {self.cleaning_by}")
+        return "\n".join(parts)

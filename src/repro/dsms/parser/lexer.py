@@ -1,0 +1,148 @@
+"""Tokenizer for the GSQL subset.
+
+Notable lexical details:
+
+* superaggregate names carry a ``$`` suffix (``count_distinct$``), lexed as
+  part of the identifier;
+* the paper's examples spell the grouping clause both ``GROUP BY`` and
+  ``GROUP_BY`` — both lex to the same keyword pair;
+* keywords are case-insensitive, identifiers are case-sensitive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional
+
+from repro.errors import LexError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "AS",
+        "SUPERGROUP",
+        "HAVING",
+        "CLEANING",
+        "WHEN",
+        "AND",
+        "OR",
+        "NOT",
+        "TRUE",
+        "FALSE",
+    }
+)
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "%", "(", ")", ",")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: Any
+    position: int
+    line: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def __str__(self) -> str:
+        if self.type is TokenType.EOF:
+            return "<eof>"
+        return str(self.value)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; always ends with an EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            # SQL line comment
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            if i < n and text[i] == "$":
+                i += 1
+                tokens.append(Token(TokenType.IDENT, word + "$", start, line))
+                continue
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start, line))
+            elif upper == "GROUP_BY":
+                # The paper's examples write both GROUP BY and GROUP_BY.
+                tokens.append(Token(TokenType.KEYWORD, "GROUP", start, line))
+                tokens.append(Token(TokenType.KEYWORD, "BY", start, line))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start, line))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+                if text[i] == ".":
+                    # a dot not followed by a digit terminates the number
+                    if i + 1 >= n or not text[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                i += 1
+            literal = text[start:i]
+            value: Any = float(literal) if "." in literal else int(literal)
+            tokens.append(Token(TokenType.NUMBER, value, start, line))
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            start = i
+            i += 1
+            chars: List[str] = []
+            while i < n and text[i] != quote:
+                if text[i] == "\n":
+                    raise LexError("unterminated string literal", start, line)
+                chars.append(text[i])
+                i += 1
+            if i >= n:
+                raise LexError("unterminated string literal", start, line)
+            i += 1  # closing quote
+            tokens.append(Token(TokenType.STRING, "".join(chars), start, line))
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(TokenType.OP, op, i, line))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise LexError(f"unexpected character {ch!r}", i, line)
+    tokens.append(Token(TokenType.EOF, None, n, line))
+    return tokens

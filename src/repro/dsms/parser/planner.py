@@ -1,0 +1,219 @@
+"""Planner: turn an analyzed query into an executable specification.
+
+The planner's jobs:
+
+* split group-by variables into window (ordered) / supergroup / plain
+  index sets the operator can evaluate positionally;
+* resolve each superaggregate into a factory call specification (value
+  expression + constant arguments) and determine its feeding discipline
+  by instantiating a prototype;
+* derive the output stream schema from the SELECT list (the first
+  selected ordered group-by variable keeps its ``increasing`` marker so
+  downstream queries can window on it);
+* choose the operator kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanningError
+from repro.dsms.expr import (
+    AggregateCall,
+    ColumnRef,
+    Expr,
+    Literal,
+    Star,
+    SuperAggregateCall,
+    column_names,
+)
+from repro.dsms.parser.analyzer import AnalyzedQuery, Registries, analyze
+from repro.dsms.parser.ast import GroupByItem, QueryAst, SelectItem
+from repro.dsms.parser.parser import parse_query
+from repro.streams.schema import Attribute, Ordering, StreamSchema
+
+
+@dataclass(frozen=True)
+class SuperAggSpec:
+    """Instantiation recipe for one superaggregate slot."""
+
+    name: str
+    value_expr: Expr
+    const_args: Tuple[Any, ...]
+    feeds: str  # "group" | "tuple"
+    slot: int
+
+
+@dataclass
+class SamplingSpec:
+    """Everything the sampling operator needs to run one query."""
+
+    analyzed: AnalyzedQuery
+    select_items: Tuple[SelectItem, ...]
+    where: Optional[Expr]
+    having: Optional[Expr]
+    cleaning_when: Optional[Expr]
+    cleaning_by: Optional[Expr]
+    group_by: Tuple[GroupByItem, ...]
+    ordered_indices: Tuple[int, ...]
+    supergroup_indices: Tuple[int, ...]
+    nonordered_supergroup_indices: Tuple[int, ...]
+    aggregates: Tuple[AggregateCall, ...]
+    superaggregates: Tuple[SuperAggSpec, ...]
+    state_names: Tuple[str, ...]
+    output_schema: StreamSchema
+
+    @property
+    def group_by_names(self) -> Tuple[str, ...]:
+        return tuple(item.name for item in self.group_by)
+
+
+@dataclass
+class QueryPlan:
+    """A planned query, ready for operator construction."""
+
+    kind: str  # "sampling" | "aggregation" | "selection" | "stateful_selection"
+    analyzed: AnalyzedQuery
+    sampling: Optional[SamplingSpec]
+    output_schema: StreamSchema
+    registries: Registries
+
+
+_OUTPUT_NAME_FALLBACK = "col{index}"
+
+
+def _output_schema(
+    query_name: str,
+    select_items: Sequence[SelectItem],
+    ordered_names: Sequence[str],
+) -> StreamSchema:
+    attributes: List[Attribute] = []
+    used: set = set()
+    ordered_marked = False
+    for index, item in enumerate(select_items):
+        if item.alias:
+            name = item.alias
+        elif isinstance(item.expr, ColumnRef):
+            name = item.expr.name
+        else:
+            name = _OUTPUT_NAME_FALLBACK.format(index=index)
+        base, suffix = name, 1
+        while name in used:
+            suffix += 1
+            name = f"{base}_{suffix}"
+        used.add(name)
+        ordering = Ordering.NONE
+        if (
+            not ordered_marked
+            and isinstance(item.expr, ColumnRef)
+            and item.expr.name in ordered_names
+        ):
+            ordering = Ordering.INCREASING
+            ordered_marked = True
+        attributes.append(Attribute(name, "int", ordering))
+    return StreamSchema(query_name, attributes)
+
+
+def _superagg_specs(
+    analyzed: AnalyzedQuery, registries: Registries
+) -> Tuple[SuperAggSpec, ...]:
+    specs: List[SuperAggSpec] = []
+    group_by_names = set(analyzed.group_by_names)
+    for node in analyzed.superaggregates:
+        # The paper writes both count_distinct$(*) and count_distinct$():
+        # an empty argument list means "no per-group value", i.e. Star.
+        value_expr = node.args[0] if node.args else Star()
+        const_args: List[Any] = []
+        for arg in node.args[1:]:
+            if not isinstance(arg, Literal):
+                raise PlanningError(
+                    f"superaggregate {node.name}$: arguments after the first"
+                    f" must be constants, got {arg}"
+                )
+            const_args.append(arg.value)
+        prototype = registries.superaggregates.create(node.name, const_args)
+        if prototype.feeds == "group" and not isinstance(value_expr, Star):
+            bad = [c for c in column_names(value_expr) if c not in group_by_names]
+            if bad:
+                raise PlanningError(
+                    f"group-fed superaggregate {node.name}$ may only reference"
+                    f" group-by variables; {bad} are not"
+                )
+        specs.append(
+            SuperAggSpec(
+                name=node.name,
+                value_expr=value_expr,
+                const_args=tuple(const_args),
+                feeds=prototype.feeds,
+                slot=node.slot,
+            )
+        )
+    return tuple(specs)
+
+
+def plan(analyzed: AnalyzedQuery, registries: Registries, query_name: str = "Q") -> QueryPlan:
+    """Build a :class:`QueryPlan` from an analyzed query."""
+    if analyzed.kind in ("selection", "stateful_selection"):
+        # A selection passes source columns through unchanged, so ordered
+        # attributes of the source stay ordered in the output (downstream
+        # queries window on them — e.g. the auto-inserted low-level feeder).
+        source_ordered = [a.name for a in analyzed.schema.ordered_attributes()]
+        output_schema = _output_schema(
+            query_name, analyzed.ast.select, source_ordered
+        )
+        return QueryPlan(
+            kind=analyzed.kind,
+            analyzed=analyzed,
+            sampling=None,
+            output_schema=output_schema,
+            registries=registries,
+        )
+
+    output_schema = _output_schema(
+        query_name, analyzed.ast.select, analyzed.ordered_names
+    )
+
+    group_by_names = list(analyzed.group_by_names)
+    ordered_indices = tuple(
+        group_by_names.index(name) for name in analyzed.ordered_names
+    )
+    supergroup_indices = tuple(
+        group_by_names.index(name) for name in analyzed.supergroup_names
+    )
+    nonordered = tuple(
+        group_by_names.index(name)
+        for name in analyzed.supergroup_names
+        if name not in analyzed.ordered_names
+    )
+
+    spec = SamplingSpec(
+        analyzed=analyzed,
+        select_items=analyzed.ast.select,
+        where=analyzed.ast.where,
+        having=analyzed.ast.having,
+        cleaning_when=analyzed.ast.cleaning_when,
+        cleaning_by=analyzed.ast.cleaning_by,
+        group_by=analyzed.group_by,
+        ordered_indices=ordered_indices,
+        supergroup_indices=supergroup_indices,
+        nonordered_supergroup_indices=nonordered,
+        aggregates=analyzed.aggregates,
+        superaggregates=_superagg_specs(analyzed, registries),
+        state_names=analyzed.state_names,
+        output_schema=output_schema,
+    )
+    return QueryPlan(
+        kind=analyzed.kind,
+        analyzed=analyzed,
+        sampling=spec,
+        output_schema=output_schema,
+        registries=registries,
+    )
+
+
+def compile_query(text: str, registries: Registries, query_name: str = "Q") -> QueryPlan:
+    """Parse, analyze and plan a query text in one call."""
+    ast = parse_query(text)
+    analyzed = analyze(ast, registries)
+    return plan(analyzed, registries, query_name=query_name)

@@ -1,0 +1,96 @@
+"""Fixed-size ring buffer feeding low-level queries.
+
+Paper §3: "Data from a source stream is fed to the low level queries from
+a ring buffer without copying."  We model the buffer explicitly because the
+performance experiments depend on *where* copies happen: reading from the
+ring is free, but every tuple a low-level query forwards to a high-level
+query costs a copy (the dominant cost in Fig 5's low-level selection
+query).
+
+The buffer is single-producer / multi-consumer.  Producers ``push``;
+consumers attach with :meth:`subscribe` and receive every record pushed
+after their subscription.  If a consumer lags more than ``capacity``
+records behind, the oldest records are dropped and the consumer's drop
+counter increments — the stream analogue of packet loss under overload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import StreamError
+
+
+class RingBuffer:
+    """Bounded buffer with per-subscriber read cursors and drop accounting."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise StreamError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self._slots: List[Any] = [None] * capacity
+        self._head = 0  # sequence number of the next record to be written
+        self._cursors: Dict[int, int] = {}
+        self._drops: Dict[int, int] = {}
+        self._next_subscriber = 0
+
+    # -- producer side -----------------------------------------------------
+
+    def push(self, record: Any) -> None:
+        """Append one record, overwriting the oldest slot when full."""
+        self._slots[self._head % self.capacity] = record
+        self._head += 1
+
+    def extend(self, records: Iterator[Any]) -> int:
+        """Push every record from an iterator; return how many were pushed."""
+        count = 0
+        for record in records:
+            self.push(record)
+            count += 1
+        return count
+
+    # -- consumer side -----------------------------------------------------
+
+    def subscribe(self) -> int:
+        """Register a consumer; returns its subscriber id.
+
+        The consumer starts at the current head (it sees only records pushed
+        after subscription), matching how a query attaches to a live feed.
+        """
+        sid = self._next_subscriber
+        self._next_subscriber += 1
+        self._cursors[sid] = self._head
+        self._drops[sid] = 0
+        return sid
+
+    def poll(self, subscriber_id: int, max_records: Optional[int] = None) -> List[Any]:
+        """Return (and consume) available records for one subscriber."""
+        if subscriber_id not in self._cursors:
+            raise StreamError(f"unknown subscriber id {subscriber_id}")
+        cursor = self._cursors[subscriber_id]
+        oldest_available = max(0, self._head - self.capacity)
+        if cursor < oldest_available:
+            self._drops[subscriber_id] += oldest_available - cursor
+            cursor = oldest_available
+        end = self._head
+        if max_records is not None:
+            end = min(end, cursor + max_records)
+        out = [self._slots[i % self.capacity] for i in range(cursor, end)]
+        self._cursors[subscriber_id] = end
+        return out
+
+    def drops(self, subscriber_id: int) -> int:
+        """How many records this subscriber lost to overwrites."""
+        if subscriber_id not in self._drops:
+            raise StreamError(f"unknown subscriber id {subscriber_id}")
+        return self._drops[subscriber_id]
+
+    def backlog(self, subscriber_id: int) -> int:
+        """Records currently waiting for this subscriber."""
+        if subscriber_id not in self._cursors:
+            raise StreamError(f"unknown subscriber id {subscriber_id}")
+        return self._head - self._cursors[subscriber_id]
+
+    def __len__(self) -> int:
+        """Total records ever pushed (monotone)."""
+        return self._head

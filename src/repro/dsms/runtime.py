@@ -1,0 +1,342 @@
+"""The two-level Gigascope-like runtime (paper §3, Figure 1).
+
+Queries whose FROM clause names a registered *source stream* are low-level
+queries: they read from that stream's ring buffer.  Gigascope restricts
+low-level nodes to cheap data reduction — "Currently only selection and
+(partial) aggregation are supported" (paper §7.2) — so when a sampling
+query is submitted directly against a source stream the runtime does what
+the paper did: it interposes an automatic low-level pass-through selection
+query and runs the sampling operator at the high level.  Every tuple a
+low-level query forwards upward is charged a ``tuple_copy`` (the dominant
+cost in the paper's Fig 5 discussion); replacing the pass-through with a
+prefiltering low-level query (Fig 6) is done by submitting that query
+explicitly and pointing the sampling query at its name.
+
+The runtime is synchronous: :meth:`Gigascope.run` drives a record iterator
+through the ring buffers, the low-level operators, and on through the
+query DAG; each query's output is retained on its handle (the "App" sink
+of Figure 1) and also forwarded to any downstream queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ExecutionError, PlanningError
+from repro.dsms.aggregates import default_aggregate_registry
+from repro.dsms.cost import CostModel, NULL_COST_MODEL
+from repro.dsms.functions import default_function_registry
+from repro.dsms.operators import build_operator
+from repro.dsms.operators.base import Operator
+from repro.dsms.parser import Registries, compile_query
+from repro.dsms.ring_buffer import RingBuffer
+from repro.dsms.stateful import StatefulLibrary
+from repro.streams.records import Record
+from repro.streams.schema import StreamSchema
+from repro.core.superaggregates import default_superaggregate_registry
+
+
+@dataclass
+class QueryHandle:
+    """One registered query: its plan, operator, topology and sink."""
+
+    name: str
+    text: str
+    level: str  # "low" | "high"
+    source: str  # source stream or upstream query name
+    operator: Operator
+    results: List[Record] = field(default_factory=list)
+    keep_results: bool = True
+    forwarded: int = 0  # tuples this node pushed to downstream queries
+
+    @property
+    def output_schema(self) -> StreamSchema:
+        return self.operator.output_schema
+
+
+class Gigascope:
+    """A miniature DSMS instance hosting source streams and queries."""
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        ring_capacity: int = 65536,
+    ) -> None:
+        self.cost = cost_model or NULL_COST_MODEL
+        self.registries = Registries(
+            schemas={},
+            scalars=default_function_registry(),
+            aggregates=default_aggregate_registry(),
+            superaggregates=default_superaggregate_registry(),
+            stateful=StatefulLibrary(),
+        )
+        self._ring_capacity = ring_capacity
+        self._rings: Dict[str, RingBuffer] = {}
+        self._queries: Dict[str, QueryHandle] = {}
+        self._order: List[str] = []  # insertion order == topological order
+        self._downstream: Dict[str, List[str]] = {}
+        self._auto_counter = 0
+
+    # -- registration -----------------------------------------------------------
+
+    def register_stream(self, schema: StreamSchema) -> None:
+        """Register a source stream (creates its ring buffer)."""
+        if schema.name in self.registries.schemas:
+            raise PlanningError(f"stream {schema.name!r} already registered")
+        self.registries.schemas[schema.name] = schema
+        self._rings[schema.name] = RingBuffer(self._ring_capacity)
+
+    def use_stateful_library(self, library: StatefulLibrary) -> None:
+        """Merge an SFUN pack into this instance's registries."""
+        self.registries.stateful = self.registries.stateful.merge(library)
+
+    def register_scalar(self, name: str, fn) -> None:
+        self.registries.scalars.register(name, fn)
+
+    # -- queries -----------------------------------------------------------------
+
+    def add_query(
+        self,
+        text: str,
+        name: Optional[str] = None,
+        keep_results: bool = True,
+        low_level_aggregation: bool = False,
+    ) -> QueryHandle:
+        """Compile and register one query.
+
+        The query's FROM clause may name a source stream or a previously
+        registered query.  The query's own output schema is registered
+        under ``name`` so later queries can read from it.
+
+        ``low_level_aggregation`` lets a plain aggregation query run
+        directly at the low level (paper Figure 1: "Low-level queries
+        perform initial fast selection and aggregation") instead of behind
+        an auto-inserted pass-through feeder — early data reduction that
+        avoids the per-tuple copy cost.  Sampling queries always run at
+        the high level (paper §7.2: the low level supports only selection
+        and partial aggregation).
+        """
+        if name is None:
+            self._auto_counter += 1
+            name = f"q{self._auto_counter}"
+        if name in self.registries.schemas:
+            raise PlanningError(f"name {name!r} already in use")
+
+        plan = compile_query(text, self.registries, query_name=name)
+        source = plan.analyzed.ast.from_stream
+        reads_source_stream = source in self._rings
+
+        if low_level_aggregation and plan.kind != "aggregation":
+            raise PlanningError(
+                "low_level_aggregation applies only to plain aggregation"
+                f" queries, not {plan.kind!r}"
+            )
+
+        if (
+            reads_source_stream
+            and plan.kind in ("sampling", "aggregation")
+            and not (plan.kind == "aggregation" and low_level_aggregation)
+        ):
+            # Paper §7.2: only selection runs at the low level, so a heavy
+            # query against a raw stream needs a low-level feeder.  Insert
+            # the pass-through selection the paper used (and measured).
+            feeder_name = f"{name}__lowsel"
+            feeder = self._add_passthrough_selection(source, feeder_name)
+            text_rewritten = self._rewrite_from(text, source, feeder_name)
+            plan = compile_query(
+                text_rewritten, self.registries, query_name=name
+            )
+            source = feeder_name
+            reads_source_stream = False
+
+        level = "low" if reads_source_stream else "high"
+        if level == "high" and source not in self._queries:
+            raise PlanningError(
+                f"query {name!r} reads from {source!r}, which is neither a"
+                " source stream nor a registered query"
+            )
+
+        operator = build_operator(plan, self.cost, account=name)
+        handle = QueryHandle(
+            name=name,
+            text=text,
+            level=level,
+            source=source,
+            operator=operator,
+            keep_results=keep_results,
+        )
+        self._queries[name] = handle
+        self._order.append(name)
+        self._downstream.setdefault(source, []).append(name)
+        self.registries.schemas[name] = operator.output_schema
+        return handle
+
+    def add_merge(self, name: str, sources: List[str]) -> QueryHandle:
+        """Merge the outputs of several same-schema queries into one stream.
+
+        The merge preserves ordering on the sources' shared ordered
+        attribute, so windowed queries can read from it (Gigascope's MERGE
+        operator).  Sources must be previously registered queries.
+        """
+        from repro.dsms.operators.merge import MergeOperator
+
+        if name in self.registries.schemas:
+            raise PlanningError(f"name {name!r} already in use")
+        if len(sources) < 2:
+            raise PlanningError("a merge needs at least two sources")
+        schemas = []
+        for source in sources:
+            if source not in self._queries:
+                raise PlanningError(
+                    f"merge source {source!r} is not a registered query"
+                )
+            schemas.append(self._queries[source].output_schema)
+        first = schemas[0]
+        if any(s.attributes != first.attributes for s in schemas[1:]):
+            raise PlanningError("merge sources must share one schema")
+
+        operator = MergeOperator(first, sources)
+        handle = QueryHandle(
+            name=name,
+            text=f"MERGE {':'.join(sources)}",
+            level="high",
+            source=sources[0],
+            operator=operator,
+            keep_results=True,
+        )
+        self._queries[name] = handle
+        self._order.append(name)
+        for source in sources:
+            self._downstream.setdefault(source, []).append(name)
+        self.registries.schemas[name] = operator.output_schema
+        return handle
+
+    def _add_passthrough_selection(self, stream: str, name: str) -> QueryHandle:
+        schema = self.registries.schemas[stream]
+        select_list = ", ".join(schema.names)
+        return self.add_query(
+            f"SELECT {select_list} FROM {stream}", name=name, keep_results=False
+        )
+
+    @staticmethod
+    def _rewrite_from(text: str, old: str, new: str) -> str:
+        # The FROM clause holds a single identifier; a targeted token
+        # replacement is safe because stream names are identifiers.
+        import re
+
+        pattern = re.compile(rf"(\bFROM\s+){re.escape(old)}\b", re.IGNORECASE)
+        rewritten, count = pattern.subn(rf"\g<1>{new}", text, count=1)
+        if count != 1:
+            raise PlanningError(f"could not rewrite FROM {old} in query text")
+        return rewritten
+
+    def query(self, name: str) -> QueryHandle:
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise ExecutionError(f"unknown query {name!r}") from None
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, records: Iterable[Record], batch_size: int = 4096) -> int:
+        """Drive a record stream through the system; returns records read.
+
+        Records are routed to the ring buffer of their schema's stream.
+        After the iterator is exhausted every operator is flushed in
+        topological order, so trailing windows are emitted.
+        """
+        subscribers = self._subscribe_low_level()
+        total = 0
+        batch: List[Record] = []
+        for record in records:
+            batch.append(record)
+            if len(batch) >= batch_size:
+                total += self._run_batch(batch, subscribers)
+                batch = []
+        if batch:
+            total += self._run_batch(batch, subscribers)
+        self._flush_all()
+        return total
+
+    def _subscribe_low_level(self) -> Dict[str, int]:
+        subscribers: Dict[str, int] = {}
+        for name in self._order:
+            handle = self._queries[name]
+            if handle.level == "low":
+                subscribers[name] = self._rings[handle.source].subscribe()
+        return subscribers
+
+    def _run_batch(self, batch: List[Record], subscribers: Dict[str, int]) -> int:
+        by_stream: Dict[str, List[Record]] = {}
+        for record in batch:
+            by_stream.setdefault(record.schema.name, []).append(record)
+        for stream, stream_records in by_stream.items():
+            ring = self._rings.get(stream)
+            if ring is None:
+                raise ExecutionError(
+                    f"record for unregistered stream {stream!r}"
+                )
+            for record in stream_records:
+                ring.push(record)
+        for name, sid in subscribers.items():
+            handle = self._queries[name]
+            pending = self._rings[handle.source].poll(sid)
+            for record in pending:
+                self._dispatch(handle, record)
+        return len(batch)
+
+    def _dispatch(
+        self, handle: QueryHandle, record: Record, from_source: Optional[str] = None
+    ) -> None:
+        operator = handle.operator
+        if hasattr(operator, "process_from"):
+            outputs = operator.process_from(from_source, record)
+        else:
+            outputs = operator.process(record)
+        if outputs:
+            self._propagate(handle, outputs)
+
+    def _propagate(self, handle: QueryHandle, outputs: List[Record]) -> None:
+        if handle.keep_results:
+            handle.results.extend(outputs)
+        downstream = self._downstream.get(handle.name)
+        if not downstream:
+            return
+        # Forwarding to another query is the copy the paper charges for.
+        handle.forwarded += len(outputs)
+        self.cost.charge(handle.name, "tuple_copy", len(outputs))
+        for child_name in downstream:
+            child = self._queries[child_name]
+            for record in outputs:
+                self._dispatch(child, record, from_source=handle.name)
+
+    def _flush_all(self) -> None:
+        for name in self._order:
+            handle = self._queries[name]
+            outputs = handle.operator.flush()
+            if outputs:
+                self._propagate(handle, outputs)
+            # A flushed node is exhausted: release any downstream merge
+            # watermark it was holding.
+            for child_name in self._downstream.get(name, ()):
+                child = self._queries[child_name]
+                if hasattr(child.operator, "end_source"):
+                    released = child.operator.end_source(name)
+                    if released:
+                        self._propagate(child, released)
+
+    # -- reporting ------------------------------------------------------------------
+
+    def results(self, name: str) -> List[Record]:
+        return self.query(name).results
+
+    def explain(self) -> str:
+        """Render the query DAG (levels, sources, operators, cost)."""
+        from repro.dsms.explain import explain_instance
+
+        return explain_instance(self)
+
+    def cpu_percent(self, name: str, stream_seconds: float) -> float:
+        """CPU% of one query node under the cost model."""
+        return self.cost.cpu_percent(name, stream_seconds)

@@ -1,0 +1,185 @@
+"""STATE / SFUN framework — stateful functions (paper §6.2).
+
+A *state* is a named structure shared by a family of functions; the
+sampling operator allocates one instance per supergroup and passes it
+implicitly to every SFUN call.  The paper declares these in a C-like IDL::
+
+    STATE char[50] subsetsum_sampling_state;
+    SFUN int subsetsum_sampling_state ssample(int, CONST int);
+
+and gives each state an initialisation hook receiving the equivalent state
+from the *previous* time window (or NULL)::
+
+    void _sfun_state_init_<state>(void *new, void *old);
+
+Here a state is a Python class registered with :class:`StatefulLibrary`;
+the window-carryover hook is the classmethod ``initial(old)``, and the
+window-close signal (``final_init`` in paper §6.4) is the optional method
+``on_window_final()``.
+
+SFUNs are plain callables whose first parameter is the state instance.
+The analyzer classifies a parsed function call as stateful when its name
+is registered in the library, and records which state it touches; the
+planner then knows which states each supergroup must allocate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Type
+
+from repro.errors import RegistryError, StatefulFunctionError
+
+
+class StatefulState:
+    """Base class for SFUN state structures.
+
+    Subclasses override :meth:`initial` to implement window-to-window
+    carryover and may override :meth:`on_window_final` to react to the end
+    of a window (paper §6.4 calls ``final_init()`` on every state at the
+    window border, before HAVING runs).
+    """
+
+    @classmethod
+    def initial(cls, old: Optional["StatefulState"]) -> "StatefulState":
+        """Create the state for a new supergroup.
+
+        ``old`` is the state of the supergroup with the same non-ordered
+        key in the *previous* window, or ``None`` for a brand-new
+        supergroup.  The default ignores history.
+        """
+        return cls()
+
+    def on_window_final(self) -> None:
+        """Called once when the window containing this state closes."""
+
+
+SFun = Callable[..., Any]
+
+
+class StatefulLibrary:
+    """Registry of STATE types and the SFUNs bound to them."""
+
+    def __init__(self) -> None:
+        self._states: Dict[str, Type[StatefulState]] = {}
+        self._sfuns: Dict[str, str] = {}  # function name -> state name
+        self._callables: Dict[str, SFun] = {}
+
+    # -- registration (usable as decorators) ---------------------------------
+
+    def state(self, name: str) -> Callable[[Type[StatefulState]], Type[StatefulState]]:
+        """Class decorator: register a STATE type under ``name``."""
+
+        def register(cls: Type[StatefulState]) -> Type[StatefulState]:
+            if name in self._states:
+                raise RegistryError(f"state {name!r} already registered")
+            if not issubclass(cls, StatefulState):
+                raise RegistryError(
+                    f"state {name!r} must subclass StatefulState, got {cls.__name__}"
+                )
+            self._states[name] = cls
+            return cls
+
+        return register
+
+    def sfun(self, name: str, state: str) -> Callable[[SFun], SFun]:
+        """Function decorator: register an SFUN bound to state ``state``."""
+
+        def register(fn: SFun) -> SFun:
+            if name in self._sfuns:
+                raise RegistryError(f"stateful function {name!r} already registered")
+            self._sfuns[name] = state
+            self._callables[name] = fn
+            return fn
+
+        return register
+
+    def add_state(self, name: str, cls: Type[StatefulState]) -> None:
+        self.state(name)(cls)
+
+    def add_sfun(self, name: str, state: str, fn: SFun) -> None:
+        self.sfun(name, state)(fn)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def __contains__(self, fn_name: str) -> bool:
+        return fn_name in self._sfuns
+
+    def state_of(self, fn_name: str) -> str:
+        try:
+            return self._sfuns[fn_name]
+        except KeyError:
+            raise RegistryError(f"unknown stateful function {fn_name!r}") from None
+
+    def state_class(self, state_name: str) -> Type[StatefulState]:
+        try:
+            return self._states[state_name]
+        except KeyError:
+            raise RegistryError(f"unknown state {state_name!r}") from None
+
+    def callable_of(self, fn_name: str) -> SFun:
+        try:
+            return self._callables[fn_name]
+        except KeyError:
+            raise RegistryError(f"unknown stateful function {fn_name!r}") from None
+
+    def state_names(self) -> List[str]:
+        return sorted(self._states)
+
+    def sfun_names(self) -> List[str]:
+        return sorted(self._sfuns)
+
+    # -- composition -------------------------------------------------------------
+
+    def merge(self, other: "StatefulLibrary") -> "StatefulLibrary":
+        """A new library containing both registries (collisions raise)."""
+        merged = StatefulLibrary()
+        for lib in (self, other):
+            for state_name, cls in lib._states.items():
+                if state_name in merged._states:
+                    raise RegistryError(f"state {state_name!r} registered twice in merge")
+                merged._states[state_name] = cls
+            for fn_name, state_name in lib._sfuns.items():
+                if fn_name in merged._sfuns:
+                    raise RegistryError(
+                        f"stateful function {fn_name!r} registered twice in merge"
+                    )
+                merged._sfuns[fn_name] = state_name
+                merged._callables[fn_name] = lib._callables[fn_name]
+        return merged
+
+    # -- runtime -------------------------------------------------------------------
+
+    def instantiate_states(
+        self,
+        state_names: Sequence[str],
+        old_states: Optional[Dict[str, StatefulState]] = None,
+    ) -> Dict[str, StatefulState]:
+        """Allocate fresh state instances for a new supergroup.
+
+        Mirrors the paper's superaggregate-structure initialisation: each
+        state's ``initial`` receives the equivalent old-window state or
+        ``None``.
+        """
+        states: Dict[str, StatefulState] = {}
+        for name in state_names:
+            cls = self.state_class(name)
+            old = old_states.get(name) if old_states else None
+            states[name] = cls.initial(old)
+        return states
+
+    def invoke(
+        self,
+        fn_name: str,
+        states: Dict[str, StatefulState],
+        args: Sequence[Any],
+    ) -> Any:
+        """Call an SFUN against the supergroup's state set."""
+        state_name = self.state_of(fn_name)
+        try:
+            state = states[state_name]
+        except KeyError:
+            raise StatefulFunctionError(
+                f"state {state_name!r} for SFUN {fn_name!r} was not allocated;"
+                " this usually means the call appears outside a sampling query"
+            ) from None
+        return self.callable_of(fn_name)(state, *args)

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.  The
+sub-hierarchy mirrors the package layout: schema/stream errors, query
+language errors (lex/parse/semantic), and runtime errors raised while a
+query plan is executing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A stream schema is malformed or a record does not match its schema."""
+
+
+class StreamError(ReproError):
+    """A stream source failed (exhausted ring buffer, bad generator config)."""
+
+
+class QueryError(ReproError):
+    """Base class for errors in the query language front end."""
+
+
+class LexError(QueryError):
+    """The tokenizer encountered an unrecognised character sequence."""
+
+    def __init__(self, message: str, position: int, line: int) -> None:
+        super().__init__(f"{message} (line {line}, offset {position})")
+        self.position = position
+        self.line = line
+
+
+class ParseError(QueryError):
+    """The parser could not derive a query from the token stream."""
+
+
+class AnalysisError(QueryError):
+    """The query is syntactically valid but semantically ill-formed.
+
+    Examples: SUPERGROUP variables that are not GROUP BY variables, a
+    CLEANING BY clause without CLEANING WHEN, reference to an unknown
+    column or function.
+    """
+
+
+class PlanningError(QueryError):
+    """The analyzer output could not be converted into an operator plan."""
+
+
+class ExecutionError(ReproError):
+    """An operator failed while processing tuples."""
+
+
+class RegistryError(ReproError):
+    """A function, aggregate, or state was registered twice or not found."""
+
+
+class StatefulFunctionError(ExecutionError):
+    """A stateful function was invoked outside a sampling-operator context
+    or with an incompatible state."""
+
+
+class CostModelError(ReproError):
+    """The CPU cost model was configured or charged inconsistently."""

@@ -1,0 +1,51 @@
+"""Stream substrate: schemas, records, and synthetic network feeds.
+
+This package stands in for Gigascope's packet-capture layer.  It provides:
+
+* :mod:`repro.streams.schema` — typed stream schemas with *ordered*
+  attribute markers (Gigascope marks e.g. ``time`` as ``increasing``; the
+  query analyzer uses ordering to derive window boundaries).
+* :mod:`repro.streams.records` — lightweight tuple records.
+* :mod:`repro.streams.generators` — composable random processes (bursty
+  rate processes, heavy-tailed length distributions, flow arrival models).
+* :mod:`repro.streams.traces` — the two concrete feeds used throughout the
+  paper's evaluation: the highly variable *research-center* feed and the
+  steady high-rate *data-center* feed, plus a DDoS scenario used by the
+  flow-sampling extension.
+"""
+
+from repro.streams.schema import Attribute, Ordering, StreamSchema, PKT_SCHEMA, TCP_SCHEMA
+from repro.streams.records import Record
+from repro.streams.generators import (
+    BurstyRateProcess,
+    SteadyRateProcess,
+    PacketLengthModel,
+    AddressSpace,
+    FlowModel,
+)
+from repro.streams.traces import (
+    TraceConfig,
+    research_center_feed,
+    data_center_feed,
+    ddos_feed,
+    replay,
+)
+
+__all__ = [
+    "Attribute",
+    "Ordering",
+    "StreamSchema",
+    "PKT_SCHEMA",
+    "TCP_SCHEMA",
+    "Record",
+    "BurstyRateProcess",
+    "SteadyRateProcess",
+    "PacketLengthModel",
+    "AddressSpace",
+    "FlowModel",
+    "TraceConfig",
+    "research_center_feed",
+    "data_center_feed",
+    "ddos_feed",
+    "replay",
+]

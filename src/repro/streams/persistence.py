@@ -1,0 +1,153 @@
+"""Trace persistence: save and replay packet traces.
+
+Experiments become comparable across machines and sessions when the
+exact trace is an artifact rather than a (seed, generator-version) pair.
+The format is a compact struct-packed binary:
+
+* header: magic, version, schema name, attribute count, attribute specs
+  (name, type tag, ordering);
+* body: one fixed-width little-endian record per tuple (int/uint/bool as
+  8-byte signed, float as 8-byte double; ``str`` attributes are not
+  supported — packet schemas are numeric).
+
+``save_trace`` / ``load_trace`` round-trip any list of records over one
+numeric schema.  Loading reconstructs the schema from the header, so a
+trace file is self-describing.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Iterable, Iterator, List, Union
+
+from repro.errors import StreamError
+from repro.streams.records import Record
+from repro.streams.schema import Attribute, Ordering, StreamSchema
+
+_MAGIC = b"RPTRACE1"
+_HEADER = struct.Struct("<8sH")  # magic, attribute count
+_NAME = struct.Struct("<H")  # length-prefixed utf-8 strings
+_VALUE = struct.Struct("<q")
+_FLOAT = struct.Struct("<d")
+
+_NUMERIC_TAGS = {"int", "uint", "bool", "float"}
+
+
+def _write_string(fh: BinaryIO, text: str) -> None:
+    data = text.encode("utf-8")
+    fh.write(_NAME.pack(len(data)))
+    fh.write(data)
+
+
+def _read_string(fh: BinaryIO) -> str:
+    (length,) = _NAME.unpack(fh.read(_NAME.size))
+    return fh.read(length).decode("utf-8")
+
+
+def save_trace(records: Iterable[Record], target: Union[str, BinaryIO]) -> int:
+    """Write records to ``target`` (path or binary file); returns count.
+
+    All records must share one schema with numeric attributes only.
+    """
+    own = isinstance(target, str)
+    fh: BinaryIO = open(target, "wb") if own else target  # type: ignore[assignment]
+    try:
+        count = 0
+        schema: StreamSchema | None = None
+        body = io.BytesIO()
+        for record in records:
+            if schema is None:
+                schema = record.schema
+                for attr in schema:
+                    if attr.type_tag not in _NUMERIC_TAGS:
+                        raise StreamError(
+                            f"cannot persist non-numeric attribute"
+                            f" {attr.name!r} ({attr.type_tag})"
+                        )
+            elif record.schema != schema:
+                raise StreamError("all records in a trace must share one schema")
+            for attr, value in zip(schema, record.values):
+                if attr.type_tag == "float":
+                    body.write(_FLOAT.pack(float(value)))
+                else:
+                    body.write(_VALUE.pack(int(value)))
+            count += 1
+        if schema is None:
+            raise StreamError("cannot persist an empty trace")
+        fh.write(_HEADER.pack(_MAGIC, len(schema)))
+        _write_string(fh, schema.name)
+        for attr in schema:
+            _write_string(fh, attr.name)
+            _write_string(fh, attr.type_tag)
+            _write_string(fh, attr.ordering.value)
+        fh.write(body.getvalue())
+        return count
+    finally:
+        if own:
+            fh.close()
+
+
+def _read_schema(fh: BinaryIO) -> StreamSchema:
+    header = fh.read(_HEADER.size)
+    if len(header) < _HEADER.size:
+        raise StreamError("truncated trace file: missing header")
+    magic, attr_count = _HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise StreamError("not a repro trace file (bad magic)")
+    schema_name = _read_string(fh)
+    attributes = []
+    for _ in range(attr_count):
+        name = _read_string(fh)
+        type_tag = _read_string(fh)
+        ordering = Ordering(_read_string(fh))
+        attributes.append(Attribute(name, type_tag, ordering))
+    return StreamSchema(schema_name, attributes)
+
+
+def _iter_rows(fh: BinaryIO, schema: StreamSchema) -> Iterator[Record]:
+    row_size = 8 * len(schema)
+    while True:
+        row = fh.read(row_size)
+        if not row:
+            return
+        if len(row) < row_size:
+            raise StreamError("truncated trace file: partial record")
+        values = []
+        for index, attr in enumerate(schema):
+            chunk = row[index * 8:(index + 1) * 8]
+            if attr.type_tag == "float":
+                values.append(_FLOAT.unpack(chunk)[0])
+            elif attr.type_tag == "bool":
+                values.append(bool(_VALUE.unpack(chunk)[0]))
+            else:
+                values.append(_VALUE.unpack(chunk)[0])
+        yield Record(schema, values)
+
+
+def load_trace(source: Union[str, BinaryIO]) -> List[Record]:
+    """Read a whole trace written by :func:`save_trace`."""
+    own = isinstance(source, str)
+    fh: BinaryIO = open(source, "rb") if own else source  # type: ignore[assignment]
+    try:
+        schema = _read_schema(fh)
+        return list(_iter_rows(fh, schema))
+    finally:
+        if own:
+            fh.close()
+
+
+def iter_trace(source: Union[str, BinaryIO]) -> Iterator[Record]:
+    """Streaming variant of :func:`load_trace` (constant memory).
+
+    With a path argument the file stays open until the iterator is
+    exhausted or garbage-collected.
+    """
+    own = isinstance(source, str)
+    fh: BinaryIO = open(source, "rb") if own else source  # type: ignore[assignment]
+    try:
+        schema = _read_schema(fh)
+        yield from _iter_rows(fh, schema)
+    finally:
+        if own:
+            fh.close()

@@ -1,0 +1,111 @@
+"""Lightweight stream records.
+
+A :class:`Record` is a tuple of values bound to a :class:`StreamSchema`.
+Records are immutable and hashable so they can serve directly as group keys
+and live inside sets during tests.  Field access is by name (``rec.len`` /
+``rec["len"]``) or by position.
+
+The implementation intentionally avoids per-record dicts: values live in a
+plain tuple and name lookup goes through the schema's precomputed index,
+which keeps record creation cheap — the DSMS creates one per packet.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.streams.schema import StreamSchema
+
+
+class Record:
+    """One stream tuple: a value vector bound to a schema."""
+
+    __slots__ = ("schema", "values")
+
+    def __init__(self, schema: StreamSchema, values: Sequence[Any]) -> None:
+        values = tuple(values)
+        if len(values) != len(schema):
+            raise SchemaError(
+                f"record for schema {schema.name!r} needs {len(schema)} values,"
+                f" got {len(values)}"
+            )
+        self.schema = schema
+        self.values = values
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, schema: StreamSchema, mapping: Mapping[str, Any]) -> "Record":
+        """Build a record from a name->value mapping.
+
+        Missing attributes default to ``0`` for numeric types and ``""`` for
+        strings; unknown keys raise :class:`SchemaError`.
+        """
+        unknown = set(mapping) - set(schema.names)
+        if unknown:
+            raise SchemaError(
+                f"unknown attributes for schema {schema.name!r}: {sorted(unknown)}"
+            )
+        defaults = {"int": 0, "uint": 0, "float": 0.0, "bool": False, "str": ""}
+        values = [
+            mapping.get(attr.name, defaults[attr.type_tag]) for attr in schema
+        ]
+        return cls(schema, values)
+
+    # -- access ---------------------------------------------------------------
+
+    def __getitem__(self, key: Any) -> Any:
+        if isinstance(key, str):
+            return self.values[self.schema.index_of(key)]
+        return self.values[key]
+
+    def __getattr__(self, name: str) -> Any:
+        # __getattr__ is only called when normal lookup fails, so schema and
+        # values resolve through __slots__ first.
+        try:
+            idx = self.schema.index_of(name)
+        except SchemaError:
+            raise AttributeError(name) from None
+        return self.values[idx]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        if name in self.schema:
+            return self.values[self.schema.index_of(name)]
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Materialise a name->value dict (test/debug convenience)."""
+        return dict(zip(self.schema.names, self.values))
+
+    def replace(self, **updates: Any) -> "Record":
+        """Return a copy with the named fields updated."""
+        unknown = set(updates) - set(self.schema.names)
+        if unknown:
+            raise SchemaError(
+                f"unknown attributes for schema {self.schema.name!r}: {sorted(unknown)}"
+            )
+        new_values = list(self.values)
+        for name, value in updates.items():
+            new_values[self.schema.index_of(name)] = value
+        return Record(self.schema, new_values)
+
+    # -- protocol -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return self.schema == other.schema and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash((self.schema.name, self.values))
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{n}={v!r}" for n, v in zip(self.schema.names, self.values))
+        return f"Record<{self.schema.name}>({fields})"

@@ -1,0 +1,167 @@
+"""Stream schemas with ordered-attribute markers.
+
+Gigascope determines query evaluation windows by analyzing how queries
+reference *ordered* attributes of the input stream (paper §3).  A schema
+here is a named, ordered list of attributes; each attribute has a type tag
+and an optional ordering property (``increasing`` / ``decreasing``).
+
+The two schemas the paper queries against are provided as module constants:
+
+* ``PKT_SCHEMA`` — ``PKT(time increasing, srcIP, destIP, len)``
+* ``TCP_SCHEMA`` — the same shape under the name ``TCP`` (the §6.6 example
+  queries read ``FROM TCP``), with an extra nanosecond ``uts`` timestamp
+  used by the subset-sum query to make every packet its own group.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import SchemaError
+
+
+class Ordering(enum.Enum):
+    """Ordering property of a stream attribute."""
+
+    NONE = "none"
+    INCREASING = "increasing"
+    DECREASING = "decreasing"
+
+    @property
+    def is_ordered(self) -> bool:
+        return self is not Ordering.NONE
+
+
+#: Type tags understood by the expression engine.  We deliberately keep the
+#: type system small: the paper's queries only use integer-like columns
+#: (timestamps, IP addresses as 32-bit ints, packet lengths) and floats
+#: appear only as intermediate expression values.
+VALID_TYPES = ("int", "uint", "float", "str", "bool")
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single stream attribute.
+
+    Parameters
+    ----------
+    name:
+        Column name, referenced by queries.
+    type_tag:
+        One of :data:`VALID_TYPES`.
+    ordering:
+        Whether the attribute is monotone over the stream.  Ordered
+        attributes are the ones on which window boundaries may be defined.
+    """
+
+    name: str
+    type_tag: str = "int"
+    ordering: Ordering = Ordering.NONE
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid attribute name: {self.name!r}")
+        if self.type_tag not in VALID_TYPES:
+            raise SchemaError(
+                f"attribute {self.name!r} has unknown type {self.type_tag!r};"
+                f" expected one of {VALID_TYPES}"
+            )
+
+
+class StreamSchema:
+    """A named, ordered collection of attributes describing one stream."""
+
+    def __init__(self, name: str, attributes: Iterable[Attribute]) -> None:
+        if not name or not name.isidentifier():
+            raise SchemaError(f"invalid schema name: {name!r}")
+        attrs: Tuple[Attribute, ...] = tuple(attributes)
+        if not attrs:
+            raise SchemaError(f"schema {name!r} must have at least one attribute")
+        seen: Dict[str, Attribute] = {}
+        for attr in attrs:
+            if attr.name in seen:
+                raise SchemaError(f"duplicate attribute {attr.name!r} in schema {name!r}")
+            seen[attr.name] = attr
+        self.name = name
+        self.attributes = attrs
+        self._by_name = seen
+        self._index = {attr.name: i for i, attr in enumerate(attrs)}
+
+    # -- lookups -----------------------------------------------------------
+
+    def __contains__(self, attr_name: str) -> bool:
+        return attr_name in self._by_name
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute called ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"schema {self.name!r} has no attribute {name!r};"
+                f" known: {[a.name for a in self.attributes]}"
+            ) from None
+
+    def index_of(self, name: str) -> int:
+        """Positional index of attribute ``name`` within the schema."""
+        self.attribute(name)
+        return self._index[name]
+
+    def ordered_attributes(self) -> Tuple[Attribute, ...]:
+        """All attributes marked increasing or decreasing."""
+        return tuple(a for a in self.attributes if a.ordering.is_ordered)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    # -- misc ---------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        cols = ", ".join(
+            f"{a.name} {a.ordering.value}" if a.ordering.is_ordered else a.name
+            for a in self.attributes
+        )
+        return f"{self.name}({cols})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamSchema):
+            return NotImplemented
+        return self.name == other.name and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+
+def _packet_attributes(with_uts: bool) -> Tuple[Attribute, ...]:
+    attrs = [
+        Attribute("time", "uint", Ordering.INCREASING),
+        Attribute("srcIP", "uint"),
+        Attribute("destIP", "uint"),
+        Attribute("len", "uint"),
+        Attribute("srcPort", "uint"),
+        Attribute("destPort", "uint"),
+        Attribute("protocol", "uint"),
+    ]
+    if with_uts:
+        # Nanosecond-granularity timestamp "with its timestamp-ness cast
+        # away" (paper §6.1): it is unique per packet but NOT marked ordered,
+        # so grouping on it makes each tuple its own group without creating
+        # a window boundary per packet.
+        attrs.insert(1, Attribute("uts", "uint"))
+    return tuple(attrs)
+
+
+#: ``PKT(time increasing, srcIP, destIP, len, ...)`` from paper §3.
+PKT_SCHEMA = StreamSchema("PKT", _packet_attributes(with_uts=False))
+
+#: ``TCP`` stream used by the §6.6 example queries; includes ``uts``.
+TCP_SCHEMA = StreamSchema("TCP", _packet_attributes(with_uts=True))

@@ -1,0 +1,234 @@
+"""SFUN packs running inside the sampling operator: the §6.6 queries."""
+
+from collections import Counter, defaultdict
+
+import pytest
+
+from repro.dsms.runtime import Gigascope
+from repro.streams.records import Record
+from repro.streams.schema import TCP_SCHEMA
+from repro.streams.traces import TraceConfig, research_center_feed
+from repro.algorithms.bindings import (
+    BASIC_SUBSET_SUM_QUERY,
+    HEAVY_HITTERS_QUERY,
+    MIN_HASH_QUERY,
+    PREFILTER_QUERY,
+    RESERVOIR_QUERY,
+    SUBSET_SUM_QUERY,
+    basic_subset_sum_library,
+    heavy_hitters_library,
+    reservoir_library,
+    subset_sum_library,
+    subset_sum_query,
+)
+from repro.algorithms.heavy_hitters import LossyCounting
+from repro.algorithms.minhash import KMVSketch
+
+
+def trace(duration=60, scale=0.01, seed=77):
+    config = TraceConfig(duration_seconds=duration, rate_scale=scale, seed=seed)
+    return list(research_center_feed(config))
+
+
+def fresh_gigascope(*libraries):
+    gs = Gigascope()
+    gs.register_stream(TCP_SCHEMA)
+    for library in libraries:
+        gs.use_stateful_library(library)
+    return gs
+
+
+class TestSubsetSumQuery:
+    def run(self, relax, target=100, data=None):
+        gs = fresh_gigascope(subset_sum_library(relax_factor=relax))
+        handle = gs.add_query(SUBSET_SUM_QUERY.format(window=20, target=target),
+                              name="ss")
+        gs.run(iter(data if data is not None else trace()))
+        return handle
+
+    def test_final_sample_near_target(self):
+        handle = self.run(relax=10.0)
+        for stats in handle.operator.window_stats:
+            assert stats.output_tuples <= 100
+            assert stats.output_tuples >= 80
+
+    def test_estimates_accurate_relaxed(self):
+        data = trace(duration=100)
+        handle = self.run(relax=10.0, data=data)
+        actual = defaultdict(int)
+        for record in data:
+            actual[record["time"] // 20] += record["len"]
+        estimates = defaultdict(float)
+        for row in handle.results:
+            estimates[row["tb"]] += row[3]
+        for window in list(actual)[1:]:
+            assert estimates[window] == pytest.approx(actual[window], rel=0.15)
+
+    def test_nonrelaxed_understates_after_drops(self):
+        data = trace(duration=200, seed=123)
+        relaxed = self.run(relax=10.0, data=data)
+        nonrelaxed = self.run(relax=1.0, data=data)
+        actual = defaultdict(int)
+        for record in data:
+            actual[record["time"] // 20] += record["len"]
+
+        def mean_error(handle):
+            estimates = defaultdict(float)
+            for row in handle.results:
+                estimates[row["tb"]] += row[3]
+            windows = sorted(actual)[1:]
+            return sum(
+                abs(1 - estimates[w] / actual[w]) for w in windows
+            ) / len(windows)
+
+        assert mean_error(relaxed) < mean_error(nonrelaxed)
+
+    def test_relaxed_runs_more_cleanings(self):
+        data = trace(duration=100)
+        relaxed = self.run(relax=10.0, data=data)
+        nonrelaxed = self.run(relax=1.0, data=data)
+        total = lambda handle: sum(
+            s.cleaning_phases for s in handle.operator.window_stats[1:]
+        )
+        assert total(relaxed) > total(nonrelaxed)
+
+    def test_output_weights_are_floored(self):
+        handle = self.run(relax=10.0)
+        # UMAX(sum(len), ssthreshold()): every output weight >= packet size.
+        assert all(row[3] >= 40 for row in handle.results)
+
+    def test_query_builder_changes_stream(self):
+        text = subset_sum_query(window=5, target=10, stream="feeder")
+        assert "FROM feeder" in text
+
+
+class TestBasicSubsetSumSelection:
+    def test_sampling_fraction(self):
+        data = trace()
+        total = sum(r["len"] for r in data)
+        z = total / 200
+        gs = fresh_gigascope(basic_subset_sum_library())
+        handle = gs.add_query(BASIC_SUBSET_SUM_QUERY.format(z=z), name="basic")
+        gs.run(iter(data))
+        # ~200 samples expected from the credit counter (+ large packets).
+        assert 150 <= len(handle.results) <= 400
+
+    def test_prefilter_floors_lengths(self):
+        data = trace()
+        z = 500.0
+        gs = fresh_gigascope(basic_subset_sum_library())
+        handle = gs.add_query(PREFILTER_QUERY.format(z=z), name="pre")
+        gs.run(iter(data))
+        assert all(row["len"] >= z for row in handle.results)
+
+    def test_prefilter_feeds_dynamic_sampler(self):
+        data = trace(duration=100)
+        total = sum(r["len"] for r in data) / 5  # per-20s-window volume
+        z_dyn = total / 100
+        gs = fresh_gigascope(basic_subset_sum_library(), subset_sum_library(
+            relax_factor=10.0))
+        gs.add_query(PREFILTER_QUERY.format(z=z_dyn / 10), name="pre",
+                     keep_results=False)
+        handle = gs.add_query(
+            subset_sum_query(window=20, target=100, stream="pre"), name="ss"
+        )
+        gs.run(iter(data))
+        actual = defaultdict(int)
+        for record in data:
+            actual[record["time"] // 20] += record["len"]
+        estimates = defaultdict(float)
+        for row in handle.results:
+            estimates[row["tb"]] += row[3]
+        for window in sorted(actual)[1:]:
+            assert estimates[window] == pytest.approx(actual[window], rel=0.2)
+
+
+class TestHeavyHittersQuery:
+    def test_matches_standalone_lossy_counting(self):
+        data = trace(duration=60, scale=0.02)
+        gs = fresh_gigascope(heavy_hitters_library(bucket_width=100))
+        handle = gs.add_query(
+            HEAVY_HITTERS_QUERY.format(window=60, bucket=100), name="hh"
+        )
+        gs.run(iter(data))
+
+        survivors = {row["srcIP"] for row in handle.results}
+        truth = Counter(r["srcIP"] for r in data)
+        n = len(data)
+        support = 0.02
+        # No false negatives: every true heavy source survives the query's
+        # cleaning (its count(*) can't be pruned).
+        for src, count in truth.items():
+            if count >= support * n:
+                assert src in survivors
+        # The survivor set is a small fraction of the distinct sources.
+        assert len(survivors) < len(truth) / 2
+
+    def test_counts_undercount_at_most_bucket(self):
+        data = trace(duration=60, scale=0.02)
+        gs = fresh_gigascope(heavy_hitters_library(bucket_width=100))
+        handle = gs.add_query(
+            HEAVY_HITTERS_QUERY.format(window=60, bucket=100), name="hh"
+        )
+        gs.run(iter(data))
+        truth = Counter(r["srcIP"] for r in data)
+        buckets = len(data) // 100 + 1
+        for row in handle.results:
+            true = truth[row["srcIP"]]
+            assert row[3] <= true
+            assert true - row[3] <= buckets
+
+
+class TestReservoirQuery:
+    def run_query(self, data, target=50, tolerance=5):
+        gs = fresh_gigascope(reservoir_library(tolerance=tolerance))
+        handle = gs.add_query(
+            RESERVOIR_QUERY.format(window=30, target=target), name="rs"
+        )
+        gs.run(iter(data))
+        return handle
+
+    def test_exact_target_per_window(self):
+        handle = self.run_query(trace(duration=90, scale=0.02))
+        for stats in handle.operator.window_stats:
+            assert stats.output_tuples == 50
+
+    def test_admissions_exceed_target(self):
+        handle = self.run_query(trace(duration=90, scale=0.02))
+        for stats in handle.operator.window_stats:
+            assert stats.tuples_admitted >= 50
+
+    def test_samples_roughly_uniform_over_window(self):
+        # Mean uts-rank of sampled packets within each window ~ middle.
+        data = trace(duration=30, scale=0.05, seed=5)
+        handle = self.run_query(data, target=100, tolerance=3)
+        window0 = [r["uts"] for r in data if r["time"] < 30]
+        rank = {uts: i for i, uts in enumerate(sorted(window0))}
+        # Output rows carry (tb, srcIP, destIP); re-run to collect uts via
+        # admitted stats instead: use positions of sampled destIPs' packets.
+        # Simpler uniformity proxy: sampled tuples' srcIP distribution should
+        # resemble the stream's (chi-square-free check on the top source).
+        truth = Counter(r["srcIP"] for r in data)
+        sampled = Counter(row["srcIP"] for row in handle.results)
+        top_share_truth = truth.most_common(1)[0][1] / len(data)
+        top = truth.most_common(1)[0][0]
+        top_share_sample = sampled.get(top, 0) / max(1, sum(sampled.values()))
+        assert abs(top_share_sample - top_share_truth) < 0.15
+
+
+class TestMinHashQuery:
+    def test_matches_standalone_kmv(self):
+        data = trace(duration=30, scale=0.05, seed=9)
+        gs = fresh_gigascope()
+        handle = gs.add_query(MIN_HASH_QUERY.format(window=30, k=20), name="mh")
+        gs.run(iter(data))
+
+        per_source = defaultdict(set)
+        for row in handle.results:
+            per_source[row["srcIP"]].add(row["HX"])
+
+        busiest = Counter(r["srcIP"] for r in data).most_common(3)
+        for src, _count in busiest:
+            sketch = KMVSketch(k=20)
+            sketch.extend(r["destIP"] for r in data if r["srcIP"] == src)
+            assert per_source[src] == set(sketch.values)

@@ -1,0 +1,82 @@
+"""Concise sampling (Gibbons–Matias)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import ReproError
+from repro.algorithms.concise import ConciseSampler
+
+
+def zipf_stream(n=30_000, universe=2000, seed=13):
+    rng = random.Random(seed)
+    stream = []
+    for _ in range(n):
+        rank = int(rng.paretovariate(1.1)) % universe
+        stream.append(rank)
+    return stream
+
+
+class TestFootprint:
+    def test_footprint_bounded(self):
+        sampler = ConciseSampler(capacity=100, rng=random.Random(1))
+        for value in zipf_stream():
+            sampler.offer(value)
+            assert sampler.footprint <= 100
+
+    def test_tau_grows_under_pressure(self):
+        sampler = ConciseSampler(capacity=50, rng=random.Random(2))
+        sampler.extend(zipf_stream())
+        assert sampler.tau > 1.0
+        assert sampler.cleanings >= 1
+
+    def test_no_thinning_when_capacity_sufficient(self):
+        sampler = ConciseSampler(capacity=1000, rng=random.Random(3))
+        sampler.extend([1, 2, 3] * 10)
+        assert sampler.tau == 1.0
+        assert sampler.estimated_frequency(1) == 10
+
+    def test_concise_beats_plain_sample_on_skew(self):
+        # A hot value occupies one pair (2 units) however often it occurs;
+        # the same sample as a plain list would use one unit per point.
+        sampler = ConciseSampler(capacity=100, rng=random.Random(4))
+        sampler.extend([42] * 10_000)
+        assert sampler.footprint == 2
+        assert sampler.sample_points() == 10_000
+
+
+class TestEstimation:
+    def test_frequency_estimates_unbiased_for_hot_values(self):
+        stream = zipf_stream()
+        truth = Counter(stream)
+        hot = truth.most_common(1)[0][0]
+        estimates = []
+        for seed in range(30):
+            sampler = ConciseSampler(capacity=200, rng=random.Random(seed))
+            sampler.extend(stream)
+            estimates.append(sampler.estimated_frequency(hot))
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(truth[hot], rel=0.15)
+
+    def test_frequent_values_sorted(self):
+        sampler = ConciseSampler(capacity=200, rng=random.Random(5))
+        sampler.extend(zipf_stream())
+        frequent = sampler.frequent_values(min_estimated=100)
+        estimates = [estimate for _value, estimate in frequent]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_unseen_value_estimates_zero(self):
+        sampler = ConciseSampler(capacity=10, rng=random.Random(6))
+        sampler.extend([1, 1, 2])
+        assert sampler.estimated_frequency("never") == 0
+
+
+class TestValidation:
+    def test_invalid_configs(self):
+        with pytest.raises(ReproError):
+            ConciseSampler(capacity=1)
+        with pytest.raises(ReproError):
+            ConciseSampler(capacity=10, tau=0.5)
+        with pytest.raises(ReproError):
+            ConciseSampler(capacity=10, tau_growth=1.0)

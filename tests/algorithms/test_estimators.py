@@ -1,0 +1,125 @@
+"""Estimator statistics kit and the analytic variance results."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.algorithms.estimators import (
+    EstimatorReport,
+    bernoulli_variance,
+    replicate,
+    subset_sum_variance_gap,
+    threshold_variance_bound,
+)
+
+
+class TestReport:
+    def test_bias_and_error(self):
+        report = EstimatorReport(truth=100.0, estimates=(90.0, 110.0))
+        assert report.mean == 100.0
+        assert report.bias == 0.0
+        assert report.relative_bias == 0.0
+        assert report.std_error > 0
+
+    def test_relative_rmse(self):
+        report = EstimatorReport(truth=100.0, estimates=(100.0, 100.0))
+        assert report.relative_rmse == 0.0
+
+    def test_zero_truth_rejected(self):
+        report = EstimatorReport(truth=0.0, estimates=(1.0,))
+        with pytest.raises(ReproError):
+            report.relative_bias
+        with pytest.raises(ReproError):
+            report.relative_rmse
+
+    def test_single_estimate_std_error_zero(self):
+        assert EstimatorReport(truth=1.0, estimates=(1.0,)).std_error == 0.0
+
+    def test_str(self):
+        text = str(EstimatorReport(truth=100.0, estimates=(90.0, 110.0)))
+        assert "rel.bias" in text
+
+
+class TestReplicate:
+    def test_runs_per_seed(self):
+        report = replicate(lambda seed: float(seed), truth=2.0, replications=5)
+        assert report.estimates == (0.0, 1.0, 2.0, 3.0, 4.0)
+
+    def test_invalid_replications(self):
+        with pytest.raises(ReproError):
+            replicate(lambda seed: 0.0, truth=1.0, replications=0)
+
+
+class TestAnalyticVariances:
+    def test_threshold_variance_zero_for_all_big(self):
+        assert threshold_variance_bound([100, 200], z=50) == 0.0
+
+    def test_threshold_variance_formula(self):
+        # One small item: Var = w (z - w) = 10 * 90.
+        assert threshold_variance_bound([10.0], z=100.0) == 900.0
+
+    def test_threshold_variance_matches_empirical(self):
+        # Empirical variance of the randomized threshold estimator should
+        # match sum w*max(0, z-w) closely.
+        rng_data = random.Random(5)
+        weights = [rng_data.randint(40, 1500) for _ in range(2000)]
+        z = 5000.0
+        analytic = threshold_variance_bound(weights, z)
+
+        def one_run(seed):
+            rng = random.Random(seed)
+            total = 0.0
+            for w in weights:
+                if rng.random() < min(1.0, w / z):
+                    total += max(w, z)
+            return total
+
+        estimates = [one_run(s) for s in range(200)]
+        import statistics
+
+        empirical = statistics.variance(estimates)
+        assert empirical == pytest.approx(analytic, rel=0.3)
+
+    def test_bernoulli_variance_formula(self):
+        # Var = sum w^2 (1-p)/p.
+        assert bernoulli_variance([2.0], p=0.5) == 4.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            threshold_variance_bound([1.0], z=0)
+        with pytest.raises(ReproError):
+            bernoulli_variance([1.0], p=0)
+        with pytest.raises(ReproError):
+            subset_sum_variance_gap([], 1)
+        with pytest.raises(ReproError):
+            subset_sum_variance_gap([1.0], 2)
+
+
+class TestVarianceGap:
+    def test_gap_large_on_heavy_tails(self):
+        rng = random.Random(9)
+        weights = [rng.paretovariate(1.2) * 100 for _ in range(5000)]
+        gap = subset_sum_variance_gap(weights, sample_size=100)
+        assert gap > 5.0, "heavy tails must favour threshold sampling"
+
+    def test_gap_modest_on_uniform_weights(self):
+        weights = [100.0] * 5000
+        gap = subset_sum_variance_gap(weights, sample_size=100)
+        assert gap == pytest.approx(1.0, rel=0.2)
+
+    def test_full_sample_gap_is_one(self):
+        assert subset_sum_variance_gap([1.0, 2.0], 2) == 1.0
+
+    @given(
+        st.lists(st.floats(1, 10_000), min_size=10, max_size=500),
+        st.integers(1, 9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_gap_at_least_about_one(self, weights, k):
+        # Threshold sampling is never much worse than uniform at matched
+        # expected sample size.
+        gap = subset_sum_variance_gap(weights, sample_size=k)
+        assert gap > 0.5

@@ -1,0 +1,149 @@
+"""Manku–Motwani lossy counting: the paper's §4.2 guarantees."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.algorithms.heavy_hitters import HeavyHitter, LossyCounting
+
+
+def zipf_stream(n=20_000, universe=500, alpha=1.2, seed=7):
+    rng = random.Random(seed)
+    weights = [1.0 / (i + 1) ** alpha for i in range(universe)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    stream = []
+    for _ in range(n):
+        u = rng.random()
+        lo, hi = 0, universe - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        stream.append(lo)
+    return stream
+
+
+class TestGuarantees:
+    EPSILON = 0.005
+    SUPPORT = 0.02
+
+    def setup_method(self):
+        self.stream = zipf_stream()
+        self.truth = Counter(self.stream)
+        self.sketch = LossyCounting(self.EPSILON)
+        self.sketch.extend(self.stream)
+
+    def test_no_false_negatives(self):
+        n = len(self.stream)
+        reported = {h.element for h in self.sketch.query(self.SUPPORT)}
+        for element, count in self.truth.items():
+            if count >= self.SUPPORT * n:
+                assert element in reported
+
+    def test_no_deep_false_positives(self):
+        n = len(self.stream)
+        for hitter in self.sketch.query(self.SUPPORT):
+            assert self.truth[hitter.element] >= (self.SUPPORT - self.EPSILON) * n
+
+    def test_undercount_bounded_by_epsilon_n(self):
+        n = len(self.stream)
+        for element, (freq, delta) in self.sketch._entries.items():
+            true = self.truth[element]
+            assert freq <= true
+            assert true - freq <= self.EPSILON * n
+
+    def test_space_bound_respected(self):
+        assert self.sketch.entry_count <= self.sketch.space_bound() * 2
+
+    def test_frequency_bounds(self):
+        for hitter in self.sketch.query(self.SUPPORT):
+            true = self.truth[hitter.element]
+            assert hitter.frequency_lower_bound <= true <= hitter.frequency_upper_bound
+
+    def test_results_sorted_descending(self):
+        estimates = [h.estimated_frequency for h in self.sketch.query(self.SUPPORT)]
+        assert estimates == sorted(estimates, reverse=True)
+
+
+class TestMechanics:
+    def test_bucket_width(self):
+        assert LossyCounting(0.01).bucket_width == 100
+        assert LossyCounting(0.003).bucket_width == 334
+
+    def test_current_bucket_advances(self):
+        sketch = LossyCounting(0.1)  # w = 10
+        assert sketch.current_bucket == 1
+        sketch.extend(range(10))
+        assert sketch.current_bucket == 1
+        sketch.offer(99)
+        assert sketch.current_bucket == 2
+
+    def test_prunes_at_bucket_boundaries(self):
+        sketch = LossyCounting(0.1)
+        sketch.extend(range(100))  # all distinct: everything prunable
+        assert sketch.prunes == 10
+        assert sketch.entry_count < 100
+
+    def test_estimated_frequency_of_untracked_is_zero(self):
+        sketch = LossyCounting(0.1)
+        sketch.offer("a")
+        assert sketch.estimated_frequency("zzz") == 0
+
+    def test_repeated_element_counts(self):
+        sketch = LossyCounting(0.1)
+        for _ in range(50):
+            sketch.offer("hot")
+        assert sketch.estimated_frequency("hot") == 50
+
+    def test_invalid_epsilon(self):
+        for eps in (0, 1, -0.5):
+            with pytest.raises(ReproError):
+                LossyCounting(eps)
+
+    def test_query_validation(self):
+        sketch = LossyCounting(0.05)
+        sketch.extend(range(100))
+        with pytest.raises(ReproError):
+            sketch.query(0.01)  # below epsilon
+        with pytest.raises(ReproError):
+            sketch.query(1.5)
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(0, 30), min_size=1, max_size=2000),
+        st.sampled_from([0.02, 0.05, 0.1]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_undercount_invariant(self, stream, epsilon):
+        sketch = LossyCounting(epsilon)
+        sketch.extend(stream)
+        truth = Counter(stream)
+        n = len(stream)
+        for element, (freq, _delta) in sketch._entries.items():
+            assert freq <= truth[element]
+            assert truth[element] - freq <= epsilon * n + 1
+
+    @given(st.lists(st.integers(0, 10), min_size=50, max_size=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_no_false_negatives_property(self, stream):
+        epsilon, support = 0.05, 0.2
+        sketch = LossyCounting(epsilon)
+        sketch.extend(stream)
+        truth = Counter(stream)
+        n = len(stream)
+        reported = {h.element for h in sketch.query(support)}
+        for element, count in truth.items():
+            if count >= support * n:
+                assert element in reported

@@ -1,0 +1,173 @@
+"""Min-hash signatures and KMV sketches."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.algorithms.minhash import KMVSketch, MinHashSignature, estimate_resemblance
+
+
+def overlapping_sets(overlap, size=2000, seed=1):
+    rng = random.Random(seed)
+    shared = set(rng.sample(range(10**6), int(size * overlap)))
+    a = shared | set(rng.sample(range(10**6, 2 * 10**6), size - len(shared)))
+    b = shared | set(rng.sample(range(2 * 10**6, 3 * 10**6), size - len(shared)))
+    return a, b
+
+
+def jaccard(a, b):
+    return len(a & b) / len(a | b)
+
+
+class TestSignature:
+    def test_deterministic(self):
+        a = MinHashSignature(50)
+        b = MinHashSignature(50)
+        a.extend(range(100))
+        b.extend(range(100))
+        assert a.signature() == b.signature()
+
+    def test_order_insensitive(self):
+        a = MinHashSignature(50)
+        b = MinHashSignature(50)
+        a.extend(range(100))
+        b.extend(reversed(range(100)))
+        assert a.signature() == b.signature()
+
+    def test_identical_sets_have_resemblance_one(self):
+        a = MinHashSignature(64)
+        b = MinHashSignature(64)
+        for sig in (a, b):
+            sig.extend(range(500))
+        assert a.resemblance(b) == 1.0
+
+    def test_disjoint_sets_have_low_resemblance(self):
+        a = MinHashSignature(64)
+        b = MinHashSignature(64)
+        a.extend(range(0, 1000))
+        b.extend(range(10_000, 11_000))
+        assert a.resemblance(b) < 0.1
+
+    @pytest.mark.parametrize("overlap", [0.2, 0.5, 0.8])
+    def test_estimates_jaccard(self, overlap):
+        a_set, b_set = overlapping_sets(overlap)
+        a = MinHashSignature(200)
+        b = MinHashSignature(200)
+        a.extend(a_set)
+        b.extend(b_set)
+        true = jaccard(a_set, b_set)
+        assert abs(a.resemblance(b) - true) < 0.1
+
+    def test_incompatible_signatures_rejected(self):
+        with pytest.raises(ReproError):
+            MinHashSignature(10).resemblance(MinHashSignature(20))
+        with pytest.raises(ReproError):
+            MinHashSignature(10, base_seed=0).resemblance(
+                MinHashSignature(10, base_seed=5)
+            )
+
+    def test_module_level_helper(self):
+        a = MinHashSignature(16)
+        b = MinHashSignature(16)
+        a.extend(range(10))
+        b.extend(range(10))
+        assert estimate_resemblance(a, b) == 1.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ReproError):
+            MinHashSignature(0)
+
+
+class TestKmv:
+    def test_keeps_k_smallest_distinct(self):
+        from repro.dsms.functions import hash32
+
+        sketch = KMVSketch(k=10)
+        sketch.extend(range(1000))
+        expected = sorted(hash32(v) for v in range(1000))[:10]
+        assert list(sketch.values) == expected
+
+    def test_duplicates_do_not_distort(self):
+        a = KMVSketch(k=20)
+        b = KMVSketch(k=20)
+        a.extend(list(range(100)) * 5)
+        b.extend(range(100))
+        assert a.values == b.values
+
+    def test_kth_value_none_until_full(self):
+        sketch = KMVSketch(k=10)
+        sketch.extend(range(5))
+        assert sketch.kth_value is None
+        sketch.extend(range(5, 15))
+        assert sketch.kth_value is not None
+
+    def test_distinct_estimate_exact_when_under_k(self):
+        sketch = KMVSketch(k=100)
+        sketch.extend(range(37))
+        assert sketch.distinct_estimate() == 37
+
+    @pytest.mark.parametrize("true_distinct", [1000, 10_000])
+    def test_distinct_estimate_accuracy(self, true_distinct):
+        sketch = KMVSketch(k=256)
+        sketch.extend(range(true_distinct))
+        estimate = sketch.distinct_estimate()
+        assert abs(estimate - true_distinct) / true_distinct < 0.25
+
+    def test_rarity_all_singletons(self):
+        sketch = KMVSketch(k=50)
+        sketch.extend(range(1000))
+        assert sketch.rarity_estimate() == 1.0
+
+    def test_rarity_no_singletons(self):
+        sketch = KMVSketch(k=50)
+        sketch.extend(list(range(1000)) * 2)
+        assert sketch.rarity_estimate() == 0.0
+
+    def test_rarity_mixture(self):
+        # Half the distinct elements appear once, half twice.
+        stream = list(range(0, 2000)) + list(range(1000, 2000))
+        sketch = KMVSketch(k=200)
+        sketch.extend(stream)
+        assert abs(sketch.rarity_estimate() - 0.5) < 0.15
+
+    def test_rarity_empty(self):
+        assert KMVSketch(k=5).rarity_estimate() == 0.0
+
+    @pytest.mark.parametrize("overlap", [0.3, 0.7])
+    def test_resemblance_estimate(self, overlap):
+        a_set, b_set = overlapping_sets(overlap)
+        a = KMVSketch(k=256)
+        b = KMVSketch(k=256)
+        a.extend(a_set)
+        b.extend(b_set)
+        assert abs(a.resemblance(b) - jaccard(a_set, b_set)) < 0.12
+
+    def test_resemblance_requires_same_seed(self):
+        with pytest.raises(ReproError):
+            KMVSketch(k=5, seed=1).resemblance(KMVSketch(k=5, seed=2))
+
+    def test_invalid_k(self):
+        with pytest.raises(ReproError):
+            KMVSketch(k=0)
+
+    @given(st.sets(st.integers(0, 10**6), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_property_values_sorted_and_bounded(self, elements):
+        sketch = KMVSketch(k=16)
+        sketch.extend(elements)
+        values = list(sketch.values)
+        assert values == sorted(values)
+        assert len(values) == min(16, len(elements))
+
+    @given(st.lists(st.integers(0, 1000), max_size=500))
+    @settings(max_examples=30, deadline=None)
+    def test_property_offer_reports_membership(self, stream):
+        from repro.dsms.functions import hash32
+
+        sketch = KMVSketch(k=8)
+        for element in stream:
+            result = sketch.offer(element)
+            assert result == (hash32(element) in sketch._counts)

@@ -1,0 +1,109 @@
+"""Priority sampling (Duffield–Lund–Thorup)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.algorithms.priority import PrioritySampler
+
+
+def heavy_tailed(n=3000, seed=7):
+    rng = random.Random(seed)
+    return [rng.paretovariate(1.3) * 100 for _ in range(n)]
+
+
+class TestMechanics:
+    def test_sample_size_capped_at_k(self):
+        sampler = PrioritySampler(k=10, rng=random.Random(1))
+        sampler.extend([1.0] * 100)
+        assert len(sampler.sample()) == 10
+
+    def test_short_stream_returns_all(self):
+        sampler = PrioritySampler(k=10, rng=random.Random(1))
+        sampler.extend([1.0] * 4)
+        assert len(sampler.sample()) == 4
+        assert sampler.tau == 0.0
+
+    def test_tau_positive_once_full(self):
+        sampler = PrioritySampler(k=5, rng=random.Random(2))
+        sampler.extend([1.0] * 10)
+        assert sampler.tau > 0.0
+
+    def test_huge_weights_always_kept(self):
+        sampler = PrioritySampler(k=5, rng=random.Random(3))
+        sampler.extend([1.0] * 100)
+        sampler.offer(10**9, key="whale")
+        assert "whale" in {item.key for item in sampler.sample()}
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            PrioritySampler(0)
+        with pytest.raises(ReproError):
+            PrioritySampler(3).offer(0.0)
+
+
+class TestEstimation:
+    def test_total_estimate_unbiased(self):
+        data = heavy_tailed()
+        truth = sum(data)
+        estimates = []
+        for seed in range(40):
+            sampler = PrioritySampler(k=100, rng=random.Random(seed))
+            sampler.extend(data)
+            estimates.append(sampler.estimate_sum())
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(truth, rel=0.05)
+
+    def test_subset_estimate_unbiased(self):
+        rng = random.Random(11)
+        # Items keyed by color; estimate the sum of the "red" subset.
+        data = [("red" if rng.random() < 0.3 else "blue", rng.paretovariate(1.5) * 10)
+                for _ in range(3000)]
+        truth = sum(w for color, w in data if color == "red")
+        estimates = []
+        for seed in range(40):
+            sampler = PrioritySampler(k=150, rng=random.Random(seed))
+            for index, (color, weight) in enumerate(data):
+                sampler.offer(weight, key=(color, index))
+            estimates.append(
+                sampler.estimate_sum(lambda s: s.key[0] == "red")
+            )
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(truth, rel=0.1)
+
+    def test_beats_uniform_sampling_variance(self):
+        from repro.algorithms.uniform import BernoulliSampler
+
+        data = heavy_tailed()
+        k = 100
+        priority_estimates = []
+        uniform_estimates = []
+        for seed in range(30):
+            ps = PrioritySampler(k=k, rng=random.Random(seed))
+            ps.extend(data)
+            priority_estimates.append(ps.estimate_sum())
+            bs = BernoulliSampler(k / len(data), random.Random(1000 + seed))
+            kept = [x for x in data if bs.offer()]
+            uniform_estimates.append(bs.estimate_sum(kept))
+
+        import statistics
+
+        assert statistics.variance(priority_estimates) < statistics.variance(
+            uniform_estimates
+        )
+
+    @given(st.lists(st.floats(0.1, 1000), min_size=1, max_size=200),
+           st.integers(1, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_property_sample_bounds(self, weights, k):
+        sampler = PrioritySampler(k=k, rng=random.Random(5))
+        sampler.extend(weights)
+        sample = sampler.sample()
+        assert len(sample) == min(k, len(weights))
+        # Estimator weights are never below the item's own weight.
+        tau = sampler.tau
+        for item in sample:
+            assert max(item.weight, tau) >= item.weight

@@ -1,0 +1,110 @@
+"""Greenwald–Khanna quantile summary."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.algorithms.quantiles import GKQuantileSummary
+
+
+def rank_error(data, value, quantile):
+    """|rank(value) - q*n| normalised by n, using the closest true rank."""
+    ordered = sorted(data)
+    lo = 0
+    hi = len(ordered)
+    # all ranks at which `value` could sit
+    import bisect
+
+    left = bisect.bisect_left(ordered, value)
+    right = bisect.bisect_right(ordered, value)
+    target = quantile * len(ordered)
+    if left <= target <= right:
+        return 0.0
+    return min(abs(left - target), abs(right - target)) / len(ordered)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("quantile", [0.01, 0.25, 0.5, 0.75, 0.99])
+    def test_uniform_data(self, quantile):
+        epsilon = 0.01
+        summary = GKQuantileSummary(epsilon)
+        rng = random.Random(5)
+        data = [rng.random() for _ in range(20_000)]
+        summary.extend(data)
+        value = summary.query(quantile)
+        assert rank_error(data, value, quantile) <= 2 * epsilon
+
+    def test_skewed_data(self):
+        epsilon = 0.02
+        summary = GKQuantileSummary(epsilon)
+        rng = random.Random(6)
+        data = [rng.paretovariate(1.5) for _ in range(10_000)]
+        summary.extend(data)
+        for quantile in (0.5, 0.9, 0.99):
+            value = summary.query(quantile)
+            assert rank_error(data, value, quantile) <= 2 * epsilon
+
+    def test_sorted_input(self):
+        summary = GKQuantileSummary(0.01)
+        data = list(range(10_000))
+        summary.extend(data)
+        assert abs(summary.query(0.5) - 5000) <= 300
+
+    def test_reverse_sorted_input(self):
+        summary = GKQuantileSummary(0.01)
+        data = list(range(10_000, 0, -1))
+        summary.extend(data)
+        assert abs(summary.query(0.5) - 5000) <= 300
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=3000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_rank_guarantee(self, data):
+        epsilon = 0.05
+        summary = GKQuantileSummary(epsilon)
+        summary.extend(data)
+        for quantile in (0.1, 0.5, 0.9):
+            value = summary.query(quantile)
+            assert rank_error(data, value, quantile) <= 2 * epsilon + 1 / len(data)
+
+
+class TestSpace:
+    def test_sublinear_space(self):
+        summary = GKQuantileSummary(0.01)
+        summary.extend(range(50_000))
+        assert summary.entry_count < 5000  # far below n
+
+    def test_space_within_bound_factor(self):
+        summary = GKQuantileSummary(0.02)
+        rng = random.Random(7)
+        summary.extend(rng.random() for _ in range(30_000))
+        assert summary.entry_count <= 4 * summary.space_bound()
+
+    def test_count_tracks_inserts(self):
+        summary = GKQuantileSummary(0.1)
+        summary.extend(range(123))
+        assert summary.count == 123
+
+
+class TestValidation:
+    def test_invalid_epsilon(self):
+        for eps in (0, 1, -1):
+            with pytest.raises(ReproError):
+                GKQuantileSummary(eps)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ReproError):
+            GKQuantileSummary(0.1).query(0.5)
+
+    def test_quantile_out_of_range(self):
+        summary = GKQuantileSummary(0.1)
+        summary.offer(1.0)
+        with pytest.raises(ReproError):
+            summary.query(1.5)
+
+    def test_single_element(self):
+        summary = GKQuantileSummary(0.1)
+        summary.offer(42.0)
+        assert summary.query(0.5) == 42.0

@@ -1,0 +1,230 @@
+"""Reservoir sampling: R, X (skip), and the buffered operator variant."""
+
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.algorithms.reservoir import (
+    BufferedReservoirSampler,
+    ReservoirSampler,
+    SkipReservoirSampler,
+)
+
+
+class TestAlgorithmR:
+    def test_sample_size_capped(self):
+        sampler = ReservoirSampler(5, random.Random(0))
+        sampler.extend(range(100))
+        assert len(sampler.sample()) == 5
+        assert sampler.seen == 100
+
+    def test_short_stream_returns_everything(self):
+        sampler = ReservoirSampler(10, random.Random(0))
+        sampler.extend(range(3))
+        assert sorted(sampler.sample()) == [0, 1, 2]
+
+    def test_sample_is_subset_of_stream(self):
+        sampler = ReservoirSampler(8, random.Random(1))
+        sampler.extend(range(500))
+        assert all(0 <= x < 500 for x in sampler.sample())
+
+    def test_uniformity_mean_position(self):
+        # Average sampled position over many runs must approach N/2.
+        means = []
+        for seed in range(40):
+            sampler = ReservoirSampler(20, random.Random(seed))
+            sampler.extend(range(1000))
+            means.append(statistics.mean(sampler.sample()))
+        grand = statistics.mean(means)
+        assert abs(grand - 500) < 40
+
+    def test_inclusion_probability_uniform(self):
+        # Each of 100 items should appear with probability n/N = 0.2.
+        counts = [0] * 100
+        runs = 400
+        for seed in range(runs):
+            sampler = ReservoirSampler(20, random.Random(seed))
+            sampler.extend(range(100))
+            for item in sampler.sample():
+                counts[item] += 1
+        for item in (0, 25, 50, 75, 99):
+            assert abs(counts[item] / runs - 0.2) < 0.08
+
+    def test_invalid_size(self):
+        with pytest.raises(ReproError):
+            ReservoirSampler(0)
+
+    @given(st.integers(1, 20), st.lists(st.integers(), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_size_and_membership(self, n, items):
+        sampler = ReservoirSampler(n, random.Random(42))
+        sampler.extend(items)
+        sample = sampler.sample()
+        assert len(sample) == min(n, len(items))
+        for value in sample:
+            assert value in items
+
+
+class TestAlgorithmX:
+    def test_sample_size(self):
+        sampler = SkipReservoirSampler(10, random.Random(0))
+        for i in range(1000):
+            sampler.offer(i)
+        assert len(sampler.sample()) == 10
+
+    def test_skips_most_records(self):
+        sampler = SkipReservoirSampler(10, random.Random(3))
+        selections = sum(1 for i in range(20_000) if sampler.offer(i))
+        # Expected selections ~ n * (1 + ln(N/n)) ~ 10 * (1 + 7.6) ~ 86
+        assert selections < 400
+
+    def test_uniformity_matches_algorithm_r(self):
+        means = []
+        for seed in range(40):
+            sampler = SkipReservoirSampler(20, random.Random(seed))
+            for i in range(1000):
+                sampler.offer(i)
+            means.append(statistics.mean(sampler.sample()))
+        assert abs(statistics.mean(means) - 500) < 40
+
+    def test_invalid_size(self):
+        with pytest.raises(ReproError):
+            SkipReservoirSampler(-1)
+
+
+class TestBufferedVariant:
+    def test_candidates_bounded_by_tolerance(self):
+        sampler = BufferedReservoirSampler(10, tolerance=5, rng=random.Random(0))
+        for i in range(50_000):
+            sampler.offer(i)
+            assert sampler.candidate_count <= sampler.capacity
+
+    def test_cleanings_occur(self):
+        sampler = BufferedReservoirSampler(10, tolerance=5, rng=random.Random(0))
+        for i in range(50_000):
+            sampler.offer(i)
+        assert sampler.cleanings >= 1
+
+    def test_final_sample_size(self):
+        sampler = BufferedReservoirSampler(10, tolerance=5, rng=random.Random(0))
+        for i in range(5000):
+            sampler.offer(i)
+        assert len(sampler.sample()) == 10
+
+    def test_first_n_always_admitted(self):
+        sampler = BufferedReservoirSampler(10, rng=random.Random(0))
+        assert all(sampler.offer(i) for i in range(10))
+
+    def test_uniformity_via_replay(self):
+        # Replay-based cleaning makes the buffered variant distributed
+        # like Algorithm R: mean sampled position ~ N/2.
+        means = []
+        for seed in range(40):
+            sampler = BufferedReservoirSampler(20, tolerance=11,
+                                               rng=random.Random(seed))
+            for i in range(2000):
+                sampler.offer(i)
+            means.append(statistics.mean(sampler.sample()))
+        assert abs(statistics.mean(means) - 1000) < 100
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ReproError):
+            BufferedReservoirSampler(10, tolerance=1)
+
+
+class TestWeightedReservoir:
+    def test_sample_size(self):
+        from repro.algorithms.reservoir import WeightedReservoirSampler
+
+        sampler = WeightedReservoirSampler(10, random.Random(1))
+        for i in range(500):
+            sampler.offer(i, weight=1.0)
+        assert len(sampler.sample()) == 10
+        assert sampler.seen == 500
+
+    def test_heavier_items_more_likely(self):
+        from repro.algorithms.reservoir import WeightedReservoirSampler
+
+        hits = 0
+        runs = 300
+        for seed in range(runs):
+            sampler = WeightedReservoirSampler(5, random.Random(seed))
+            for i in range(100):
+                sampler.offer(i, weight=100.0 if i == 7 else 1.0)
+            if 7 in sampler.sample():
+                hits += 1
+        # Item 7 holds ~half the total weight: it should almost always be
+        # among the 5 selected.
+        assert hits > 0.9 * runs
+
+    def test_equal_weights_roughly_uniform(self):
+        from repro.algorithms.reservoir import WeightedReservoirSampler
+
+        means = []
+        for seed in range(40):
+            sampler = WeightedReservoirSampler(20, random.Random(seed))
+            for i in range(1000):
+                sampler.offer(i, weight=1.0)
+            means.append(statistics.mean(sampler.sample()))
+        assert abs(statistics.mean(means) - 500) < 50
+
+    def test_invalid_inputs(self):
+        from repro.algorithms.reservoir import WeightedReservoirSampler
+
+        with pytest.raises(ReproError):
+            WeightedReservoirSampler(0)
+        with pytest.raises(ReproError):
+            WeightedReservoirSampler(3).offer("x", weight=0.0)
+
+
+class TestConstantTimeSkip:
+    def test_sample_size(self):
+        from repro.algorithms.reservoir import ConstantTimeSkipReservoirSampler
+
+        sampler = ConstantTimeSkipReservoirSampler(10, random.Random(0))
+        for i in range(2000):
+            sampler.offer(i)
+        assert len(sampler.sample()) == 10
+
+    def test_constant_work_per_selection(self):
+        from repro.algorithms.reservoir import ConstantTimeSkipReservoirSampler
+
+        sampler = ConstantTimeSkipReservoirSampler(10, random.Random(2))
+        selections = sum(1 for i in range(50_000) if sampler.offer(i))
+        # Expected selections ~ n (1 + ln(N/n)) ~ 10 * (1 + 8.5) ~ 95.
+        assert selections < 400
+
+    def test_uniformity(self):
+        from repro.algorithms.reservoir import ConstantTimeSkipReservoirSampler
+
+        means = []
+        for seed in range(60):
+            sampler = ConstantTimeSkipReservoirSampler(20, random.Random(seed))
+            for i in range(1000):
+                sampler.offer(i)
+            means.append(statistics.mean(sampler.sample()))
+        assert abs(statistics.mean(means) - 500) < 40
+
+    def test_inclusion_probability_matches_algorithm_r(self):
+        from repro.algorithms.reservoir import ConstantTimeSkipReservoirSampler
+
+        counts = [0] * 200
+        runs = 300
+        for seed in range(runs):
+            sampler = ConstantTimeSkipReservoirSampler(20, random.Random(seed))
+            for i in range(200):
+                sampler.offer(i)
+            for item in sampler.sample():
+                counts[item] += 1
+        for item in (0, 50, 100, 150, 199):
+            assert abs(counts[item] / runs - 0.1) < 0.06
+
+    def test_invalid_size(self):
+        from repro.algorithms.reservoir import ConstantTimeSkipReservoirSampler
+
+        with pytest.raises(ReproError):
+            ConstantTimeSkipReservoirSampler(0)

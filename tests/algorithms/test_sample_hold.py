@@ -1,0 +1,107 @@
+"""Estan–Varghese sample-and-hold."""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.algorithms.sample_hold import SampleAndHold
+
+
+def flows(seed=5, n_packets=20_000):
+    """A stream with 3 elephants and many mice: (flow, size) pairs."""
+    rng = random.Random(seed)
+    stream = []
+    for _ in range(n_packets):
+        u = rng.random()
+        if u < 0.15:
+            flow = rng.choice(("elephant-1", "elephant-2", "elephant-3"))
+            size = rng.randint(1000, 1500)
+        else:
+            flow = f"mouse-{rng.randrange(5000)}"
+            size = rng.randint(40, 120)
+        stream.append((flow, size))
+    return stream
+
+
+class TestBasics:
+    def test_held_flow_counts_exactly_after_sampling(self):
+        sampler = SampleAndHold(byte_probability=1.0 - 1e-12,
+                                rng=random.Random(1))
+        sampler.offer("f", 100)
+        sampler.offer("f", 200)
+        assert sampler.estimated_bytes("f") >= 300
+
+    def test_unsampled_flow_estimates_zero(self):
+        sampler = SampleAndHold(byte_probability=1e-9, rng=random.Random(2))
+        sampler.offer("f", 10)
+        assert sampler.estimated_bytes("f") == 0.0
+
+    def test_catch_probability_monotone(self):
+        sampler = SampleAndHold(byte_probability=0.001)
+        assert sampler.catch_probability(10_000) > sampler.catch_probability(100)
+        assert 0.0 <= sampler.catch_probability(1) < 1.0
+
+    def test_invalid_probability(self):
+        for p in (0.0, 1.0, -0.1):
+            with pytest.raises(ReproError):
+                SampleAndHold(p)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ReproError):
+            SampleAndHold(0.01).offer("f", -1)
+
+    def test_reset(self):
+        sampler = SampleAndHold(0.5, rng=random.Random(3))
+        sampler.extend([("a", 100)] * 10)
+        sampler.reset()
+        assert sampler.table_size == 0 and sampler.packets_seen == 0
+
+
+class TestHeavyHitterBehaviour:
+    def test_elephants_caught(self):
+        stream = flows()
+        truth = {}
+        for flow, size in stream:
+            truth[flow] = truth.get(flow, 0) + size
+        threshold = 0.01 * sum(truth.values())
+        sampler = SampleAndHold(byte_probability=20.0 / threshold,
+                                rng=random.Random(4))
+        sampler.extend(stream)
+        held = {entry.key for entry in sampler.held_flows()}
+        for flow in ("elephant-1", "elephant-2", "elephant-3"):
+            assert flow in held
+
+    def test_elephant_estimates_accurate(self):
+        stream = flows()
+        truth = {}
+        for flow, size in stream:
+            truth[flow] = truth.get(flow, 0) + size
+        threshold = 0.01 * sum(truth.values())
+        sampler = SampleAndHold(byte_probability=20.0 / threshold,
+                                rng=random.Random(4))
+        sampler.extend(stream)
+        for flow in ("elephant-1", "elephant-2", "elephant-3"):
+            estimate = sampler.estimated_bytes(flow)
+            assert estimate == pytest.approx(truth[flow], rel=0.1)
+
+    def test_table_much_smaller_than_flow_count(self):
+        stream = flows()
+        distinct = len({flow for flow, _size in stream})
+        threshold = 0.01 * sum(size for _flow, size in stream)
+        sampler = SampleAndHold(byte_probability=20.0 / threshold,
+                                rng=random.Random(4))
+        sampler.extend(stream)
+        assert sampler.table_size < distinct / 2
+
+    def test_heavy_hitters_query_sorted_and_thresholded(self):
+        stream = flows()
+        threshold = 0.01 * sum(size for _flow, size in stream)
+        sampler = SampleAndHold(byte_probability=20.0 / threshold,
+                                rng=random.Random(4))
+        sampler.extend(stream)
+        hitters = sampler.heavy_hitters(threshold)
+        sizes = [entry.held_bytes for entry in hitters]
+        assert sizes == sorted(sizes, reverse=True)
+        p = sampler.byte_probability
+        assert all(entry.estimated_bytes(p) >= threshold for entry in hitters)

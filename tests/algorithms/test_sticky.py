@@ -1,0 +1,109 @@
+"""Sticky sampling (Manku–Motwani)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import ReproError
+from repro.algorithms.sticky import StickySampling
+
+
+def skewed_stream(n=50_000, seed=17):
+    rng = random.Random(seed)
+    stream = []
+    for _ in range(n):
+        u = rng.random()
+        if u < 0.3:
+            stream.append(f"hot-{int(u * 10)}")  # 3 hot elements
+        else:
+            stream.append(f"cold-{rng.randrange(20_000)}")
+    return stream
+
+
+class TestGuarantees:
+    SUPPORT = 0.05
+    EPSILON = 0.005
+
+    def make(self, seed=0):
+        return StickySampling(
+            support=self.SUPPORT, epsilon=self.EPSILON, delta=0.01,
+            rng=random.Random(seed),
+        )
+
+    def test_no_false_negatives(self):
+        stream = skewed_stream()
+        truth = Counter(stream)
+        n = len(stream)
+        failures = 0
+        for seed in range(10):
+            sketch = self.make(seed)
+            sketch.extend(stream)
+            reported = {h.element for h in sketch.query()}
+            for element, count in truth.items():
+                if count >= self.SUPPORT * n and element not in reported:
+                    failures += 1
+        # Probabilistic guarantee (delta = 1%): allow no failures over the
+        # 30 (element, seed) combinations at these margins.
+        assert failures == 0
+
+    def test_no_deep_false_positives(self):
+        stream = skewed_stream()
+        truth = Counter(stream)
+        n = len(stream)
+        sketch = self.make(3)
+        sketch.extend(stream)
+        for hitter in sketch.query():
+            assert truth[hitter.element] >= (self.SUPPORT - self.EPSILON) * n
+
+    def test_counts_never_overcount(self):
+        stream = skewed_stream(n=20_000)
+        truth = Counter(stream)
+        sketch = self.make(4)
+        sketch.extend(stream)
+        for element in list(sketch._counts)[:200]:
+            assert sketch.estimated_frequency(element) <= truth[element]
+
+    def test_space_independent_of_stream_length(self):
+        sketch_small = self.make(5)
+        sketch_small.extend(skewed_stream(n=20_000, seed=5))
+        sketch_large = self.make(5)
+        sketch_large.extend(skewed_stream(n=80_000, seed=5))
+        bound = sketch_large.expected_space()
+        assert sketch_large.entry_count < 8 * bound
+        # Crucially, space does not scale with N (lossy counting's does).
+        assert sketch_large.entry_count < 4 * max(1, sketch_small.entry_count)
+
+
+class TestMechanics:
+    def test_rate_doubles_on_schedule(self):
+        sketch = StickySampling(support=0.1, epsilon=0.02, delta=0.1,
+                                rng=random.Random(6))
+        t = sketch.t
+        sketch.extend(range(2 * t))
+        assert sketch.sampling_rate == 1
+        sketch.extend(range(2 * t, 2 * t + 10))
+        assert sketch.sampling_rate == 2
+        assert sketch.rate_changes == 1
+
+    def test_existing_entries_count_exactly(self):
+        sketch = StickySampling(support=0.1, epsilon=0.02, delta=0.1,
+                                rng=random.Random(7))
+        for _ in range(100):
+            sketch.offer("hot")
+        assert sketch.estimated_frequency("hot") == 100
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            StickySampling(support=0)
+        with pytest.raises(ReproError):
+            StickySampling(support=0.1, epsilon=0.2)
+        with pytest.raises(ReproError):
+            StickySampling(support=0.1, delta=0)
+
+    def test_query_sorted(self):
+        sketch = StickySampling(support=0.05, epsilon=0.01,
+                                rng=random.Random(8))
+        sketch.extend(skewed_stream(n=10_000))
+        estimates = [h.estimated_frequency for h in sketch.query()]
+        assert estimates == sorted(estimates, reverse=True)

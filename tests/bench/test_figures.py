@@ -1,0 +1,180 @@
+"""The figure-reproduction harness: shapes of the paper's claims.
+
+These are small, fast configurations of the same code EXPERIMENTS.md
+records at full size; each test asserts the *direction* of a claim.
+"""
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.harness import run_actual_sums, run_subset_sum
+from repro.bench.workloads import (
+    ACCURACY_WINDOW_SECONDS,
+    accuracy_trace,
+    performance_trace,
+    stream_seconds,
+)
+
+
+@pytest.fixture(scope="module")
+def accuracy_result():
+    return figures.figure2(target=100, duration_seconds=160, rate_scale=0.01)
+
+
+class TestWorkloads:
+    def test_traces_cached(self):
+        a = accuracy_trace(20, 0.005, seed=1)
+        b = accuracy_trace(20, 0.005, seed=1)
+        assert a is b
+
+    def test_stream_seconds(self):
+        assert stream_seconds(60, 0.01) == pytest.approx(0.6)
+
+    def test_performance_trace_steady(self):
+        trace = performance_trace(5, 0.01, seed=2)
+        per_second = {}
+        for record in trace:
+            per_second[record["time"]] = per_second.get(record["time"], 0) + 1
+        rates = list(per_second.values())
+        assert max(rates) - min(rates) < 0.1 * 1000
+
+
+class TestFigure2(object):
+    def test_relaxed_tracks_actual(self, accuracy_result):
+        ratios = accuracy_result.estimate_ratio(accuracy_result.relaxed)
+        for window in accuracy_result.windows[1:]:
+            assert 0.85 <= ratios[window] <= 1.15
+
+    def test_nonrelaxed_worse_on_average(self, accuracy_result):
+        relaxed = accuracy_result.estimate_ratio(accuracy_result.relaxed)
+        nonrelaxed = accuracy_result.estimate_ratio(accuracy_result.nonrelaxed)
+        windows = accuracy_result.windows[1:]
+        err = lambda r: sum(abs(1 - r[w]) for w in windows) / len(windows)
+        assert err(nonrelaxed) > err(relaxed)
+
+    def test_nonrelaxed_never_overestimates_much(self, accuracy_result):
+        # The credit-counter estimator is one-sided: under-estimation.
+        ratios = accuracy_result.estimate_ratio(accuracy_result.nonrelaxed)
+        assert all(ratios[w] <= 1.05 for w in accuracy_result.windows)
+
+    def test_to_text_renders(self, accuracy_result):
+        text = accuracy_result.to_text()
+        assert "ratio(rel)" in text and str(accuracy_result.windows[0]) in text
+
+
+class TestFigure3(object):
+    def test_relaxed_overadmits_nonrelaxed_underadmits(self, accuracy_result):
+        target = accuracy_result.target
+        windows = accuracy_result.windows[1:]
+        relaxed_over = sum(
+            1 for w in windows if accuracy_result.relaxed.admitted.get(w, 0) > target
+        )
+        nonrelaxed_under = sum(
+            1
+            for w in windows
+            if accuracy_result.nonrelaxed.admitted.get(w, 0) < target
+        )
+        assert relaxed_over >= len(windows) * 0.8
+        assert nonrelaxed_under >= 1
+
+    def test_final_samples_capped_at_target(self, accuracy_result):
+        for run in (accuracy_result.relaxed, accuracy_result.nonrelaxed):
+            assert all(v <= accuracy_result.target for v in run.outputs.values())
+
+
+class TestFigure4(object):
+    def test_relaxed_uses_more_cleanings(self, accuracy_result):
+        windows = accuracy_result.windows[1:]
+        relaxed = sum(accuracy_result.relaxed.cleanings.get(w, 0) for w in windows)
+        nonrelaxed = sum(
+            accuracy_result.nonrelaxed.cleanings.get(w, 0) for w in windows
+        )
+        assert relaxed > nonrelaxed
+
+    def test_relaxed_cleanings_order_of_log_f(self, accuracy_result):
+        # Adapting up from z/10 takes ~log2(10)+1 ~ 4 cleanings per window.
+        windows = accuracy_result.windows[1:]
+        mean = sum(
+            accuracy_result.relaxed.cleanings.get(w, 0) for w in windows
+        ) / len(windows)
+        assert 1.0 <= mean <= 8.0
+
+
+@pytest.fixture(scope="module")
+def cpu_result():
+    return figures.figure5(targets=(100, 1000), duration_seconds=1)
+
+
+class TestFigure5(object):
+    def test_low_level_selection_near_sixty_percent(self, cpu_result):
+        for value in cpu_result.low_level.values():
+            assert 50.0 <= value <= 70.0
+
+    def test_sampler_small_fraction_of_cpu(self, cpu_result):
+        for mapping in (cpu_result.relaxed, cpu_result.nonrelaxed):
+            for value in mapping.values():
+                assert value < 15.0
+
+    def test_sampling_operator_costs_little_over_basic(self, cpu_result):
+        for target in cpu_result.targets:
+            extra = cpu_result.relaxed[target] - cpu_result.basic[target]
+            assert 0.0 < extra < 5.0
+
+    def test_relaxed_at_most_two_points_over_nonrelaxed(self, cpu_result):
+        for target in cpu_result.targets:
+            diff = cpu_result.relaxed[target] - cpu_result.nonrelaxed[target]
+            assert -0.5 <= diff <= 2.0
+
+    def test_to_text(self, cpu_result):
+        assert "SS relaxed %" in cpu_result.to_text()
+
+
+class TestFigure6(object):
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figures.figure6(targets=(100,), duration_seconds=1)
+
+    def test_prefilter_collapses_low_level_cost(self, result):
+        assert result.selection_low_cpu > 50.0
+        assert result.prefilter_low_cpu[100] < 15.0
+
+    def test_prefilter_lowers_sampler_cost(self, result):
+        assert result.prefilter_fed[100] < result.selection_fed[100]
+
+    def test_to_text(self, result):
+        assert "basic-SS" in result.to_text()
+
+
+class TestSweeps(object):
+    def test_gamma_sweep_flat_cpu(self):
+        result = figures.gamma_sweep(
+            gammas=(1.5, 4.0), target=500, duration_seconds=1
+        )
+        cpus = [row[1] for row in result.rows]
+        assert max(cpus) - min(cpus) < 1.0  # paper: little dependence on gamma
+        cleanings = [row[2] for row in result.rows]
+        assert cleanings[0] >= cleanings[1]  # smaller gamma, more cleanings
+
+    def test_accuracy_sweep_consistent_across_targets(self):
+        result = figures.accuracy_sweep(
+            targets=(50, 200), duration_seconds=120, rate_scale=0.01
+        )
+        relaxed_errors = [row[1] for row in result.rows]
+        assert all(err < 0.1 for err in relaxed_errors)
+
+    def test_ablation_relax_factor_monotone_cleanings(self):
+        result = figures.ablation_relax_factor(
+            factors=(1.0, 10.0), target=100, duration_seconds=120,
+            rate_scale=0.01,
+        )
+        cleanings = {row[0]: row[2] for row in result.rows}
+        assert cleanings[10.0] > cleanings[1.0]
+        errors = {row[0]: row[1] for row in result.rows}
+        assert errors[10.0] < errors[1.0]
+
+    def test_ablation_adjustment_solve_no_worse(self):
+        result = figures.ablation_adjustment(
+            target=100, duration_seconds=120, rate_scale=0.01
+        )
+        errors = {row[0]: row[1] for row in result.rows}
+        assert errors["solve"] <= errors["aggressive"] + 0.02

@@ -1,0 +1,29 @@
+"""Text-table rendering."""
+
+from repro.bench.reporting import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[0.123456], [12.3456], [1234.5]])
+        assert "0.123" in table
+        assert "12.35" in table
+        assert "1,234" in table or "1,235" in table
+
+    def test_zero_renders_bare(self):
+        assert "0" in format_table(["x"], [[0.0]]).splitlines()[-1]
+
+    def test_strings_pass_through(self):
+        table = format_table(["rule"], [["solve"], ["aggressive"]])
+        assert "aggressive" in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "b" in table

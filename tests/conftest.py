@@ -1,0 +1,41 @@
+"""Shared fixtures: registries, small traces, DSMS factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsms.aggregates import default_aggregate_registry
+from repro.dsms.functions import default_function_registry
+from repro.dsms.parser import Registries
+from repro.dsms.runtime import Gigascope
+from repro.dsms.stateful import StatefulLibrary
+from repro.streams.schema import PKT_SCHEMA, TCP_SCHEMA
+from repro.streams.traces import TraceConfig, research_center_feed
+from repro.core.superaggregates import default_superaggregate_registry
+
+
+@pytest.fixture
+def registries() -> Registries:
+    """Default registries with both packet schemas registered."""
+    return Registries(
+        schemas={"PKT": PKT_SCHEMA, "TCP": TCP_SCHEMA},
+        scalars=default_function_registry(),
+        aggregates=default_aggregate_registry(),
+        superaggregates=default_superaggregate_registry(),
+        stateful=StatefulLibrary(),
+    )
+
+
+@pytest.fixture
+def small_trace():
+    """A short deterministic bursty trace (three 20 s windows)."""
+    config = TraceConfig(duration_seconds=60, rate_scale=0.005, seed=99)
+    return list(research_center_feed(config))
+
+
+@pytest.fixture
+def gigascope() -> Gigascope:
+    """A fresh DSMS instance with the TCP stream registered."""
+    gs = Gigascope()
+    gs.register_stream(TCP_SCHEMA)
+    return gs

@@ -1,0 +1,63 @@
+"""The group / supergroup / supergroup-group tables."""
+
+from repro.core.group_tables import GroupEntry, GroupTables, SuperGroupEntry
+
+
+def group(key, sg_key=("sg",)):
+    return GroupEntry(key=key, aggregates=[], supergroup_key=sg_key)
+
+
+class TestGroups:
+    def test_add_and_lookup(self):
+        tables = GroupTables()
+        tables.add_group(group(("a",)))
+        assert ("a",) in tables.groups
+        assert tables.group_count == 1
+
+    def test_groups_of_preserves_insertion_order(self):
+        tables = GroupTables()
+        for key in ("x", "y", "z"):
+            tables.add_group(group((key,)))
+        assert tables.groups_of(("sg",)) == [("x",), ("y",), ("z",)]
+
+    def test_remove_group_updates_both_tables(self):
+        tables = GroupTables()
+        tables.add_group(group(("a",)))
+        tables.add_group(group(("b",)))
+        removed = tables.remove_group(("a",))
+        assert removed is not None and removed.key == ("a",)
+        assert tables.groups_of(("sg",)) == [("b",)]
+
+    def test_remove_missing_group_returns_none(self):
+        assert GroupTables().remove_group(("ghost",)) is None
+
+    def test_groups_of_unknown_supergroup_is_empty(self):
+        assert GroupTables().groups_of(("nope",)) == []
+
+    def test_separate_supergroups(self):
+        tables = GroupTables()
+        tables.add_group(group(("a",), sg_key=("s1",)))
+        tables.add_group(group(("b",), sg_key=("s2",)))
+        assert tables.groups_of(("s1",)) == [("a",)]
+        assert tables.groups_of(("s2",)) == [("b",)]
+
+
+class TestWindowSwap:
+    def test_end_window_moves_new_to_old(self):
+        tables = GroupTables()
+        entry = SuperGroupEntry(key=("k",), states={}, superaggregates=[])
+        tables.new_supergroups[("k",)] = entry
+        tables.add_group(group(("a",), sg_key=("k",)))
+        tables.end_window()
+        assert tables.group_count == 0
+        assert tables.supergroup_count == 0
+        assert tables.old_supergroups[("k",)] is entry
+        assert tables.groups_of(("k",)) == []
+
+    def test_second_end_window_discards_old(self):
+        tables = GroupTables()
+        entry = SuperGroupEntry(key=("k",), states={}, superaggregates=[])
+        tables.new_supergroups[("k",)] = entry
+        tables.end_window()
+        tables.end_window()
+        assert tables.old_supergroups == {}

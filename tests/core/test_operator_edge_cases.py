@@ -1,0 +1,147 @@
+"""Sampling-operator edge cases beyond the main semantics suite."""
+
+import pytest
+
+from repro.dsms.operators import build_operator
+from repro.dsms.parser.planner import compile_query
+from repro.dsms.stateful import StatefulLibrary, StatefulState
+from repro.streams.records import Record
+from repro.streams.schema import TCP_SCHEMA
+
+
+def packet(time=0, uts=0, src=1, dst=2, length=100):
+    return Record(TCP_SCHEMA, (time, uts, src, dst, length, 1024, 80, 6))
+
+
+def build(text, registries, library=None):
+    if library is not None:
+        registries.stateful = registries.stateful.merge(library)
+    return build_operator(compile_query(text, registries))
+
+
+class TestMultipleSupergroups:
+    QUERY = (
+        "SELECT tb, srcIP, HX FROM TCP"
+        " WHERE HX <= Kth_smallest_value$(HX, 2)"
+        " GROUP BY time/10 as tb, srcIP, H(destIP) as HX"
+        " SUPERGROUP tb, srcIP"
+        " CLEANING WHEN count_distinct$(*) >= 2"
+        " CLEANING BY HX <= Kth_smallest_value$(HX, 2)"
+    )
+
+    def test_cleaning_confined_to_triggering_supergroup(self, registries):
+        op = build(self.QUERY, registries)
+        # Source 1 gets many destinations (its supergroup cleans);
+        # source 2 gets exactly one (never cleans, never evicts).
+        for i in range(20):
+            op.process(packet(time=0, uts=i, src=1, dst=i))
+        op.process(packet(time=0, uts=100, src=2, dst=999))
+        outs = op.finish()
+        by_src = {}
+        for o in outs:
+            by_src.setdefault(o["srcIP"], set()).add(o["HX"])
+        assert len(by_src[1]) == 2  # KMV trimmed to k
+        assert len(by_src[2]) == 1  # untouched
+
+    def test_supergroup_count_independent(self, registries):
+        op = build(self.QUERY, registries)
+        for src in (1, 2, 3):
+            for i in range(5):
+                op.process(packet(time=0, uts=src * 100 + i, src=src, dst=i))
+        assert op.tables.supergroup_count == 3
+
+
+class TestDegenerateQueries:
+    def test_no_aggregates_at_all(self, registries):
+        op = build(
+            "SELECT tb, srcIP FROM TCP GROUP BY time/10 as tb, srcIP"
+            " SUPERGROUP tb",
+            registries,
+        )
+        op.process(packet(src=1))
+        op.process(packet(src=1))
+        op.process(packet(src=2))
+        outs = op.finish()
+        assert {o["srcIP"] for o in outs} == {1, 2}
+
+    def test_derived_groupby_var_in_where(self, registries):
+        # WHERE references tb, a derived group-by variable.
+        op = build(
+            "SELECT tb, count(*) FROM TCP WHERE tb > 0"
+            " GROUP BY time/10 as tb SUPERGROUP tb",
+            registries,
+        )
+        op.process(packet(time=5))    # tb=0: rejected
+        op.process(packet(time=15))   # tb=1: admitted (closes window 0)
+        outs = op.finish()
+        assert len(outs) == 1 and outs[0][1] == 1
+
+    def test_arithmetic_over_aggregates_in_select(self, registries):
+        op = build(
+            "SELECT tb, sum(len) / count(*) FROM TCP"
+            " GROUP BY time/10 as tb SUPERGROUP tb",
+            registries,
+        )
+        op.process(packet(length=100))
+        op.process(packet(length=200))
+        outs = op.finish()
+        assert outs[0][1] == 150
+
+    def test_empty_stream(self, registries):
+        op = build(
+            "SELECT tb, count(*) FROM TCP GROUP BY time/10 as tb"
+            " SUPERGROUP tb",
+            registries,
+        )
+        assert op.finish() == []
+        assert op.window_stats == []
+
+    def test_single_tuple_stream(self, registries):
+        op = build(
+            "SELECT tb, count(*) FROM TCP GROUP BY time/10 as tb"
+            " SUPERGROUP tb",
+            registries,
+        )
+        op.process(packet())
+        outs = op.finish()
+        assert outs[0][1] == 1
+
+
+class TestStateSharing:
+    def test_two_sfun_families_one_query(self, registries):
+        """Two independent STATE declarations coexist per supergroup."""
+        library = StatefulLibrary()
+
+        @library.state("state_a")
+        class StateA(StatefulState):
+            def __init__(self):
+                self.n = 0
+
+        @library.state("state_b")
+        class StateB(StatefulState):
+            def __init__(self):
+                self.n = 0
+
+        @library.sfun("bump_a", state="state_a")
+        def bump_a(state):
+            state.n += 1
+            return True
+
+        @library.sfun("read_b", state="state_b")
+        def read_b(state):
+            state.n += 10
+            return state.n
+
+        op = build(
+            "SELECT tb, read_b() FROM TCP WHERE bump_a() = TRUE"
+            " GROUP BY time/10 as tb SUPERGROUP tb",
+            registries,
+            library,
+        )
+        op.process(packet())
+        op.process(packet())
+        outs = op.finish()
+        # read_b's state is independent of bump_a's: one SELECT-time call.
+        assert outs[0][1] == 10
+        spec_states = op.spec.state_names
+        assert set(spec_states) == {"state_a", "state_b"}

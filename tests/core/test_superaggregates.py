@@ -1,0 +1,208 @@
+"""Superaggregates: incremental maintenance under add/evict."""
+
+import pytest
+
+from repro.errors import ExecutionError, RegistryError
+from repro.core.superaggregates import (
+    CountDistinctSuper,
+    CountSuper,
+    KthSmallestSuper,
+    MaxSuper,
+    SumSuper,
+    SuperAggregateRegistry,
+    default_superaggregate_registry,
+)
+
+
+class TestCountDistinct:
+    def test_counts_groups(self):
+        agg = CountDistinctSuper()
+        agg.on_group_added("a", 1)
+        agg.on_group_added("b", 1)
+        assert agg.value() == 2
+        agg.on_group_removed("a", 1)
+        assert agg.value() == 1
+
+    def test_negative_count_rejected(self):
+        agg = CountDistinctSuper()
+        with pytest.raises(ExecutionError, match="negative"):
+            agg.on_group_removed("ghost", 1)
+
+
+class TestKthSmallest:
+    def test_inf_until_k_values(self):
+        agg = KthSmallestSuper(3)
+        agg.on_group_added("a", 10)
+        agg.on_group_added("b", 20)
+        assert agg.value() == float("inf")
+        agg.on_group_added("c", 5)
+        assert agg.value() == 20
+
+    def test_tracks_kth_under_removal(self):
+        agg = KthSmallestSuper(2)
+        for key, value in (("a", 3), ("b", 1), ("c", 2)):
+            agg.on_group_added(key, value)
+        assert agg.value() == 2
+        agg.on_group_removed("b", 1)
+        assert agg.value() == 3
+
+    def test_duplicate_values_allowed(self):
+        agg = KthSmallestSuper(2)
+        agg.on_group_added("a", 7)
+        agg.on_group_added("b", 7)
+        assert agg.value() == 7
+        agg.on_group_removed("a", 7)
+        assert agg.value() == float("inf")
+
+    def test_removing_never_added_value_rejected(self):
+        agg = KthSmallestSuper(1)
+        agg.on_group_added("a", 1)
+        with pytest.raises(ExecutionError, match="never added"):
+            agg.on_group_removed("b", 99)
+
+    def test_invalid_k(self):
+        with pytest.raises(ExecutionError):
+            KthSmallestSuper(0)
+
+
+class TestSumSuper:
+    def test_per_tuple_accumulation(self):
+        agg = SumSuper()
+        agg.on_tuple("g1", 10)
+        agg.on_tuple("g1", 5)
+        agg.on_tuple("g2", 1)
+        assert agg.value() == 16
+
+    def test_group_removal_subtracts_contribution(self):
+        agg = SumSuper()
+        agg.on_tuple("g1", 10)
+        agg.on_tuple("g2", 7)
+        agg.on_group_removed("g1", None)
+        assert agg.value() == 7
+
+    def test_removing_unknown_group_is_noop(self):
+        agg = SumSuper()
+        agg.on_tuple("g1", 3)
+        agg.on_group_removed("ghost", None)
+        assert agg.value() == 3
+
+
+class TestCountSuper:
+    def test_counts_and_retracts(self):
+        agg = CountSuper()
+        for _ in range(3):
+            agg.on_tuple("g1", None)
+        agg.on_tuple("g2", None)
+        assert agg.value() == 4
+        agg.on_group_removed("g1", None)
+        assert agg.value() == 1
+
+
+class TestMaxSuper:
+    def test_max_under_removal(self):
+        agg = MaxSuper()
+        agg.on_group_added("a", 5)
+        agg.on_group_added("b", 9)
+        assert agg.value() == 9
+        agg.on_group_removed("b", 9)
+        assert agg.value() == 5
+
+    def test_empty_is_none(self):
+        assert MaxSuper().value() is None
+
+
+class TestRegistry:
+    def test_default_contents(self):
+        registry = default_superaggregate_registry()
+        for name in ("count_distinct", "Kth_smallest_value", "sum", "count", "max"):
+            assert name in registry
+            assert f"{name}$" in registry  # dollar-suffixed lookups work
+
+    def test_create_kth_smallest_with_const(self):
+        registry = default_superaggregate_registry()
+        agg = registry.create("Kth_smallest_value", (5,))
+        assert isinstance(agg, KthSmallestSuper) and agg.k == 5
+
+    def test_kth_smallest_requires_one_const(self):
+        registry = default_superaggregate_registry()
+        with pytest.raises(RegistryError):
+            registry.create("Kth_smallest_value", ())
+
+    def test_unknown_rejected(self):
+        with pytest.raises(RegistryError):
+            default_superaggregate_registry().create("median", ())
+
+    def test_duplicate_rejected(self):
+        registry = SuperAggregateRegistry()
+        registry.register("x", lambda args: CountDistinctSuper())
+        with pytest.raises(RegistryError):
+            registry.register("x", lambda args: CountDistinctSuper())
+
+    def test_register_strips_dollar(self):
+        registry = SuperAggregateRegistry()
+        registry.register("x$", lambda args: CountDistinctSuper())
+        assert "x" in registry
+
+    def test_copy_independent(self):
+        registry = default_superaggregate_registry()
+        clone = registry.copy()
+        clone.register("extra", lambda args: CountDistinctSuper())
+        assert "extra" not in registry
+
+
+class TestMinSuper:
+    def test_min_under_removal(self):
+        from repro.core.superaggregates import MinSuper
+
+        agg = MinSuper()
+        agg.on_group_added("a", 5)
+        agg.on_group_added("b", 2)
+        assert agg.value() == 2
+        agg.on_group_removed("b", 2)
+        assert agg.value() == 5
+
+    def test_empty_is_none(self):
+        from repro.core.superaggregates import MinSuper
+
+        assert MinSuper().value() is None
+
+    def test_bad_removal_rejected(self):
+        from repro.core.superaggregates import MinSuper
+        from repro.errors import ExecutionError
+
+        agg = MinSuper()
+        with pytest.raises(ExecutionError):
+            agg.on_group_removed("x", 1)
+
+
+class TestAvgSuper:
+    def test_avg_over_tuples(self):
+        from repro.core.superaggregates import AvgSuper
+
+        agg = AvgSuper()
+        agg.on_tuple("g1", 10)
+        agg.on_tuple("g1", 20)
+        agg.on_tuple("g2", 30)
+        assert agg.value() == 20
+
+    def test_group_removal_retracts_contribution(self):
+        from repro.core.superaggregates import AvgSuper
+
+        agg = AvgSuper()
+        agg.on_tuple("g1", 10)
+        agg.on_tuple("g2", 100)
+        agg.on_group_removed("g2", None)
+        assert agg.value() == 10
+
+    def test_empty_is_none(self):
+        from repro.core.superaggregates import AvgSuper
+
+        assert AvgSuper().value() is None
+
+
+class TestNewRegistryEntries:
+    def test_min_and_avg_registered(self):
+        registry = default_superaggregate_registry()
+        assert "min" in registry and "avg" in registry
+        registry.create("min", ())
+        registry.create("avg", ())

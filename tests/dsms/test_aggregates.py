@@ -1,0 +1,173 @@
+"""UDAF framework: each built-in aggregate plus the registry."""
+
+import pytest
+
+from repro.errors import RegistryError
+from repro.dsms.aggregates import (
+    AggregateRegistry,
+    AvgAggregate,
+    CountAggregate,
+    CountDistinctAggregate,
+    FirstAggregate,
+    LastAggregate,
+    MaxAggregate,
+    MinAggregate,
+    SumAggregate,
+    default_aggregate_registry,
+)
+
+
+class TestSum:
+    def test_update_and_value(self):
+        agg = SumAggregate()
+        for v in (1, 2, 3):
+            agg.update(v)
+        assert agg.value() == 6
+
+    def test_retract(self):
+        agg = SumAggregate()
+        agg.update(10)
+        agg.update(5)
+        agg.retract(10)
+        assert agg.value() == 5
+
+    def test_merge(self):
+        a, b = SumAggregate(), SumAggregate()
+        a.update(1)
+        b.update(2)
+        a.merge(b)
+        assert a.value() == 3
+
+    def test_flags(self):
+        assert SumAggregate.reversible and SumAggregate.mergeable
+
+
+class TestCount:
+    def test_counts_rows_not_values(self):
+        agg = CountAggregate()
+        agg.update("anything")
+        agg.update(None)
+        assert agg.value() == 2
+
+    def test_retract_and_merge(self):
+        a, b = CountAggregate(), CountAggregate()
+        a.update(1)
+        a.update(1)
+        b.update(1)
+        a.merge(b)
+        a.retract(1)
+        assert a.value() == 2
+
+
+class TestMinMax:
+    def test_min(self):
+        agg = MinAggregate()
+        for v in (5, 3, 9):
+            agg.update(v)
+        assert agg.value() == 3
+
+    def test_max(self):
+        agg = MaxAggregate()
+        for v in (5, 3, 9):
+            agg.update(v)
+        assert agg.value() == 9
+
+    def test_empty_is_none(self):
+        assert MinAggregate().value() is None
+        assert MaxAggregate().value() is None
+
+    def test_not_reversible(self):
+        with pytest.raises(NotImplementedError):
+            MinAggregate().retract(1)
+
+    def test_merge(self):
+        a, b = MaxAggregate(), MaxAggregate()
+        a.update(1)
+        b.update(9)
+        a.merge(b)
+        assert a.value() == 9
+
+
+class TestAvg:
+    def test_average(self):
+        agg = AvgAggregate()
+        for v in (2, 4):
+            agg.update(v)
+        assert agg.value() == 3
+
+    def test_empty_is_none(self):
+        assert AvgAggregate().value() is None
+
+    def test_retract(self):
+        agg = AvgAggregate()
+        agg.update(2)
+        agg.update(4)
+        agg.retract(2)
+        assert agg.value() == 4
+
+
+class TestCountDistinct:
+    def test_distincts(self):
+        agg = CountDistinctAggregate()
+        for v in (1, 1, 2, 3, 3):
+            agg.update(v)
+        assert agg.value() == 3
+
+    def test_merge_unions(self):
+        a, b = CountDistinctAggregate(), CountDistinctAggregate()
+        a.update(1)
+        b.update(1)
+        b.update(2)
+        a.merge(b)
+        assert a.value() == 2
+
+
+class TestFirstLast:
+    def test_first(self):
+        agg = FirstAggregate()
+        agg.update("a")
+        agg.update("b")
+        assert agg.value() == "a"
+
+    def test_first_of_none_value(self):
+        agg = FirstAggregate()
+        agg.update(None)
+        agg.update(5)
+        assert agg.value() is None
+
+    def test_last(self):
+        agg = LastAggregate()
+        agg.update("a")
+        agg.update("b")
+        assert agg.value() == "b"
+
+
+class TestRegistry:
+    def test_default_contents(self):
+        registry = default_aggregate_registry()
+        for name in ("sum", "count", "min", "max", "avg", "count_distinct",
+                     "first", "last"):
+            assert name in registry
+
+    def test_create_returns_fresh_instances(self):
+        registry = default_aggregate_registry()
+        a = registry.create("sum")
+        b = registry.create("sum")
+        a.update(1)
+        assert b.value() == 0
+
+    def test_unknown_raises(self):
+        with pytest.raises(RegistryError):
+            default_aggregate_registry().create("median")
+
+    def test_duplicate_rejected(self):
+        registry = AggregateRegistry()
+        registry.register("x", SumAggregate)
+        with pytest.raises(RegistryError):
+            registry.register("x", SumAggregate)
+
+    def test_copy_is_independent(self):
+        registry = default_aggregate_registry()
+        clone = registry.copy()
+        clone.register("custom", SumAggregate)
+        assert "custom" not in registry

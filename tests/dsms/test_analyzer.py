@@ -1,0 +1,226 @@
+"""Semantic analysis: classification, validation, slotting."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.dsms.expr import (
+    AggregateCall,
+    ScalarCall,
+    StatefulCall,
+    SuperAggregateCall,
+    find_nodes,
+)
+from repro.dsms.parser.analyzer import analyze
+from repro.dsms.parser.parser import parse_query
+from repro.dsms.stateful import StatefulState
+from repro.algorithms.bindings import (
+    HEAVY_HITTERS_QUERY,
+    MIN_HASH_QUERY,
+    SUBSET_SUM_QUERY,
+    heavy_hitters_library,
+    subset_sum_library,
+)
+
+
+def analyzed(text, registries, stateful=None):
+    if stateful is not None:
+        registries.stateful = registries.stateful.merge(stateful)
+    return analyze(parse_query(text), registries)
+
+
+class TestClassification:
+    def test_scalar_call(self, registries):
+        result = analyzed("SELECT UMAX(len, 100) FROM TCP", registries)
+        assert isinstance(result.ast.select[0].expr, ScalarCall)
+
+    def test_aggregate_call_and_slot(self, registries):
+        result = analyzed(
+            "SELECT tb, sum(len), count(*) FROM TCP GROUP BY time/60 as tb",
+            registries,
+        )
+        aggs = result.aggregates
+        assert [a.name for a in aggs] == ["sum", "count"]
+        assert [a.slot for a in aggs] == [0, 1]
+
+    def test_duplicate_aggregates_share_slot(self, registries):
+        result = analyzed(
+            "SELECT tb, sum(len) FROM TCP GROUP BY time/60 as tb"
+            " HAVING sum(len) > 10",
+            registries,
+        )
+        assert len(result.aggregates) == 1
+        select_agg = find_nodes(result.ast.select[1].expr, AggregateCall)[0]
+        having_agg = find_nodes(result.ast.having, AggregateCall)[0]
+        assert select_agg.slot == having_agg.slot == 0
+
+    def test_distinct_aggregate_args_get_distinct_slots(self, registries):
+        result = analyzed(
+            "SELECT tb, sum(len), sum(srcPort) FROM TCP GROUP BY time/60 as tb",
+            registries,
+        )
+        assert len(result.aggregates) == 2
+
+    def test_superaggregate_classification(self, registries):
+        result = analyzed(MIN_HASH_QUERY.format(window=60, k=10), registries)
+        names = {s.name for s in result.superaggregates}
+        assert names == {"Kth_smallest_value", "count_distinct"}
+
+    def test_stateful_classification(self, registries):
+        result = analyzed(
+            SUBSET_SUM_QUERY.format(window=20, target=10),
+            registries,
+            stateful=subset_sum_library(),
+        )
+        assert result.state_names == ("subsetsum_sampling_state",)
+        assert isinstance(
+            find_nodes(result.ast.where, StatefulCall)[0], StatefulCall
+        )
+
+    def test_unknown_function_rejected(self, registries):
+        with pytest.raises(AnalysisError, match="unknown function"):
+            analyzed("SELECT mystery(len) FROM TCP", registries)
+
+    def test_unknown_superaggregate_rejected(self, registries):
+        with pytest.raises(AnalysisError, match="unknown superaggregate"):
+            analyzed(
+                "SELECT tb FROM TCP GROUP BY time/60 as tb"
+                " SUPERGROUP tb HAVING median$(len) > 1",
+                registries,
+            )
+
+    def test_unknown_stream_rejected(self, registries):
+        with pytest.raises(AnalysisError, match="unknown stream"):
+            analyzed("SELECT a FROM NOPE", registries)
+
+
+class TestWindowDerivation:
+    def test_ordered_groupby_detected(self, registries):
+        result = analyzed(
+            "SELECT tb, srcIP FROM TCP GROUP BY time/60 as tb, srcIP",
+            registries,
+        )
+        assert result.ordered_names == ("tb",)
+
+    def test_uts_grouping_is_not_a_window(self, registries):
+        # uts is unordered by schema design (paper §6.1).
+        result = analyzed(
+            "SELECT tb FROM TCP GROUP BY time/20 as tb, uts",
+            registries,
+        )
+        assert result.ordered_names == ("tb",)
+
+    def test_ordered_vars_folded_into_supergroup(self, registries):
+        result = analyzed(
+            MIN_HASH_QUERY.format(window=60, k=10), registries
+        )
+        assert result.supergroup_names[0] == "tb"
+        assert "srcIP" in result.supergroup_names
+
+    def test_default_supergroup_is_window_only(self, registries):
+        result = analyzed(
+            SUBSET_SUM_QUERY.format(window=20, target=10),
+            registries,
+            stateful=subset_sum_library(),
+        )
+        assert result.supergroup_names == ("tb",)
+
+
+class TestValidation:
+    def test_supergroup_var_must_be_groupby_var(self, registries):
+        with pytest.raises(AnalysisError, match="not a GROUP BY variable"):
+            analyzed(
+                "SELECT tb FROM TCP GROUP BY time/60 as tb SUPERGROUP destIP",
+                registries,
+            )
+
+    def test_cleaning_when_without_by_rejected(self, registries):
+        with pytest.raises(AnalysisError, match="together"):
+            analyzed(
+                "SELECT tb FROM TCP GROUP BY time/60 as tb"
+                " CLEANING WHEN count_distinct$(*) > 5",
+                registries,
+            )
+
+    def test_where_may_not_use_group_aggregates(self, registries):
+        with pytest.raises(AnalysisError, match="may not reference group aggregates"):
+            analyzed(
+                "SELECT tb FROM TCP WHERE sum(len) > 5 GROUP BY time/60 as tb",
+                registries,
+            )
+
+    def test_select_column_must_be_groupby_var(self, registries):
+        with pytest.raises(AnalysisError, match="not available"):
+            analyzed(
+                "SELECT destIP FROM TCP GROUP BY time/60 as tb, srcIP",
+                registries,
+            )
+
+    def test_cleaning_when_restricted_to_supergroup_vars(self, registries):
+        with pytest.raises(AnalysisError, match="not available"):
+            analyzed(
+                "SELECT tb, srcIP FROM TCP GROUP BY time/60 as tb, srcIP"
+                " CLEANING WHEN srcIP > 5 CLEANING BY count(*) > 1",
+                registries,
+            )
+
+    def test_duplicate_groupby_name_rejected(self, registries):
+        with pytest.raises(AnalysisError, match="duplicate"):
+            analyzed(
+                "SELECT a FROM TCP GROUP BY srcIP as a, destIP as a",
+                registries,
+            )
+
+    def test_groupby_expression_may_not_aggregate(self, registries):
+        with pytest.raises(AnalysisError, match="only use columns and"):
+            analyzed(
+                "SELECT x FROM TCP GROUP BY sum(len) as x", registries
+            )
+
+    def test_aggregate_without_groupby_rejected(self, registries):
+        with pytest.raises(AnalysisError, match="require a GROUP BY"):
+            analyzed("SELECT sum(len) FROM TCP", registries)
+
+    def test_cleaning_without_groupby_rejected(self, registries):
+        lib = subset_sum_library()
+        with pytest.raises(AnalysisError):
+            analyzed(
+                "SELECT len FROM TCP WHERE ssample(len, 10) = TRUE"
+                " CLEANING WHEN ssdo_clean(5) = TRUE"
+                " CLEANING BY ssclean_with(1) = TRUE",
+                registries,
+                stateful=lib,
+            )
+
+
+class TestKinds:
+    def test_plain_selection(self, registries):
+        assert analyzed("SELECT len FROM TCP WHERE len > 100", registries).kind == "selection"
+
+    def test_stateful_selection(self, registries):
+        from repro.algorithms.bindings import basic_subset_sum_library
+
+        result = analyzed(
+            "SELECT len FROM TCP WHERE ssbasic(len, 500) = TRUE",
+            registries,
+            stateful=basic_subset_sum_library(),
+        )
+        assert result.kind == "stateful_selection"
+        assert result.state_names == ("basic_subsetsum_state",)
+
+    def test_plain_aggregation(self, registries):
+        result = analyzed(
+            "SELECT tb, sum(len) FROM TCP GROUP BY time/60 as tb", registries
+        )
+        assert result.kind == "aggregation"
+
+    def test_cleaning_makes_sampling(self, registries):
+        result = analyzed(
+            HEAVY_HITTERS_QUERY.format(window=60, bucket=100),
+            registries,
+            stateful=heavy_hitters_library(),
+        )
+        assert result.kind == "sampling"
+
+    def test_superaggregate_makes_sampling(self, registries):
+        result = analyzed(MIN_HASH_QUERY.format(window=60, k=10), registries)
+        assert result.kind == "sampling"

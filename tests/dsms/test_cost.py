@@ -1,0 +1,85 @@
+"""The cycle-cost model."""
+
+import pytest
+
+from repro.errors import CostModelError
+from repro.dsms.cost import NULL_COST_MODEL, CostBook, CostModel
+
+
+class TestCharging:
+    def test_charge_accumulates(self):
+        model = CostModel()
+        model.charge("q", "tuple_read")
+        model.charge("q", "tuple_read", 2)
+        assert model.cycles("q") == 3 * model.book.tuple_read
+
+    def test_accounts_are_independent(self):
+        model = CostModel()
+        model.charge("a", "tuple_read")
+        model.charge("b", "tuple_copy")
+        assert model.cycles("a") == model.book.tuple_read
+        assert model.cycles("b") == model.book.tuple_copy
+
+    def test_unknown_operation_raises(self):
+        model = CostModel()
+        with pytest.raises(CostModelError, match="unknown cost operation"):
+            model.charge("q", "warp_drive")
+
+    def test_negative_count_raises(self):
+        model = CostModel()
+        with pytest.raises(CostModelError):
+            model.charge("q", "tuple_read", -1)
+
+    def test_uncharged_account_is_zero(self):
+        assert CostModel().cycles("nothing") == 0
+
+    def test_total_cycles(self):
+        model = CostModel()
+        model.charge("a", "tuple_read")
+        model.charge("b", "tuple_read")
+        assert model.total_cycles() == 2 * model.book.tuple_read
+
+    def test_reset(self):
+        model = CostModel()
+        model.charge("a", "tuple_read")
+        model.reset()
+        assert model.total_cycles() == 0
+
+
+class TestCpuPercent:
+    def test_calibration_anchor_low_level_selection(self):
+        # Paper §7.2: a low-level selection forwarding every packet at
+        # 100 kpps costs ~60% of one 2.8 GHz CPU.
+        model = CostModel()
+        packets = 100_000
+        model.charge("low", "tuple_read", packets)
+        model.charge("low", "tuple_copy", packets)
+        cpu = model.cpu_percent("low", stream_seconds=1.0)
+        assert 55.0 < cpu < 65.0
+
+    def test_zero_seconds_rejected(self):
+        with pytest.raises(CostModelError):
+            CostModel().cpu_percent("q", 0)
+
+    def test_scales_inversely_with_time(self):
+        model = CostModel()
+        model.charge("q", "tuple_copy", 1000)
+        assert model.cpu_percent("q", 1.0) == pytest.approx(
+            2 * model.cpu_percent("q", 2.0)
+        )
+
+    def test_invalid_clock(self):
+        with pytest.raises(CostModelError):
+            CostModel(clock_hz=0)
+
+
+class TestNullModel:
+    def test_null_model_ignores_charges(self):
+        NULL_COST_MODEL.charge("q", "tuple_copy", 10**6)
+        assert NULL_COST_MODEL.cycles("q") == 0
+
+    def test_custom_book(self):
+        book = CostBook(tuple_read=1)
+        model = CostModel(book)
+        model.charge("q", "tuple_read", 5)
+        assert model.cycles("q") == 5

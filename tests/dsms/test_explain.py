@@ -1,0 +1,77 @@
+"""EXPLAIN output for compiled plans and runtime instances."""
+
+import pytest
+
+from repro.dsms.explain import explain, explain_instance
+from repro.dsms.parser.planner import compile_query
+from repro.algorithms.bindings import (
+    MIN_HASH_QUERY,
+    SUBSET_SUM_QUERY,
+    subset_sum_library,
+)
+
+
+class TestExplainPlan:
+    def test_selection(self, registries):
+        plan = compile_query("SELECT len FROM TCP WHERE len > 100", registries)
+        text = explain(plan)
+        assert "Query kind : selection" in text
+        assert "WHERE" in text
+
+    def test_aggregation(self, registries):
+        plan = compile_query(
+            "SELECT tb, sum(len) FROM TCP GROUP BY time/60 as tb"
+            " HAVING sum(len) > 5",
+            registries,
+        )
+        text = explain(plan)
+        assert "Query kind : aggregation" in text
+        assert "[0] sum(len)" in text
+        assert "Window     : (tb)" in text
+        assert "HAVING" in text
+
+    def test_sampling_subset_sum(self, registries):
+        registries.stateful = registries.stateful.merge(subset_sum_library())
+        plan = compile_query(
+            SUBSET_SUM_QUERY.format(window=20, target=100), registries
+        )
+        text = explain(plan)
+        assert "Query kind : sampling" in text
+        assert "subsetsum_sampling_state" in text
+        assert "FALSE evicts" in text
+        assert "count_distinct$" in text
+
+    def test_sampling_min_hash_superaggs(self, registries):
+        plan = compile_query(MIN_HASH_QUERY.format(window=60, k=7), registries)
+        text = explain(plan)
+        assert "Kth_smallest_value$" in text
+        assert "<group-fed>" in text
+        assert "Supergroup : (tb, srcIP)" in text
+
+    def test_ordered_output_marked(self, registries):
+        plan = compile_query(
+            "SELECT tb, count(*) FROM TCP GROUP BY time/60 as tb", registries
+        )
+        assert "tb [ordered]" in explain(plan)
+
+
+class TestExplainInstance:
+    def test_dag_rendering(self, gigascope):
+        gigascope.use_stateful_library(subset_sum_library())
+        gigascope.add_query(SUBSET_SUM_QUERY.format(window=20, target=10), name="ss")
+        text = explain_instance(gigascope)
+        assert " low  ss__lowsel  <- TCP" in text
+        assert "high  ss  <- ss__lowsel" in text
+        assert "SamplingOperator" in text
+
+    def test_cost_shown_when_charged(self):
+        from repro.dsms.cost import CostModel
+        from repro.dsms.runtime import Gigascope
+        from repro.streams.schema import TCP_SCHEMA
+        from repro.streams.records import Record
+
+        gs = Gigascope(cost_model=CostModel())
+        gs.register_stream(TCP_SCHEMA)
+        gs.add_query("SELECT len FROM TCP", name="sel")
+        gs.run(iter([Record(TCP_SCHEMA, (0, 1, 1, 2, 100, 1024, 80, 6))]))
+        assert "cycles]" in explain_instance(gs)

@@ -1,0 +1,102 @@
+"""Tokenizer behaviour."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.dsms.parser.lexer import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text) if t.type is not TokenType.EOF]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where")[0] == (TokenType.KEYWORD, "SELECT")
+        assert kinds("select")[0][1] == "SELECT"
+        assert kinds("SeLeCt")[0][1] == "SELECT"
+
+    def test_identifiers_case_sensitive(self):
+        assert kinds("srcIP")[0] == (TokenType.IDENT, "srcIP")
+
+    def test_numbers(self):
+        assert kinds("42")[0] == (TokenType.NUMBER, 42)
+        assert kinds("3.5")[0] == (TokenType.NUMBER, 3.5)
+
+    def test_dangling_dot_after_number_rejected(self):
+        # '1.' is not a valid literal in the grammar (no bare trailing dot).
+        with pytest.raises(LexError):
+            tokenize("1.")
+
+    def test_strings(self):
+        assert kinds("'hello'")[0] == (TokenType.STRING, "hello")
+        assert kinds('"world"')[0] == (TokenType.STRING, "world")
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+    def test_operators_longest_match(self):
+        assert [v for _, v in kinds("a <= b <> c != d")] == [
+            "a", "<=", "b", "<>", "c", "!=", "d",
+        ]
+
+    def test_comment_skipped(self):
+        assert kinds("a -- comment here\nb") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+
+class TestPaperSpecifics:
+    def test_superaggregate_dollar_suffix(self):
+        assert kinds("count_distinct$(*)")[0] == (TokenType.IDENT, "count_distinct$")
+
+    def test_group_by_underscore_variant(self):
+        # The paper's examples write both GROUP BY and GROUP_BY.
+        assert kinds("GROUP_BY") == [
+            (TokenType.KEYWORD, "GROUP"),
+            (TokenType.KEYWORD, "BY"),
+        ]
+
+    def test_cleaning_keywords(self):
+        values = [v for _, v in kinds("CLEANING WHEN CLEANING BY")]
+        assert values == ["CLEANING", "WHEN", "CLEANING", "BY"]
+
+    def test_supergroup_keyword(self):
+        assert kinds("SUPERGROUP")[0] == (TokenType.KEYWORD, "SUPERGROUP")
+
+    def test_true_false(self):
+        assert [v for _, v in kinds("TRUE FALSE")] == ["TRUE", "FALSE"]
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a ; b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_string_across_newline(self):
+        with pytest.raises(LexError):
+            tokenize("'line\nbreak'")
+
+    def test_error_carries_line_number(self):
+        try:
+            tokenize("ok\nok\n;")
+        except LexError as exc:
+            assert exc.line == 3
+        else:
+            pytest.fail("expected LexError")
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        token = tokenize("SELECT")[0]
+        assert token.is_keyword("SELECT")
+        assert not token.is_keyword("FROM")
+
+    def test_str(self):
+        assert str(tokenize("abc")[0]) == "abc"
+        assert str(tokenize("")[0]) == "<eof>"

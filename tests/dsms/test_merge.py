@@ -1,0 +1,135 @@
+"""The order-preserving MERGE operator and its runtime integration."""
+
+import pytest
+
+from repro.errors import ExecutionError, PlanningError, SchemaError
+from repro.dsms.operators.merge import MergeOperator
+from repro.dsms.runtime import Gigascope
+from repro.streams.records import Record
+from repro.streams.schema import Attribute, Ordering, StreamSchema, TCP_SCHEMA
+
+SCHEMA = StreamSchema(
+    "M", [Attribute("t", "int", Ordering.INCREASING), Attribute("v", "int")]
+)
+
+
+def rec(t, v=0):
+    return Record(SCHEMA, (t, v))
+
+
+class TestOperator:
+    def test_merges_in_order(self):
+        merge = MergeOperator(SCHEMA, ["a", "b"])
+        out = []
+        out += merge.process_from("a", rec(1))
+        out += merge.process_from("b", rec(2))
+        out += merge.process_from("a", rec(3))
+        out += merge.process_from("b", rec(4))
+        out += merge.flush()
+        assert [r["t"] for r in out] == [1, 2, 3, 4]
+
+    def test_holds_until_all_sources_speak(self):
+        merge = MergeOperator(SCHEMA, ["a", "b"])
+        assert merge.process_from("a", rec(1)) == []
+        assert merge.buffered == 1
+        released = merge.process_from("b", rec(5))
+        # t=1 is safe (both frontiers >= 1); t=5 must wait — source a may
+        # still produce records between 1 and 5.
+        assert [r["t"] for r in released] == [1]
+        assert merge.buffered == 1
+
+    def test_watermark_holds_back_ahead_source(self):
+        merge = MergeOperator(SCHEMA, ["a", "b"])
+        merge.process_from("b", rec(0))
+        out = merge.process_from("a", rec(10))
+        # b's frontier is 0: the record at t=10 must wait.
+        assert [r["t"] for r in out] == [0]
+        out = merge.process_from("b", rec(12))
+        # a's frontier is now the minimum (10): t=10 flows, t=12 waits.
+        assert [r["t"] for r in out] == [10]
+        assert [r["t"] for r in merge.flush()] == [12]
+
+    def test_interleaves_equal_timestamps_stably(self):
+        merge = MergeOperator(SCHEMA, ["a", "b"])
+        merge.process_from("a", rec(1, v=1))
+        out = merge.process_from("b", rec(1, v=2))
+        out += merge.flush()
+        assert [r["v"] for r in out] == [1, 2]
+
+    def test_ended_source_releases_watermark(self):
+        merge = MergeOperator(SCHEMA, ["a", "b"])
+        merge.process_from("a", rec(7))
+        released = merge.end_source("b")
+        assert [r["t"] for r in released] == [7]
+
+    def test_out_of_order_source_rejected(self):
+        merge = MergeOperator(SCHEMA, ["a", "b"])
+        merge.process_from("a", rec(5))
+        with pytest.raises(ExecutionError, match="violated ordering"):
+            merge.process_from("a", rec(3))
+
+    def test_unknown_source_rejected(self):
+        merge = MergeOperator(SCHEMA, ["a", "b"])
+        with pytest.raises(ExecutionError, match="unknown merge source"):
+            merge.process_from("zzz", rec(1))
+
+    def test_plain_process_rejected(self):
+        merge = MergeOperator(SCHEMA, ["a", "b"])
+        with pytest.raises(ExecutionError, match="process_from"):
+            merge.process(rec(1))
+
+    def test_needs_ordered_attribute(self):
+        unordered = StreamSchema("U", [Attribute("x")])
+        with pytest.raises(SchemaError):
+            MergeOperator(unordered, ["a", "b"])
+
+    def test_needs_two_sources(self):
+        with pytest.raises(ExecutionError):
+            MergeOperator(SCHEMA, ["solo"])
+
+
+class TestRuntimeIntegration:
+    def packets(self, src, times):
+        return [
+            Record(TCP_SCHEMA, (t, i + 1, src, 2, 100, 1024, 80, 6))
+            for i, t in enumerate(times)
+        ]
+
+    def build(self):
+        gs = Gigascope()
+        gs.register_stream(TCP_SCHEMA)
+        gs.add_query("SELECT time, len FROM TCP WHERE srcIP = 1", name="a")
+        gs.add_query("SELECT time, len FROM TCP WHERE srcIP = 2", name="b")
+        merged = gs.add_merge("both", ["a", "b"])
+        return gs, merged
+
+    def test_merge_combines_query_outputs(self):
+        gs, merged = self.build()
+        records = self.packets(1, [0, 2, 4]) + self.packets(2, [1, 3, 5])
+        records.sort(key=lambda r: r["uts"])  # interleave by uts arrival
+        gs.run(iter(records))
+        times = [r["time"] for r in merged.results]
+        assert times == sorted(times)
+        assert len(times) == 6
+
+    def test_downstream_windowing_over_merge(self):
+        gs, _merged = self.build()
+        top = gs.add_query(
+            "SELECT tb, count(*) FROM both GROUP BY time/2 as tb", name="top"
+        )
+        records = self.packets(1, [0, 1, 2, 3]) + self.packets(2, [0, 1, 2, 3])
+        gs.run(iter(records))
+        counts = {row["tb"]: row[1] for row in top.results}
+        assert counts == {0: 4, 1: 4}
+
+    def test_validation(self):
+        gs = Gigascope()
+        gs.register_stream(TCP_SCHEMA)
+        gs.add_query("SELECT time FROM TCP", name="only")
+        with pytest.raises(PlanningError, match="at least two"):
+            gs.add_merge("m", ["only"])
+        with pytest.raises(PlanningError, match="not a registered query"):
+            gs.add_merge("m", ["only", "ghost"])
+        gs.add_query("SELECT time, len FROM TCP", name="wider")
+        with pytest.raises(PlanningError, match="share one schema"):
+            gs.add_merge("m", ["only", "wider"])

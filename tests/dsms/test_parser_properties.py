@@ -1,0 +1,93 @@
+"""Property tests on the query front end: print/re-parse round trips.
+
+Random expression ASTs are rendered with the nodes' ``__str__`` and parsed
+back; the result must be structurally identical.  This pins the printer
+and the parser to one another (operator precedence, parenthesisation,
+argument lists, the ``$`` superaggregate suffix).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsms.expr import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.dsms.parser.parser import parse_expression, parse_query
+
+_NAMES = ("srcIP", "destIP", "len", "tb", "HX", "uts")
+_FUNCTIONS = ("H", "UMAX", "ssample", "count", "sum", "Kth_smallest_value$")
+
+
+def _literals():
+    return st.one_of(
+        st.integers(0, 10**6).map(Literal),
+        st.booleans().map(Literal),
+        st.floats(0, 1000).map(lambda f: Literal(round(f, 3))),
+    )
+
+
+def _expressions(max_depth=3):
+    base = st.one_of(
+        _literals(),
+        st.sampled_from(_NAMES).map(ColumnRef),
+    )
+
+    def extend(children):
+        binary = st.builds(
+            BinaryOp,
+            st.sampled_from(["+", "-", "*", "/", "%", "=", "<>", "<", "<=",
+                             ">", ">=", "AND", "OR"]),
+            children,
+            children,
+        )
+        unary = st.builds(UnaryOp, st.sampled_from(["-", "NOT"]), children)
+        call = st.builds(
+            lambda name, args: FunctionCall(name, tuple(args)),
+            st.sampled_from(_FUNCTIONS),
+            st.lists(children, max_size=3),
+        )
+        star_call = st.builds(
+            lambda name: FunctionCall(name, (Star(),)),
+            st.sampled_from(("count", "count_distinct$")),
+        )
+        return st.one_of(binary, unary, call, star_call)
+
+    return st.recursive(base, extend, max_leaves=12)
+
+
+class TestRoundTrip:
+    @given(_expressions())
+    @settings(max_examples=200, deadline=None)
+    def test_expression_print_parse_roundtrip(self, expr):
+        printed = str(expr)
+        reparsed = parse_expression(printed)
+        assert str(reparsed) == printed
+
+    @given(_expressions())
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_is_idempotent(self, expr):
+        once = parse_expression(str(expr))
+        twice = parse_expression(str(once))
+        assert once == twice
+
+    @given(
+        st.lists(st.sampled_from(_NAMES), min_size=1, max_size=4, unique=True),
+        _expressions(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_query_roundtrip(self, columns, where):
+        text = (
+            "SELECT "
+            + ", ".join(columns)
+            + " FROM TCP WHERE "
+            + str(where)
+        )
+        ast = parse_query(text)
+        assert parse_query(str(ast)) == ast

@@ -1,0 +1,121 @@
+"""Planner: specs, output schemas, superaggregate recipes."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.dsms.parser.parser import parse_query
+from repro.dsms.parser.analyzer import analyze
+from repro.dsms.parser.planner import compile_query, plan
+from repro.streams.schema import Ordering
+from repro.algorithms.bindings import (
+    MIN_HASH_QUERY,
+    SUBSET_SUM_QUERY,
+    subset_sum_library,
+)
+
+
+def planned(text, registries, name="Q"):
+    return plan(analyze(parse_query(text), registries), registries, query_name=name)
+
+
+class TestOutputSchema:
+    def test_alias_names(self, registries):
+        q = planned("SELECT len AS size, srcIP FROM TCP", registries)
+        assert q.output_schema.names == ("size", "srcIP")
+
+    def test_synthesized_names(self, registries):
+        q = planned("SELECT len + 1, len * 2 FROM TCP", registries)
+        assert q.output_schema.names == ("col0", "col1")
+
+    def test_name_collisions_deduplicated(self, registries):
+        q = planned("SELECT len, len FROM TCP", registries)
+        assert len(set(q.output_schema.names)) == 2
+
+    def test_selection_preserves_ordered_marker(self, registries):
+        q = planned("SELECT time, len FROM TCP WHERE len > 0", registries)
+        assert q.output_schema.attribute("time").ordering is Ordering.INCREASING
+
+    def test_grouped_query_marks_window_variable(self, registries):
+        registries.stateful = registries.stateful.merge(subset_sum_library())
+        q = compile_query(
+            SUBSET_SUM_QUERY.format(window=20, target=10), registries
+        )
+        assert q.output_schema.attribute("tb").ordering is Ordering.INCREASING
+
+    def test_only_first_ordered_column_marked(self, registries):
+        q = planned(
+            "SELECT tb, tb2 FROM TCP GROUP BY time/60 as tb, time/120 as tb2",
+            registries,
+        )
+        assert q.output_schema.attribute("tb").ordering is Ordering.INCREASING
+        assert q.output_schema.attribute("tb2").ordering is Ordering.NONE
+
+    def test_schema_named_after_query(self, registries):
+        q = planned("SELECT len FROM TCP", registries, name="myq")
+        assert q.output_schema.name == "myq"
+
+
+class TestSamplingSpec:
+    def test_indices(self, registries):
+        q = planned(MIN_HASH_QUERY.format(window=60, k=10), registries)
+        spec = q.sampling
+        assert spec is not None
+        assert spec.group_by_names == ("tb", "srcIP", "HX")
+        assert spec.ordered_indices == (0,)
+        assert spec.supergroup_indices == (0, 1)
+        assert spec.nonordered_supergroup_indices == (1,)
+
+    def test_superagg_specs(self, registries):
+        q = planned(MIN_HASH_QUERY.format(window=60, k=10), registries)
+        spec = q.sampling
+        by_name = {s.name: s for s in spec.superaggregates}
+        kth = by_name["Kth_smallest_value"]
+        assert kth.const_args == (10,)
+        assert kth.feeds == "group"
+        assert by_name["count_distinct"].feeds == "group"
+
+    def test_empty_arg_superaggregate_allowed(self, registries):
+        # Paper writes count_distinct$() in the reservoir query.
+        q = planned(
+            "SELECT tb FROM TCP GROUP BY time/60 as tb, uts"
+            " CLEANING WHEN count_distinct$() > 5"
+            " CLEANING BY count(*) > 0",
+            registries,
+        )
+        assert q.sampling.superaggregates[0].name == "count_distinct"
+
+    def test_nonconstant_superagg_arg_rejected(self, registries):
+        with pytest.raises(PlanningError, match="must be constants"):
+            planned(
+                "SELECT tb, HX FROM TCP"
+                " GROUP BY time/60 as tb, H(destIP) as HX"
+                " SUPERGROUP tb"
+                " HAVING HX <= Kth_smallest_value$(HX, HX)",
+                registries,
+            )
+
+    def test_group_fed_superagg_needs_groupby_columns(self, registries):
+        # `len` is a raw stream column, legal in WHERE but not evaluable in
+        # the group context where group-fed superaggregates are maintained.
+        with pytest.raises(PlanningError, match="group-by variables"):
+            planned(
+                "SELECT tb FROM TCP"
+                " WHERE Kth_smallest_value$(len, 5) > 0"
+                " GROUP BY time/60 as tb"
+                " SUPERGROUP tb",
+                registries,
+            )
+
+    def test_selection_plan_has_no_sampling_spec(self, registries):
+        q = planned("SELECT len FROM TCP", registries)
+        assert q.kind == "selection" and q.sampling is None
+
+
+class TestCompileQuery:
+    def test_end_to_end(self, registries):
+        registries.stateful = registries.stateful.merge(subset_sum_library())
+        q = compile_query(SUBSET_SUM_QUERY.format(window=20, target=10), registries)
+        assert q.kind == "sampling"
+        assert q.sampling.state_names == ("subsetsum_sampling_state",)
+        # sum(len) appears in SELECT, HAVING, and CLEANING BY: one slot.
+        assert len(q.sampling.aggregates) == 1

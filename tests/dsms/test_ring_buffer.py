@@ -1,0 +1,125 @@
+"""Ring buffer: subscription, polling, drop accounting."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.dsms.ring_buffer import RingBuffer
+
+
+class TestBasics:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(StreamError):
+            RingBuffer(0)
+
+    def test_poll_returns_pushed_order(self):
+        ring = RingBuffer(16)
+        sid = ring.subscribe()
+        for i in range(5):
+            ring.push(i)
+        assert ring.poll(sid) == [0, 1, 2, 3, 4]
+
+    def test_poll_consumes(self):
+        ring = RingBuffer(16)
+        sid = ring.subscribe()
+        ring.push(1)
+        assert ring.poll(sid) == [1]
+        assert ring.poll(sid) == []
+
+    def test_subscriber_sees_only_records_after_subscription(self):
+        ring = RingBuffer(16)
+        ring.push("early")
+        sid = ring.subscribe()
+        ring.push("late")
+        assert ring.poll(sid) == ["late"]
+
+    def test_max_records_limits_poll(self):
+        ring = RingBuffer(16)
+        sid = ring.subscribe()
+        ring.extend(iter(range(10)))
+        assert ring.poll(sid, max_records=3) == [0, 1, 2]
+        assert ring.poll(sid) == list(range(3, 10))
+
+    def test_len_counts_total_pushes(self):
+        ring = RingBuffer(4)
+        ring.extend(iter(range(10)))
+        assert len(ring) == 10
+
+
+class TestMultipleSubscribers:
+    def test_independent_cursors(self):
+        ring = RingBuffer(16)
+        a, b = ring.subscribe(), ring.subscribe()
+        ring.push(1)
+        assert ring.poll(a) == [1]
+        ring.push(2)
+        assert ring.poll(a) == [2]
+        assert ring.poll(b) == [1, 2]
+
+
+class TestOverflow:
+    def test_slow_consumer_drops_oldest(self):
+        ring = RingBuffer(4)
+        sid = ring.subscribe()
+        ring.extend(iter(range(10)))
+        out = ring.poll(sid)
+        assert out == [6, 7, 8, 9]
+        assert ring.drops(sid) == 6
+
+    def test_backlog(self):
+        ring = RingBuffer(16)
+        sid = ring.subscribe()
+        ring.extend(iter(range(5)))
+        assert ring.backlog(sid) == 5
+        ring.poll(sid)
+        assert ring.backlog(sid) == 0
+
+    def test_no_drops_when_keeping_up(self):
+        ring = RingBuffer(4)
+        sid = ring.subscribe()
+        for i in range(20):
+            ring.push(i)
+            assert ring.poll(sid) == [i]
+        assert ring.drops(sid) == 0
+
+
+class TestErrors:
+    def test_unknown_subscriber(self):
+        ring = RingBuffer(4)
+        with pytest.raises(StreamError):
+            ring.poll(99)
+        with pytest.raises(StreamError):
+            ring.drops(99)
+        with pytest.raises(StreamError):
+            ring.backlog(99)
+
+
+class TestPropertyBased:
+    def test_random_push_poll_sequences_preserve_order(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(st.lists(st.tuples(st.booleans(), st.integers(0, 100)),
+                        max_size=200),
+               st.integers(2, 32))
+        @settings(max_examples=50, deadline=None)
+        def check(ops, capacity):
+            ring = RingBuffer(capacity)
+            sid = ring.subscribe()
+            pushed = []
+            polled = []
+            for is_push, value in ops:
+                if is_push:
+                    ring.push(value)
+                    pushed.append(value)
+                else:
+                    polled.extend(ring.poll(sid))
+            polled.extend(ring.poll(sid))
+            dropped = ring.drops(sid)
+            # Everything polled is a subsequence of what was pushed, with
+            # exactly `dropped` records missing.
+            assert len(polled) + dropped == len(pushed)
+            # Order-preservation: polled appears in pushed order.
+            it = iter(pushed)
+            assert all(any(v == p for p in it) for v in polled)
+
+        check()

@@ -1,0 +1,240 @@
+"""The two-level Gigascope runtime."""
+
+import pytest
+
+from repro.errors import PlanningError, ExecutionError
+from repro.dsms.cost import CostModel
+from repro.dsms.runtime import Gigascope
+from repro.streams.records import Record
+from repro.streams.schema import TCP_SCHEMA
+from repro.algorithms.bindings import subset_sum_library, SUBSET_SUM_QUERY
+
+
+def packets(n=10, start_time=0, length=100):
+    return [
+        Record(TCP_SCHEMA, (start_time + i // 5, i + 1, 1, 2, length, 1024, 80, 6))
+        for i in range(n)
+    ]
+
+
+class TestRegistration:
+    def test_duplicate_stream_rejected(self, gigascope):
+        with pytest.raises(PlanningError, match="already registered"):
+            gigascope.register_stream(TCP_SCHEMA)
+
+    def test_duplicate_query_name_rejected(self, gigascope):
+        gigascope.add_query("SELECT len FROM TCP", name="q")
+        with pytest.raises(PlanningError, match="already in use"):
+            gigascope.add_query("SELECT len FROM TCP", name="q")
+
+    def test_unknown_source_rejected(self, gigascope):
+        with pytest.raises(Exception):
+            gigascope.add_query("SELECT x FROM NOWHERE")
+
+    def test_auto_names(self, gigascope):
+        h1 = gigascope.add_query("SELECT len FROM TCP")
+        h2 = gigascope.add_query("SELECT len FROM TCP")
+        assert h1.name != h2.name
+
+
+class TestLevels:
+    def test_selection_on_source_is_low_level(self, gigascope):
+        handle = gigascope.add_query("SELECT len FROM TCP")
+        assert handle.level == "low"
+
+    def test_aggregation_gets_auto_feeder(self, gigascope):
+        handle = gigascope.add_query(
+            "SELECT tb, sum(len) FROM TCP GROUP BY time/2 as tb", name="agg"
+        )
+        assert handle.level == "high"
+        feeder = gigascope.query("agg__lowsel")
+        assert feeder.level == "low"
+
+    def test_query_reading_from_query_is_high_level(self, gigascope):
+        gigascope.add_query("SELECT time, len FROM TCP WHERE len > 10", name="sel")
+        handle = gigascope.add_query("SELECT len FROM sel", name="top")
+        assert handle.level == "high"
+
+
+class TestExecution:
+    def test_selection_results(self, gigascope):
+        handle = gigascope.add_query("SELECT len FROM TCP WHERE len > 50")
+        gigascope.run(iter(packets(10, length=100)))
+        assert len(handle.results) == 10
+
+    def test_chained_queries(self, gigascope):
+        gigascope.add_query("SELECT time, len FROM TCP WHERE len > 50", name="sel")
+        top = gigascope.add_query(
+            "SELECT tb, count(*) FROM sel GROUP BY time/2 as tb", name="top"
+        )
+        gigascope.run(iter(packets(10)))
+        # 10 packets across times 0..1 -> one window, count 10
+        assert top.results[0][1] == 10
+
+    def test_aggregation_through_auto_feeder(self, gigascope):
+        handle = gigascope.add_query(
+            "SELECT tb, sum(len) FROM TCP GROUP BY time/1 as tb", name="agg"
+        )
+        gigascope.run(iter(packets(10, length=7)))
+        total = sum(row[1] for row in handle.results)
+        assert total == 70
+
+    def test_sampling_query_end_to_end(self, gigascope):
+        gigascope.use_stateful_library(subset_sum_library())
+        handle = gigascope.add_query(
+            SUBSET_SUM_QUERY.format(window=1, target=3), name="ss"
+        )
+        gigascope.run(iter(packets(50)))
+        assert handle.results, "sampling query produced no output"
+
+    def test_keep_results_false_discards(self, gigascope):
+        handle = gigascope.add_query(
+            "SELECT len FROM TCP", keep_results=False, name="sel"
+        )
+        gigascope.run(iter(packets(5)))
+        assert handle.results == []
+
+    def test_run_returns_record_count(self, gigascope):
+        gigascope.add_query("SELECT len FROM TCP")
+        assert gigascope.run(iter(packets(17))) == 17
+
+    def test_record_for_unknown_stream_rejected(self, gigascope):
+        from repro.streams.schema import PKT_SCHEMA
+
+        gigascope.add_query("SELECT len FROM TCP")
+        bad = Record(PKT_SCHEMA, (0, 1, 2, 100, 1024, 80, 6))
+        with pytest.raises(ExecutionError, match="unregistered stream"):
+            gigascope.run(iter([bad]))
+
+    def test_unknown_query_lookup(self, gigascope):
+        with pytest.raises(ExecutionError):
+            gigascope.query("ghost")
+
+
+class TestCostAccounting:
+    def test_feeder_charges_copies(self):
+        cost = CostModel()
+        gs = Gigascope(cost_model=cost)
+        gs.register_stream(TCP_SCHEMA)
+        gs.add_query(
+            "SELECT tb, sum(len) FROM TCP GROUP BY time/2 as tb", name="agg"
+        )
+        gs.run(iter(packets(20)))
+        feeder_cycles = cost.cycles("agg__lowsel")
+        assert feeder_cycles >= 20 * cost.book.tuple_copy
+
+    def test_forwarded_counter(self, gigascope):
+        gigascope.add_query("SELECT time, len FROM TCP WHERE len > 50", name="sel")
+        gigascope.add_query("SELECT len FROM sel", name="top")
+        gigascope.run(iter(packets(10, length=100)))
+        assert gigascope.query("sel").forwarded == 10
+
+    def test_cpu_percent_uses_account(self):
+        cost = CostModel()
+        gs = Gigascope(cost_model=cost)
+        gs.register_stream(TCP_SCHEMA)
+        gs.add_query("SELECT len FROM TCP", name="sel")
+        gs.run(iter(packets(100)))
+        assert gs.cpu_percent("sel", 1.0) > 0
+
+
+class TestFromRewrite:
+    def test_rewrite_from(self):
+        rewritten = Gigascope._rewrite_from(
+            "SELECT a FROM TCP WHERE x > 1", "TCP", "feeder"
+        )
+        assert "FROM feeder" in rewritten
+        assert "FROM TCP" not in rewritten
+
+    def test_rewrite_failure_raises(self):
+        with pytest.raises(PlanningError):
+            Gigascope._rewrite_from("SELECT a FROM OTHER", "TCP", "feeder")
+
+
+class TestLowLevelAggregation:
+    """Paper Figure 1: low-level nodes may do early partial aggregation."""
+
+    def test_runs_at_low_level_without_feeder(self, gigascope):
+        handle = gigascope.add_query(
+            "SELECT tb, sum(len) FROM TCP GROUP BY time/2 as tb",
+            name="agg",
+            low_level_aggregation=True,
+        )
+        assert handle.level == "low"
+        with pytest.raises(ExecutionError):
+            gigascope.query("agg__lowsel")
+
+    def test_same_results_as_high_level(self):
+        from repro.dsms.runtime import Gigascope
+
+        def run(low):
+            gs = Gigascope()
+            gs.register_stream(TCP_SCHEMA)
+            handle = gs.add_query(
+                "SELECT tb, sum(len) FROM TCP GROUP BY time/2 as tb",
+                name="agg",
+                low_level_aggregation=low,
+            )
+            gs.run(iter(packets(20)))
+            return [tuple(r.values) for r in handle.results]
+
+        assert run(True) == run(False)
+
+    def test_early_reduction_cuts_copy_cost(self):
+        from repro.dsms.cost import CostModel
+        from repro.dsms.runtime import Gigascope
+
+        def total_cycles(low):
+            cost = CostModel()
+            gs = Gigascope(cost_model=cost)
+            gs.register_stream(TCP_SCHEMA)
+            gs.add_query(
+                "SELECT tb, sum(len) FROM TCP GROUP BY time/2 as tb",
+                name="agg",
+                low_level_aggregation=low,
+            )
+            gs.run(iter(packets(200)))
+            return cost.total_cycles()
+
+        assert total_cycles(True) < total_cycles(False) / 3
+
+    def test_rejected_for_sampling_queries(self, gigascope):
+        gigascope.use_stateful_library(subset_sum_library())
+        with pytest.raises(PlanningError, match="only to plain aggregation"):
+            gigascope.add_query(
+                SUBSET_SUM_QUERY.format(window=2, target=5),
+                name="ss",
+                low_level_aggregation=True,
+            )
+
+    def test_rejected_for_selection(self, gigascope):
+        with pytest.raises(PlanningError):
+            gigascope.add_query(
+                "SELECT len FROM TCP",
+                name="sel",
+                low_level_aggregation=True,
+            )
+
+
+class TestOverloadBehaviour:
+    """Ring-buffer overflow surfaces as counted drops, not corruption."""
+
+    def test_slow_polling_drops_oldest(self):
+        from repro.dsms.runtime import Gigascope
+
+        gs = Gigascope(ring_capacity=8)
+        gs.register_stream(TCP_SCHEMA)
+        handle = gs.add_query("SELECT len FROM TCP", name="sel")
+        # Batch larger than the ring: records pushed before the poll
+        # overwrite each other; the query only sees the survivors.
+        gs.run(iter(packets(64)), batch_size=64)
+        assert len(handle.results) == 8
+
+    def test_small_batches_never_drop(self):
+        from repro.dsms.runtime import Gigascope
+
+        gs = Gigascope(ring_capacity=8)
+        gs.register_stream(TCP_SCHEMA)
+        handle = gs.add_query("SELECT len FROM TCP", name="sel")
+        gs.run(iter(packets(64)), batch_size=4)
+        assert len(handle.results) == 64

@@ -1,0 +1,168 @@
+"""Random-process building blocks of the trace generators."""
+
+import random
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streams.generators import (
+    AddressSpace,
+    BurstyRateProcess,
+    FlowModel,
+    PacketLengthModel,
+    SteadyRateProcess,
+)
+
+
+class TestSteadyRate:
+    def test_stays_within_jitter(self):
+        process = SteadyRateProcess(mean_rate=100_000, jitter=0.03)
+        rng = random.Random(1)
+        rates = [process.rate_at(s, rng) for s in range(200)]
+        assert all(97_000 <= r <= 103_000 for r in rates)
+
+    def test_low_variability(self):
+        process = SteadyRateProcess(mean_rate=100_000, jitter=0.03)
+        rng = random.Random(2)
+        rates = [process.rate_at(s, rng) for s in range(500)]
+        spread = (max(rates) - min(rates)) / 100_000
+        assert spread < 0.07
+
+    def test_invalid_config(self):
+        with pytest.raises(StreamError):
+            SteadyRateProcess(mean_rate=0)
+        with pytest.raises(StreamError):
+            SteadyRateProcess(mean_rate=10, jitter=1.5)
+
+
+class TestBurstyRate:
+    def test_rates_within_bounds(self):
+        process = BurstyRateProcess(low_rate=5_000, high_rate=15_000)
+        rng = random.Random(3)
+        rates = [process.rate_at(s, rng) for s in range(1000)]
+        # within-regime noise of 15% around bounded regimes
+        assert min(rates) >= 5_000 * 0.8
+        assert max(rates) <= 15_000 * 1.2
+
+    def test_produces_genuine_regime_jumps(self):
+        process = BurstyRateProcess(low_rate=5_000, high_rate=15_000,
+                                    mean_regime_seconds=10.0)
+        rng = random.Random(4)
+        rates = [process.rate_at(s, rng) for s in range(600)]
+        jumps = sum(
+            1
+            for a, b in zip(rates, rates[1:])
+            if b < 0.7 * a or b > 1.4 * a
+        )
+        assert jumps >= 5, "the bursty feed must actually burst"
+
+    def test_invalid_config(self):
+        with pytest.raises(StreamError):
+            BurstyRateProcess(low_rate=0)
+        with pytest.raises(StreamError):
+            BurstyRateProcess(low_rate=10, high_rate=5)
+        with pytest.raises(StreamError):
+            BurstyRateProcess(mean_regime_seconds=0)
+
+
+class TestPacketLengthModel:
+    def test_draws_within_bands(self):
+        model = PacketLengthModel()
+        rng = random.Random(5)
+        lengths = [model.draw(rng) for _ in range(5000)]
+        assert all(40 <= l <= 1500 for l in lengths)
+
+    def test_trimodal_mix(self):
+        model = PacketLengthModel()
+        rng = random.Random(6)
+        lengths = [model.draw(rng) for _ in range(10_000)]
+        small = sum(1 for l in lengths if l <= 80) / len(lengths)
+        large = sum(1 for l in lengths if l >= 1300) / len(lengths)
+        assert abs(small - 0.5) < 0.05
+        assert abs(large - 0.3) < 0.05
+
+    def test_mean_length(self):
+        model = PacketLengthModel()
+        rng = random.Random(7)
+        lengths = [model.draw(rng) for _ in range(20_000)]
+        empirical = sum(lengths) / len(lengths)
+        assert abs(empirical - model.mean_length) / model.mean_length < 0.05
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(StreamError):
+            PacketLengthModel(weights=(0.5, 0.5, 0.5))
+
+    def test_bands_validated(self):
+        with pytest.raises(StreamError):
+            PacketLengthModel(small=(0, 10))
+
+
+class TestAddressSpace:
+    def test_addresses_live_in_prefix(self):
+        space = AddressSpace(size=100, base_prefix=0x0A000000)
+        rng = random.Random(8)
+        for _ in range(200):
+            addr = space.pick(rng)
+            assert addr >> 24 == 0x0A
+
+    def test_zipf_skew(self):
+        space = AddressSpace(size=1000, alpha=1.1)
+        rng = random.Random(9)
+        counts = {}
+        for _ in range(20_000):
+            addr = space.pick(rng)
+            counts[addr] = counts.get(addr, 0) + 1
+        top = max(counts.values())
+        # rank-0 address should dominate a uniform draw by a wide margin
+        assert top > 5 * (20_000 / 1000)
+
+    def test_address_of_deterministic(self):
+        space = AddressSpace(size=10)
+        assert space.address_of(3) == space.address_of(3)
+
+    def test_address_of_out_of_range(self):
+        space = AddressSpace(size=10)
+        with pytest.raises(StreamError):
+            space.address_of(10)
+
+    def test_distinct_ranks_distinct_addresses(self):
+        space = AddressSpace(size=500)
+        addresses = {space.address_of(rank) for rank in range(500)}
+        assert len(addresses) == 500
+
+    def test_invalid_config(self):
+        with pytest.raises(StreamError):
+            AddressSpace(size=0)
+        with pytest.raises(StreamError):
+            AddressSpace(alpha=-1)
+
+
+class TestFlowModel:
+    def test_mostly_continues_existing_flows(self):
+        model = FlowModel(continue_probability=0.8)
+        rng = random.Random(10)
+        keys = [model.next_flow_key(rng) for _ in range(5000)]
+        distinct = len(set(keys))
+        assert distinct < len(keys) * 0.5
+
+    def test_reset_clears_live_flows(self):
+        model = FlowModel()
+        rng = random.Random(11)
+        for _ in range(100):
+            model.next_flow_key(rng)
+        model.reset()
+        assert model._live == []
+
+    def test_five_tuple_shape(self):
+        model = FlowModel()
+        rng = random.Random(12)
+        src, dst, sport, dport, proto = model.next_flow_key(rng)
+        assert 0 <= src < 2**32 and 0 <= dst < 2**32
+        assert 1024 <= sport <= 65535
+        assert proto in (6, 17)
+
+    def test_invalid_config(self):
+        with pytest.raises(StreamError):
+            FlowModel(continue_probability=1.5)
+        with pytest.raises(StreamError):
+            FlowModel(max_live_flows=0)

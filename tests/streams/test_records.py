@@ -1,0 +1,80 @@
+"""Record construction and access."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.streams.records import Record
+from repro.streams.schema import Attribute, StreamSchema
+
+SCHEMA = StreamSchema("S", [Attribute("a"), Attribute("b"), Attribute("name", "str")])
+
+
+def make(a=1, b=2, name="x"):
+    return Record(SCHEMA, (a, b, name))
+
+
+class TestConstruction:
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SchemaError, match="needs 3 values"):
+            Record(SCHEMA, (1, 2))
+
+    def test_from_mapping_defaults(self):
+        rec = Record.from_mapping(SCHEMA, {"a": 7})
+        assert rec["a"] == 7
+        assert rec["b"] == 0
+        assert rec["name"] == ""
+
+    def test_from_mapping_unknown_key_rejected(self):
+        with pytest.raises(SchemaError, match="unknown attributes"):
+            Record.from_mapping(SCHEMA, {"zzz": 1})
+
+
+class TestAccess:
+    def test_by_name(self):
+        assert make()["a"] == 1
+
+    def test_by_index(self):
+        assert make()[1] == 2
+
+    def test_by_attribute(self):
+        assert make().name == "x"
+
+    def test_missing_attribute_raises_attributeerror(self):
+        with pytest.raises(AttributeError):
+            make().missing
+
+    def test_get_with_default(self):
+        assert make().get("missing", 42) == 42
+        assert make().get("a") == 1
+
+    def test_as_dict(self):
+        assert make().as_dict() == {"a": 1, "b": 2, "name": "x"}
+
+    def test_iteration_and_len(self):
+        assert list(make()) == [1, 2, "x"]
+        assert len(make()) == 3
+
+
+class TestReplaceEquality:
+    def test_replace_returns_new_record(self):
+        original = make()
+        updated = original.replace(b=99)
+        assert updated["b"] == 99
+        assert original["b"] == 2
+
+    def test_replace_unknown_rejected(self):
+        with pytest.raises(SchemaError):
+            make().replace(zzz=1)
+
+    def test_equality(self):
+        assert make() == make()
+        assert make() != make(a=5)
+
+    def test_hashable(self):
+        assert make() in {make()}
+
+    def test_not_equal_to_other_types(self):
+        assert make() != (1, 2, "x")
+
+    def test_repr_shows_fields(self):
+        assert "a=1" in repr(make())

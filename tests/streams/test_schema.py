@@ -1,0 +1,91 @@
+"""Schema and attribute behaviour."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.streams.schema import (
+    Attribute,
+    Ordering,
+    PKT_SCHEMA,
+    StreamSchema,
+    TCP_SCHEMA,
+)
+
+
+class TestAttribute:
+    def test_defaults(self):
+        attr = Attribute("len")
+        assert attr.type_tag == "int"
+        assert attr.ordering is Ordering.NONE
+
+    def test_ordered_attribute(self):
+        attr = Attribute("time", "uint", Ordering.INCREASING)
+        assert attr.ordering.is_ordered
+
+    def test_unordered_is_not_ordered(self):
+        assert not Ordering.NONE.is_ordered
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("not a name")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "varchar")
+
+
+class TestStreamSchema:
+    def test_lookup_by_name(self):
+        assert PKT_SCHEMA.attribute("time").ordering is Ordering.INCREASING
+        assert PKT_SCHEMA.attribute("len").ordering is Ordering.NONE
+
+    def test_contains(self):
+        assert "srcIP" in PKT_SCHEMA
+        assert "nope" not in PKT_SCHEMA
+
+    def test_index_of(self):
+        assert PKT_SCHEMA.index_of("time") == 0
+        assert PKT_SCHEMA.index_of(PKT_SCHEMA.names[-1]) == len(PKT_SCHEMA) - 1
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(SchemaError, match="no attribute"):
+            PKT_SCHEMA.attribute("missing")
+
+    def test_ordered_attributes(self):
+        ordered = PKT_SCHEMA.ordered_attributes()
+        assert [a.name for a in ordered] == ["time"]
+
+    def test_tcp_uts_is_not_ordered(self):
+        # Paper §6.1: uts has "its timestamp-ness cast away" so grouping on
+        # it must not create per-packet windows.
+        assert not TCP_SCHEMA.attribute("uts").ordering.is_ordered
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            StreamSchema("S", [Attribute("a"), Attribute("a")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            StreamSchema("S", [])
+
+    def test_invalid_schema_name_rejected(self):
+        with pytest.raises(SchemaError):
+            StreamSchema("bad name", [Attribute("a")])
+
+    def test_equality_and_hash(self):
+        a = StreamSchema("S", [Attribute("x"), Attribute("y")])
+        b = StreamSchema("S", [Attribute("x"), Attribute("y")])
+        c = StreamSchema("S", [Attribute("x")])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_mentions_ordering(self):
+        assert "time increasing" in repr(PKT_SCHEMA)
+
+    def test_iteration_order(self):
+        assert [a.name for a in PKT_SCHEMA] == list(PKT_SCHEMA.names)

@@ -1,0 +1,99 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.streams.persistence import load_trace
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = str(tmp_path / "trace.bin")
+    rc = main([
+        "generate", "--feed", "research", "--seconds", "10",
+        "--rate-scale", "0.005", "--seed", "7", "--out", path,
+    ])
+    assert rc == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_trace(self, trace_file, capsys):
+        records = load_trace(trace_file)
+        assert records
+        assert records[0].schema.name == "TCP"
+
+    def test_deterministic(self, tmp_path):
+        paths = []
+        for i in range(2):
+            path = str(tmp_path / f"t{i}.bin")
+            main(["generate", "--seconds", "5", "--seed", "3", "--out", path])
+            paths.append(path)
+        assert load_trace(paths[0]) == load_trace(paths[1])
+
+    def test_ddos_feed_available(self, tmp_path):
+        path = str(tmp_path / "ddos.bin")
+        assert main(["generate", "--feed", "ddos", "--seconds", "5",
+                     "--out", path]) == 0
+
+
+class TestQuery:
+    def test_plain_aggregation(self, trace_file, capsys):
+        rc = main([
+            "query", "--trace", trace_file,
+            "--sql", "SELECT tb, sum(len) FROM TCP GROUP BY time/5 as tb",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "tb\tsum(len)" or "tb" in out.splitlines()[0]
+        assert len(out.splitlines()) >= 3
+
+    def test_sampling_query_with_packs(self, trace_file, capsys):
+        rc = main([
+            "query", "--trace", trace_file, "--relax-factor", "10",
+            "--sql",
+            "SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold())"
+            " FROM TCP WHERE ssample(len, 10) = TRUE"
+            " GROUP BY time/5 as tb, srcIP, destIP, uts"
+            " HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE"
+            " CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE"
+            " CLEANING BY ssclean_with(sum(len)) = TRUE",
+        ])
+        assert rc == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_limit_truncates(self, trace_file, capsys):
+        rc = main([
+            "query", "--trace", trace_file, "--limit", "2",
+            "--sql", "SELECT len FROM TCP",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "more rows" in out
+
+    def test_empty_trace_fails(self, tmp_path, capsys):
+        # An unreadable path surfaces as an error, not a traceback.
+        with pytest.raises(Exception):
+            main(["query", "--trace", str(tmp_path / "missing.bin"),
+                  "--sql", "SELECT len FROM TCP"])
+
+
+class TestExplain:
+    def test_explain_sampling_query(self, capsys):
+        rc = main([
+            "explain", "--sql",
+            "SELECT tb, srcIP FROM TCP WHERE rsample(5) = TRUE"
+            " GROUP BY time/5 as tb, srcIP, uts"
+            " HAVING rsfinal_clean() = TRUE"
+            " CLEANING WHEN rsdo_clean(count_distinct$()) = TRUE"
+            " CLEANING BY rsclean_with() = TRUE",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Query kind : sampling" in out
+        assert "reservoir_sampling_state" in out
+
+    def test_explain_selection(self, capsys):
+        rc = main(["explain", "--sql", "SELECT len FROM TCP WHERE len > 9"])
+        assert rc == 0
+        assert "selection" in capsys.readouterr().out

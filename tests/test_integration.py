@@ -1,0 +1,164 @@
+"""Cross-module integration scenarios.
+
+These exercise realistic multi-query deployments of the DSMS: several
+sampling queries sharing one instance, cascaded sampling (the paper §8's
+"ongoing work" teaser), exact-vs-sampled comparisons, and the DDoS story.
+"""
+
+from collections import Counter, defaultdict
+
+import pytest
+
+from repro import Gigascope, TCP_SCHEMA, TraceConfig, research_center_feed
+from repro.dsms.cost import CostModel
+from repro.algorithms import (
+    HEAVY_HITTERS_QUERY,
+    MIN_HASH_QUERY,
+    PREFILTER_QUERY,
+    RESERVOIR_QUERY,
+    SUBSET_SUM_QUERY,
+    basic_subset_sum_library,
+    heavy_hitters_library,
+    reservoir_library,
+    subset_sum_library,
+    subset_sum_query,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    config = TraceConfig(duration_seconds=60, rate_scale=0.02, seed=314)
+    return list(research_center_feed(config))
+
+
+class TestSimultaneousQueries:
+    """The paper ran its query sets simultaneously on one tap (§7.1)."""
+
+    def test_exact_and_sampled_side_by_side(self, trace):
+        gs = Gigascope()
+        gs.register_stream(TCP_SCHEMA)
+        gs.use_stateful_library(subset_sum_library(relax_factor=10.0))
+        exact = gs.add_query(
+            "SELECT tb, sum(len) FROM TCP GROUP BY time/20 as tb", name="exact"
+        )
+        sampled = gs.add_query(
+            SUBSET_SUM_QUERY.format(window=20, target=100), name="ss"
+        )
+        gs.run(iter(trace))
+
+        actual = {row["tb"]: row[1] for row in exact.results}
+        estimates = defaultdict(float)
+        for row in sampled.results:
+            estimates[row["tb"]] += row[3]
+        for window in list(sorted(actual))[1:]:
+            assert estimates[window] == pytest.approx(actual[window], rel=0.12)
+
+    def test_three_algorithms_one_instance(self, trace):
+        gs = Gigascope()
+        gs.register_stream(TCP_SCHEMA)
+        gs.use_stateful_library(subset_sum_library(relax_factor=10.0))
+        gs.use_stateful_library(reservoir_library(tolerance=5))
+        gs.use_stateful_library(heavy_hitters_library(bucket_width=100))
+        ss = gs.add_query(SUBSET_SUM_QUERY.format(window=20, target=50), name="ss")
+        rs = gs.add_query(RESERVOIR_QUERY.format(window=20, target=50), name="rs")
+        hh = gs.add_query(HEAVY_HITTERS_QUERY.format(window=20, bucket=100), name="hh")
+        mh = gs.add_query(MIN_HASH_QUERY.format(window=20, k=20), name="mh")
+        gs.run(iter(trace))
+
+        assert ss.results and rs.results and hh.results and mh.results
+        # Reservoir emits exactly its target per full window.
+        per_window = Counter(row["tb"] for row in rs.results)
+        for window, count in per_window.items():
+            assert count == 50
+
+    def test_queries_do_not_interfere(self, trace):
+        # Running the subset-sum query alone or with neighbours must give
+        # identical output (states are isolated per query).
+        def run(with_neighbours):
+            gs = Gigascope()
+            gs.register_stream(TCP_SCHEMA)
+            gs.use_stateful_library(subset_sum_library(relax_factor=10.0))
+            if with_neighbours:
+                gs.use_stateful_library(reservoir_library())
+                gs.add_query(RESERVOIR_QUERY.format(window=20, target=20),
+                             name="rs")
+            handle = gs.add_query(
+                SUBSET_SUM_QUERY.format(window=20, target=50), name="ss"
+            )
+            gs.run(iter(trace))
+            return [tuple(row.values) for row in handle.results]
+
+        assert run(False) == run(True)
+
+
+class TestCascadedSampling:
+    """Paper §8: "cascading one type of stream sampling inside a different
+    type of stream sampling group" — here a reservoir query consuming the
+    output of a subset-sum prefilter."""
+
+    def test_reservoir_over_prefiltered_stream(self, trace):
+        gs = Gigascope()
+        gs.register_stream(TCP_SCHEMA)
+        gs.use_stateful_library(basic_subset_sum_library())
+        gs.use_stateful_library(reservoir_library(tolerance=5))
+        gs.add_query(PREFILTER_QUERY.format(z=2000), name="pre",
+                     keep_results=False)
+        cascade_text = RESERVOIR_QUERY.format(window=20, target=20).replace(
+            "FROM TCP", "FROM pre"
+        )
+        handle = gs.add_query(cascade_text, name="cascade")
+        gs.run(iter(trace))
+
+        per_window = Counter(row["tb"] for row in handle.results)
+        assert per_window
+        assert all(count <= 20 for count in per_window.values())
+
+    def test_dynamic_over_prefilter_preserves_estimates(self, trace):
+        gs = Gigascope()
+        gs.register_stream(TCP_SCHEMA)
+        gs.use_stateful_library(basic_subset_sum_library())
+        gs.use_stateful_library(subset_sum_library(relax_factor=10.0))
+        total = sum(r["len"] for r in trace) / 3  # approximate window volume
+        z_dyn = total / 100
+        gs.add_query(PREFILTER_QUERY.format(z=z_dyn / 10), name="pre",
+                     keep_results=False)
+        handle = gs.add_query(
+            subset_sum_query(window=20, target=100, stream="pre"), name="ss"
+        )
+        gs.run(iter(trace))
+        actual = defaultdict(int)
+        for record in trace:
+            actual[record["time"] // 20] += record["len"]
+        estimates = defaultdict(float)
+        for row in handle.results:
+            estimates[row["tb"]] += row[3]
+        for window in sorted(actual)[1:]:
+            assert estimates[window] == pytest.approx(actual[window], rel=0.2)
+
+
+class TestCostIsolation:
+    def test_accounts_per_query(self, trace):
+        cost = CostModel()
+        gs = Gigascope(cost_model=cost)
+        gs.register_stream(TCP_SCHEMA)
+        gs.use_stateful_library(subset_sum_library())
+        gs.add_query(SUBSET_SUM_QUERY.format(window=20, target=50), name="ss")
+        gs.add_query("SELECT len FROM TCP WHERE len > 1000", name="sel",
+                     keep_results=False)
+        gs.run(iter(trace))
+        accounts = cost.accounts()
+        assert accounts["ss"] > 0
+        assert accounts["ss__lowsel"] > accounts["ss"]  # copies dominate
+        assert accounts["sel"] > 0
+
+    def test_window_stats_cover_whole_run(self, trace):
+        gs = Gigascope()
+        gs.register_stream(TCP_SCHEMA)
+        gs.use_stateful_library(subset_sum_library())
+        handle = gs.add_query(
+            SUBSET_SUM_QUERY.format(window=20, target=50), name="ss"
+        )
+        gs.run(iter(trace))
+        stats = handle.operator.window_stats
+        assert [s.window[0] for s in stats] == [0, 1, 2]
+        assert sum(s.tuples_seen for s in stats) == len(trace)
