@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Repository check gate: style (ruff), types (mypy), query lint over the
+# shipped .gsql corpus, and the tier-1 pytest suite.
+#
+# ruff and mypy are optional (install with `pip install -e .[dev]`);
+# when absent they are skipped with a notice so the gate still works in
+# minimal containers.  Query lint and pytest always run.
+set -u
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+failures=0
+
+run() {
+    echo "==> $*"
+    if ! "$@"; then
+        failures=$((failures + 1))
+        echo "FAILED: $*" >&2
+    fi
+    echo
+}
+
+if command -v ruff >/dev/null 2>&1; then
+    run ruff check src tests examples
+else
+    echo "==> ruff not installed; skipping style check (pip install -e .[dev])"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    run mypy src/repro/analysis
+else
+    echo "==> mypy not installed; skipping type check (pip install -e .[dev])"
+fi
+
+echo "==> query lint over examples/queries/*.gsql"
+for query in examples/queries/*.gsql; do
+    if ! python -m repro.cli lint "$query"; then
+        failures=$((failures + 1))
+        echo "FAILED: lint $query" >&2
+    fi
+done
+echo
+
+run python -m pytest tests/
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures check(s) failed" >&2
+    exit 1
+fi
+echo "all checks passed"

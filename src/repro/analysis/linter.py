@@ -1,0 +1,168 @@
+"""The query linter: one entry point over all analysis passes.
+
+:func:`lint_source` takes GSQL text and runs the full pipeline —
+
+1. lex + parse (failures become ``SA090``/``SA091`` diagnostics instead
+   of exceptions),
+2. collect-mode semantic analysis (``SA020``–``SA030``),
+3. type inference (``SA005``/``SA008``/``SA010``/``SA011``),
+4. semantic lints (``SA001``–``SA009``),
+5. plan lints (``SA101``/``SA102``)
+
+— and returns every finding in one :class:`LintResult`.  Rules can be
+suppressed per query with a pragma comment anywhere in the text::
+
+    -- lint: disable=SA001,SA102
+
+The CLI's ``repro lint`` subcommand and the runtime's pre-execution check
+(``Gigascope`` strict mode) both go through here.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticCollector,
+    render_diagnostics,
+)
+from repro.analysis.plan_rules import check_plan
+from repro.analysis.rules import check_semantics
+from repro.analysis.types import TypeCheckResult, check_types
+from repro.dsms.parser.analyzer import AnalyzedQuery, Registries, analyze
+from repro.dsms.parser.parser import parse_query
+from repro.dsms.span import Span
+from repro.errors import LexError, ParseError
+
+#: ``-- lint: disable=SA001,SA102`` anywhere in the query text.
+_PRAGMA_RE = re.compile(r"--\s*lint:\s*disable=([A-Za-z0-9_, \t]*)")
+
+
+def parse_pragmas(source: str) -> FrozenSet[str]:
+    """Rule ids disabled by ``-- lint: disable=...`` pragma comments."""
+    disabled: List[str] = []
+    for match in _PRAGMA_RE.finditer(source):
+        for rule in match.group(1).split(","):
+            rule = rule.strip()
+            if rule:
+                disabled.append(rule.upper())
+    return frozenset(disabled)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run found."""
+
+    source: str
+    filename: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    disabled: FrozenSet[str] = frozenset()
+    analyzed: Optional[AnalyzedQuery] = None
+    types: Optional[TypeCheckResult] = None
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.is_error]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if not d.is_error]
+
+    @property
+    def ok(self) -> bool:
+        """No errors (warnings allowed)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """No diagnostics at all."""
+        return not self.diagnostics
+
+    def render(self) -> str:
+        """Compiler-style report with source lines and carets."""
+        return render_diagnostics(self.diagnostics, self.source, self.filename)
+
+
+def _column_of(source: str, position: int) -> int:
+    return position - source.rfind("\n", 0, position)
+
+
+def lint_query(
+    source: str,
+    registries: Registries,
+    filename: str = "<query>",
+) -> LintResult:
+    """Lint one query text against explicit registries."""
+    collector = DiagnosticCollector()
+    analyzed: Optional[AnalyzedQuery] = None
+    types_result: Optional[TypeCheckResult] = None
+    try:
+        ast = parse_query(source)
+    except LexError as exc:
+        collector.error(
+            "SA090", str(exc), Span(exc.line, _column_of(source, exc.position))
+        )
+    except ParseError as exc:
+        span = Span(exc.line, exc.col) if exc.line > 0 else None
+        collector.error("SA091", str(exc), span)
+    else:
+        analyzed = analyze(ast, registries, collector)
+        if analyzed is not None:
+            types_result = check_types(analyzed, registries, collector)
+            check_semantics(analyzed, registries, collector)
+            check_plan(analyzed, registries, collector)
+    disabled = parse_pragmas(source)
+    diagnostics = [d for d in collector.sorted() if d.rule not in disabled]
+    return LintResult(
+        source=source,
+        filename=filename,
+        diagnostics=diagnostics,
+        disabled=disabled,
+        analyzed=analyzed,
+        types=types_result,
+    )
+
+
+def default_lint_registries() -> Registries:
+    """Registries for standalone linting: the stock streams, built-in
+    functions, and every SFUN pack this repository ships (mirrors the
+    CLI's standard instance, minus the runtime)."""
+    from repro.algorithms.bindings import (
+        basic_subset_sum_library,
+        distinct_sampling_library,
+        heavy_hitters_library,
+        reservoir_library,
+        subset_sum_library,
+    )
+    from repro.core.superaggregates import default_superaggregate_registry
+    from repro.dsms.aggregates import default_aggregate_registry
+    from repro.dsms.functions import default_function_registry
+    from repro.streams.schema import PKT_SCHEMA, TCP_SCHEMA
+
+    stateful = subset_sum_library()
+    for pack in (
+        basic_subset_sum_library(),
+        reservoir_library(),
+        heavy_hitters_library(),
+        distinct_sampling_library(),
+    ):
+        stateful = stateful.merge(pack)
+    return Registries(
+        schemas={TCP_SCHEMA.name: TCP_SCHEMA, PKT_SCHEMA.name: PKT_SCHEMA},
+        scalars=default_function_registry(),
+        aggregates=default_aggregate_registry(),
+        superaggregates=default_superaggregate_registry(),
+        stateful=stateful,
+    )
+
+
+def lint_source(
+    source: str,
+    registries: Optional[Registries] = None,
+    filename: str = "<query>",
+) -> LintResult:
+    """Lint one query text (default registries when none are given)."""
+    return lint_query(source, registries or default_lint_registries(), filename)

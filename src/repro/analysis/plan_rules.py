@@ -1,0 +1,130 @@
+"""Pass 3 of the static analyzer: plan-level lints driven by the cost model.
+
+These rules reason about what the planner/runtime will *do* with the
+query, using the charge constants and cardinality hints of
+:mod:`repro.dsms.cost`:
+
+``SA101``
+    The per-window group table is estimated to exceed the budget
+    (:data:`~repro.dsms.cost.DEFAULT_GROUP_TABLE_BUDGET`) and the query
+    has no CLEANING clauses to shrink it.  The estimate multiplies the
+    per-variable distinct-value hints over the non-window group-by
+    variables (window variables don't accumulate — the table is flushed
+    at each window boundary).
+``SA102``
+    A WHERE conjunct references only raw stream columns and deterministic
+    scalar functions, so it could run in a *low-level* selection query
+    instead.  Left where it is, every tuple it would have dropped is
+    first copied up to the high-level query — and the per-tuple copy
+    (``CostBook.tuple_copy`` ≈ 16,000 cycles) is the dominant cost of
+    low-level queries in the paper's Fig 5/6 experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.diagnostics import DiagnosticCollector
+from repro.dsms.cost import (
+    DEFAULT_GROUP_TABLE_BUDGET,
+    estimate_expr_cardinality,
+)
+from repro.dsms.expr import (
+    AggregateCall,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    ScalarCall,
+    StatefulCall,
+    SuperAggregateCall,
+    find_nodes,
+)
+from repro.dsms.parser.analyzer import AnalyzedQuery, Registries
+
+
+def _conjuncts(expr: Expr) -> List[Expr]:
+    """Split a predicate on top-level ANDs."""
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _is_prefilterable(
+    conjunct: Expr, analyzed: AnalyzedQuery, registries: Registries
+) -> bool:
+    """True when ``conjunct`` could be evaluated by a low-level selection:
+    raw stream columns and deterministic scalars only."""
+    if find_nodes(conjunct, (AggregateCall, SuperAggregateCall, StatefulCall)):
+        return False
+    if find_nodes(conjunct, FunctionCall):  # unclassified (collect mode)
+        return False
+    for node in find_nodes(conjunct, ColumnRef):
+        if node.name not in analyzed.schema:
+            return False  # group-by variable: needs the high-level context
+    scalar_calls = find_nodes(conjunct, ScalarCall)
+    if not any(
+        isinstance(node, ColumnRef) for node in conjunct.walk()
+    ) and not scalar_calls:
+        return False  # constant predicate; SA004-style, not a pushdown
+    for node in scalar_calls:
+        if not registries.scalars.is_deterministic(node.name):
+            return False
+    return True
+
+
+def _check_group_table_budget(
+    analyzed: AnalyzedQuery, collector: DiagnosticCollector
+) -> None:
+    if not analyzed.group_by or analyzed.ast.has_cleaning:
+        return
+    estimate = 1.0
+    for item in analyzed.group_by:
+        if item.name in analyzed.ordered_names:
+            continue  # window variables don't accumulate within a window
+        estimate *= estimate_expr_cardinality(item.expr)
+    if estimate <= DEFAULT_GROUP_TABLE_BUDGET:
+        return
+    collector.warning(
+        "SA101",
+        f"estimated group-table size is ~{estimate:.0g} entries per window"
+        f" (budget {DEFAULT_GROUP_TABLE_BUDGET:.0f}) and the query has no"
+        " CLEANING clauses to shrink it",
+        analyzed.ast.clause_span("GROUP BY"),
+        hint="add CLEANING WHEN/BY clauses (the operator's sampling"
+        " mechanism) or group on coarser expressions",
+    )
+
+
+def _check_prefilterable_where(
+    analyzed: AnalyzedQuery,
+    registries: Registries,
+    collector: DiagnosticCollector,
+) -> None:
+    if analyzed.kind not in ("sampling", "aggregation"):
+        return  # selections already run at the low level
+    where = analyzed.ast.where
+    if where is None:
+        return
+    for conjunct in _conjuncts(where):
+        if _is_prefilterable(conjunct, analyzed, registries):
+            collector.warning(
+                "SA102",
+                "this WHERE conjunct uses only raw stream columns and"
+                " deterministic scalars; evaluated here, every tuple it"
+                " drops was first copied to the high level"
+                " (~16,000 cycles each, the dominant Fig 5 cost)",
+                conjunct.span,
+                hint="move the conjunct into a low-level selection query"
+                " and point this query's FROM at it (paper Fig 6)",
+            )
+
+
+def check_plan(
+    analyzed: AnalyzedQuery,
+    registries: Registries,
+    collector: DiagnosticCollector,
+) -> None:
+    """Run every plan lint over ``analyzed``."""
+    _check_group_table_budget(analyzed, collector)
+    _check_prefilterable_where(analyzed, registries, collector)

@@ -1,0 +1,285 @@
+"""Pass 1 of the static analyzer: type inference over expression trees.
+
+Infers a :class:`~repro.analysis.signatures.GType` for every node of every
+clause of an analyzed query, starting from the stream schema's attribute
+type tags and the function signature tables.  Reports:
+
+* ``SA010`` (error) — operand type mismatches: arithmetic on strings or
+  booleans, comparisons between strings and numbers, logic over strings;
+* ``SA011`` (warning) — a predicate clause (WHERE / HAVING / CLEANING
+  WHEN / CLEANING BY) whose expression is not boolean-typed;
+* ``SA008`` (error) — scalar / aggregate / superaggregate calls whose
+  argument count does not match the registered signature;
+* ``SA005`` (error) — SFUN calls with the wrong arity or an unregistered
+  backing state (the paper's STATE/SFUN wiring, §6.2).
+
+Group-by variables are typed from their defining expressions, so
+``time/60 AS tb`` makes ``tb`` a UINT wherever later clauses use it.
+Unknown names (already reported by the clause-legality pass) type as
+UNKNOWN, which unifies with everything — inference never piles a second
+diagnostic onto a name the analyzer already rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis.diagnostics import DiagnosticCollector
+from repro.analysis.signatures import (
+    GType,
+    Signature,
+    aggregate_signature,
+    from_type_tag,
+    numeric_join,
+    scalar_signature,
+    stateful_signature,
+    superaggregate_signature,
+)
+from repro.dsms.expr import (
+    AggregateCall,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    Literal,
+    ScalarCall,
+    Star,
+    StatefulCall,
+    SuperAggregateCall,
+    UnaryOp,
+)
+from repro.dsms.parser.analyzer import AnalyzedQuery, Registries
+from repro.dsms.span import Span
+
+_ARITHMETIC_OPS = ("+", "-", "*", "/", "%")
+_COMPARISON_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+_LOGIC_OPS = ("AND", "OR")
+
+#: Clauses whose top-level expression must be a predicate.
+PREDICATE_CLAUSES = ("WHERE", "HAVING", "CLEANING WHEN", "CLEANING BY")
+
+
+@dataclass
+class TypeCheckResult:
+    """Inferred types: per group-by variable and per clause root."""
+
+    group_var_types: Dict[str, GType] = field(default_factory=dict)
+    clause_types: Dict[str, GType] = field(default_factory=dict)
+
+
+class _Inferencer:
+    def __init__(
+        self,
+        registries: Registries,
+        collector: DiagnosticCollector,
+        env: Dict[str, GType],
+    ) -> None:
+        self._registries = registries
+        self._collector = collector
+        self._env = env
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _mismatch(self, message: str, span: Optional[Span],
+                  hint: Optional[str] = None) -> None:
+        self._collector.error("SA010", message, span, hint)
+
+    def _check_arity(
+        self,
+        rule: str,
+        label: str,
+        signature: Signature,
+        node_args: int,
+        span: Optional[Span],
+    ) -> None:
+        arity = signature.arity
+        if arity is not None and not arity.accepts(node_args):
+            self._collector.error(
+                rule,
+                f"{label} takes {arity} argument(s), got {node_args}",
+                span,
+            )
+
+    # -- inference ---------------------------------------------------------------
+
+    def infer(self, expr: Expr) -> GType:
+        if isinstance(expr, Literal):
+            return self._literal(expr)
+        if isinstance(expr, ColumnRef):
+            return self._env.get(expr.name, GType.UNKNOWN)
+        if isinstance(expr, Star):
+            return GType.INT  # count(*) semantics: every row counts as 1
+        if isinstance(expr, UnaryOp):
+            return self._unary(expr)
+        if isinstance(expr, BinaryOp):
+            return self._binary(expr)
+        if isinstance(expr, ScalarCall):
+            return self._call(
+                expr, scalar_signature(self._registries.scalars, expr.name),
+                "SA008", f"scalar function {expr.name!r}",
+            )
+        if isinstance(expr, AggregateCall):
+            return self._call(
+                expr, aggregate_signature(expr.name),
+                "SA008", f"aggregate {expr.name!r}",
+            )
+        if isinstance(expr, SuperAggregateCall):
+            return self._call(
+                expr, superaggregate_signature(expr.name),
+                "SA008", f"superaggregate {expr.name}$",
+            )
+        if isinstance(expr, StatefulCall):
+            return self._stateful(expr)
+        if isinstance(expr, FunctionCall):
+            # Unclassified (collect-mode leftover after an unknown-function
+            # diagnostic); type the arguments, don't re-report the name.
+            for arg in expr.args:
+                self.infer(arg)
+            return GType.UNKNOWN
+        return GType.UNKNOWN
+
+    @staticmethod
+    def _literal(expr: Literal) -> GType:
+        value = expr.value
+        if isinstance(value, bool):
+            return GType.BOOL
+        if isinstance(value, int):
+            return GType.INT
+        if isinstance(value, float):
+            return GType.FLOAT
+        if isinstance(value, str):
+            return GType.STR
+        return GType.UNKNOWN
+
+    def _unary(self, expr: UnaryOp) -> GType:
+        operand = self.infer(expr.operand)
+        if expr.op == "-":
+            if operand.is_known and not operand.is_numeric:
+                self._mismatch(
+                    f"unary '-' needs a numeric operand, got {operand}",
+                    expr.span,
+                )
+                return GType.UNKNOWN
+            # Negation leaves UINT: -len can go negative.
+            return numeric_join(operand, GType.INT) if operand.is_known else operand
+        if expr.op == "NOT":
+            if operand is GType.STR:
+                self._mismatch("NOT needs a boolean operand, got str", expr.span)
+            return GType.BOOL
+        return GType.UNKNOWN
+
+    def _binary(self, expr: BinaryOp) -> GType:
+        op = expr.op
+        left = self.infer(expr.left)
+        right = self.infer(expr.right)
+        if op in _ARITHMETIC_OPS:
+            for side, side_type in (("left", left), ("right", right)):
+                if side_type.is_known and not side_type.is_numeric:
+                    self._mismatch(
+                        f"arithmetic {op!r} needs numeric operands;"
+                        f" {side} operand is {side_type}",
+                        expr.span,
+                    )
+                    return GType.UNKNOWN
+            if op == "/":
+                # Integer division buckets (time/60); float division otherwise.
+                joined = numeric_join(left, right)
+                return joined if joined is not GType.FLOAT else GType.FLOAT
+            return numeric_join(left, right)
+        if op in _COMPARISON_OPS:
+            if left.is_known and right.is_known:
+                compatible = (
+                    (left.is_numeric and right.is_numeric)
+                    or left == right
+                )
+                if not compatible:
+                    self._mismatch(
+                        f"comparison {op!r} between incompatible types"
+                        f" {left} and {right}",
+                        expr.span,
+                    )
+            return GType.BOOL
+        if op in _LOGIC_OPS:
+            for side_type in (left, right):
+                if side_type is GType.STR:
+                    self._mismatch(
+                        f"{op} needs boolean operands, got str", expr.span
+                    )
+            return GType.BOOL
+        return GType.UNKNOWN
+
+    def _call(self, expr, signature: Signature, rule: str, label: str) -> GType:
+        arg_types = [self.infer(arg) for arg in expr.args]
+        self._check_arity(rule, label, signature, len(expr.args), expr.span)
+        return signature.returns(arg_types)
+
+    def _stateful(self, expr: StatefulCall) -> GType:
+        library = self._registries.stateful
+        arg_types = [self.infer(arg) for arg in expr.args]
+        del arg_types  # SFUN parameter types are opaque; only arity checks
+        signature = stateful_signature(library, expr.name)
+        self._check_arity(
+            "SA005",
+            f"stateful function {expr.name!r}"
+            f" (state {expr.state_name!r})",
+            signature,
+            len(expr.args),
+            expr.span,
+        )
+        try:
+            library.state_class(expr.state_name)
+        except Exception:
+            self._collector.error(
+                "SA005",
+                f"stateful function {expr.name!r} is bound to state"
+                f" {expr.state_name!r}, which is not registered",
+                expr.span,
+                hint="register the STATE class before the SFUN that uses it",
+            )
+        return signature.returns([])
+
+
+def check_types(
+    analyzed: AnalyzedQuery,
+    registries: Registries,
+    collector: DiagnosticCollector,
+) -> TypeCheckResult:
+    """Infer types for every clause of ``analyzed``, reporting mismatches."""
+    result = TypeCheckResult()
+    schema_env: Dict[str, GType] = {
+        attr.name: from_type_tag(attr.type_tag) for attr in analyzed.schema
+    }
+
+    # Group-by variables first: their defining expressions see the schema.
+    group_env = dict(schema_env)
+    definer = _Inferencer(registries, collector, dict(schema_env))
+    for item in analyzed.group_by:
+        var_type = definer.infer(item.expr)
+        result.group_var_types[item.name] = var_type
+        group_env[item.name] = var_type
+
+    checker = _Inferencer(registries, collector, group_env)
+    ast = analyzed.ast
+    clauses = [
+        ("WHERE", ast.where),
+        ("HAVING", ast.having),
+        ("CLEANING WHEN", ast.cleaning_when),
+        ("CLEANING BY", ast.cleaning_by),
+    ]
+    for clause, expr in clauses:
+        if expr is None:
+            continue
+        clause_type = checker.infer(expr)
+        result.clause_types[clause] = clause_type
+        if clause in PREDICATE_CLAUSES and clause_type.is_known \
+                and clause_type is not GType.BOOL:
+            collector.warning(
+                "SA011",
+                f"{clause} predicate has type {clause_type}, expected bool",
+                expr.span or ast.clause_span(clause),
+                hint="compare the expression to a value, e.g. '... = TRUE'",
+            )
+    for index, item in enumerate(ast.select):
+        result.clause_types[f"SELECT[{index}]"] = checker.infer(item.expr)
+    return result

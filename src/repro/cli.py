@@ -17,6 +17,16 @@ Subcommands (also reachable as ``python -m repro.cli``):
   (``--relax-factor`` configures the subset-sum pack).
 
 * ``explain`` — compile a query and print its plan without running it.
+
+* ``lint`` — statically analyze a query without running it::
+
+      python -m repro.cli lint examples/queries/subset_sum.gsql
+      python -m repro.cli lint --sql "SELECT srcIP FROM TCP GROUP BY srcIP"
+
+  Prints every diagnostic with source carets; exits 1 on errors (or, with
+  ``--strict``, on any diagnostic).  ``query`` also lints before running
+  and prints warnings to stderr; disable with ``--no-lint`` or escalate
+  with ``--strict``.
 """
 
 from __future__ import annotations
@@ -85,6 +95,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if trace[0].schema != TCP_SCHEMA:
         gs = Gigascope()
         gs.register_stream(trace[0].schema)
+    if args.lint:
+        result = gs.lint(args.sql, name="cli")
+        if result.diagnostics:
+            print(result.render(), file=sys.stderr)
+        if result.errors or (args.strict and result.diagnostics):
+            return 1
     handle = gs.add_query(args.sql, name="cli")
     gs.run(iter(trace))
     rows = handle.results
@@ -95,6 +111,37 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if limit < len(rows):
         print(f"... ({len(rows) - limit} more rows)")
     print(f"-- {len(rows)} rows", file=sys.stderr)
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.file is None and args.sql is None:
+        print("lint needs a query file or --sql", file=sys.stderr)
+        return 2
+    if args.file is not None and args.sql is not None:
+        print("lint takes a query file or --sql, not both", file=sys.stderr)
+        return 2
+    if args.file is not None:
+        try:
+            with open(args.file, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+            return 2
+        filename = args.file
+    else:
+        source = args.sql
+        filename = "<sql>"
+    gs = _standard_instance(args.relax_factor)
+    result = gs.lint(source, name=filename)
+    if result.diagnostics:
+        print(result.render())
+        errors, warnings = len(result.errors), len(result.warnings)
+        print(f"-- {errors} error(s), {warnings} warning(s)", file=sys.stderr)
+    else:
+        print(f"{filename}: ok")
+    if result.errors or (args.strict and result.diagnostics):
+        return 1
     return 0
 
 
@@ -125,7 +172,29 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--sql", required=True)
     query.add_argument("--limit", type=int, default=20)
     query.add_argument("--relax-factor", type=float, default=10.0)
+    query.add_argument(
+        "--no-lint",
+        dest="lint",
+        action="store_false",
+        help="skip the pre-execution static analysis",
+    )
+    query.add_argument(
+        "--strict",
+        action="store_true",
+        help="refuse to run if the linter reports anything",
+    )
     query.set_defaults(fn=_cmd_query)
+
+    lint_cmd = sub.add_parser(
+        "lint", help="statically analyze a query without running it"
+    )
+    lint_cmd.add_argument("file", nargs="?", help="path to a .gsql query file")
+    lint_cmd.add_argument("--sql", help="lint this query text instead of a file")
+    lint_cmd.add_argument(
+        "--strict", action="store_true", help="exit 1 on warnings too"
+    )
+    lint_cmd.add_argument("--relax-factor", type=float, default=10.0)
+    lint_cmd.set_defaults(fn=_cmd_lint)
 
     explain_cmd = sub.add_parser("explain", help="compile and explain a query")
     explain_cmd.add_argument("--sql", required=True)

@@ -145,3 +145,64 @@ class _NullCostModel(CostModel):
 
 #: Shared do-nothing cost model.
 NULL_COST_MODEL = _NullCostModel()
+
+
+# ---------------------------------------------------------------------------
+# Group-table cardinality estimation (used by the plan lints, rule SA101)
+# ---------------------------------------------------------------------------
+
+#: Per-attribute distinct-value hints for the packet-header domain the
+#: paper's feeds use.  ``uts`` is a nanosecond timestamp (every packet is
+#: its own group — the subset-sum trick); addresses and ports span their
+#: 16-bit synthetic ranges; anything unknown defaults conservatively.
+ATTRIBUTE_CARDINALITY_HINTS: Dict[str, float] = {
+    "time": 86_400.0,
+    "uts": 1e9,
+    "srcIP": 65_536.0,
+    "destIP": 65_536.0,
+    "srcPort": 65_536.0,
+    "destPort": 65_536.0,
+    "protocol": 256.0,
+    "len": 1_500.0,
+}
+
+#: Distinct values assumed for a column with no hint.
+DEFAULT_ATTRIBUTE_CARDINALITY = 10_000.0
+
+#: Group-table entries above which rule SA101 warns (each entry holds the
+#: group key plus its aggregate vector; 100k entries is the order of
+#: magnitude where the paper starts cleaning instead of growing).
+DEFAULT_GROUP_TABLE_BUDGET = 100_000.0
+
+
+def estimate_expr_cardinality(expr: "Expr") -> float:  # noqa: F821
+    """Estimated distinct values of a group-by expression.
+
+    A coarse, order-of-magnitude model: column hints from
+    :data:`ATTRIBUTE_CARDINALITY_HINTS`, bucketing division/modulo by a
+    constant divides/caps the domain, and every other combinator keeps the
+    largest input domain (hashes and arithmetic preserve distinctness at
+    this resolution).
+    """
+    from repro.dsms.expr import BinaryOp, ColumnRef, Literal
+
+    if isinstance(expr, Literal):
+        return 1.0
+    if isinstance(expr, ColumnRef):
+        return ATTRIBUTE_CARDINALITY_HINTS.get(
+            expr.name, DEFAULT_ATTRIBUTE_CARDINALITY
+        )
+    if isinstance(expr, BinaryOp) and expr.op in ("/", "%"):
+        left = estimate_expr_cardinality(expr.left)
+        divisor = expr.right
+        if isinstance(divisor, Literal) and isinstance(divisor.value, (int, float)):
+            k = abs(float(divisor.value))
+            if k > 0:
+                if expr.op == "/":
+                    return max(1.0, left / k)
+                return min(left, k)
+        return left
+    children = list(expr.children())
+    if not children:
+        return DEFAULT_ATTRIBUTE_CARDINALITY
+    return max(estimate_expr_cardinality(child) for child in children)

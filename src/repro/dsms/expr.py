@@ -16,9 +16,10 @@ at runtime is a bug, reported as :class:`ExecutionError`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.dsms.span import Span
 from repro.errors import ExecutionError
 
 
@@ -26,9 +27,17 @@ from repro.errors import ExecutionError
 # AST nodes
 # ---------------------------------------------------------------------------
 
+#: Spans are carried for diagnostics only: they never participate in node
+#: equality or hashing (the analyzer dedups aggregate slots by value) and
+#: default to None for programmatically built trees.
+def _span_field() -> Any:
+    return field(default=None, compare=False, repr=False)
+
 
 class Expr:
     """Base class for all expression nodes."""
+
+    span: Optional[Span]
 
     def children(self) -> Tuple["Expr", ...]:
         return ()
@@ -43,6 +52,7 @@ class Expr:
 @dataclass(frozen=True)
 class Literal(Expr):
     value: Any
+    span: Optional[Span] = _span_field()
 
     def __str__(self) -> str:
         return repr(self.value)
@@ -51,6 +61,7 @@ class Literal(Expr):
 @dataclass(frozen=True)
 class ColumnRef(Expr):
     name: str
+    span: Optional[Span] = _span_field()
 
     def __str__(self) -> str:
         return self.name
@@ -60,6 +71,8 @@ class ColumnRef(Expr):
 class Star(Expr):
     """The ``*`` argument of ``count(*)`` / ``count_distinct$(*)``."""
 
+    span: Optional[Span] = _span_field()
+
     def __str__(self) -> str:
         return "*"
 
@@ -68,6 +81,7 @@ class Star(Expr):
 class UnaryOp(Expr):
     op: str  # '-', 'NOT'
     operand: Expr
+    span: Optional[Span] = _span_field()
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.operand,)
@@ -81,6 +95,7 @@ class BinaryOp(Expr):
     op: str  # arithmetic: + - * / %   comparison: = <> < <= > >=   logic: AND OR
     left: Expr
     right: Expr
+    span: Optional[Span] = _span_field()
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.left, self.right)
@@ -95,6 +110,7 @@ class FunctionCall(Expr):
 
     name: str
     args: Tuple[Expr, ...]
+    span: Optional[Span] = _span_field()
 
     def children(self) -> Tuple[Expr, ...]:
         return self.args
@@ -109,6 +125,7 @@ class ScalarCall(Expr):
 
     name: str
     args: Tuple[Expr, ...]
+    span: Optional[Span] = _span_field()
 
     def children(self) -> Tuple[Expr, ...]:
         return self.args
@@ -128,6 +145,7 @@ class AggregateCall(Expr):
     name: str
     args: Tuple[Expr, ...]
     slot: int = -1
+    span: Optional[Span] = _span_field()
 
     def children(self) -> Tuple[Expr, ...]:
         return self.args
@@ -143,6 +161,7 @@ class SuperAggregateCall(Expr):
     name: str
     args: Tuple[Expr, ...]
     slot: int = -1
+    span: Optional[Span] = _span_field()
 
     def children(self) -> Tuple[Expr, ...]:
         return self.args
@@ -158,6 +177,7 @@ class StatefulCall(Expr):
     name: str
     state_name: str
     args: Tuple[Expr, ...]
+    span: Optional[Span] = _span_field()
 
     def children(self) -> Tuple[Expr, ...]:
         return self.args
@@ -327,24 +347,33 @@ def rewrite(expr: Expr, fn: Callable[[Expr], Optional[Expr]]) -> Expr:
     rebuilt) node.  Dataclass frozen-ness means rebuilds create new nodes.
     """
     if isinstance(expr, UnaryOp):
-        rebuilt: Expr = UnaryOp(expr.op, rewrite(expr.operand, fn))
+        rebuilt: Expr = UnaryOp(expr.op, rewrite(expr.operand, fn), span=expr.span)
     elif isinstance(expr, BinaryOp):
-        rebuilt = BinaryOp(expr.op, rewrite(expr.left, fn), rewrite(expr.right, fn))
+        rebuilt = BinaryOp(
+            expr.op, rewrite(expr.left, fn), rewrite(expr.right, fn), span=expr.span
+        )
     elif isinstance(expr, FunctionCall):
-        rebuilt = FunctionCall(expr.name, tuple(rewrite(a, fn) for a in expr.args))
+        rebuilt = FunctionCall(
+            expr.name, tuple(rewrite(a, fn) for a in expr.args), span=expr.span
+        )
     elif isinstance(expr, ScalarCall):
-        rebuilt = ScalarCall(expr.name, tuple(rewrite(a, fn) for a in expr.args))
+        rebuilt = ScalarCall(
+            expr.name, tuple(rewrite(a, fn) for a in expr.args), span=expr.span
+        )
     elif isinstance(expr, AggregateCall):
         rebuilt = AggregateCall(
-            expr.name, tuple(rewrite(a, fn) for a in expr.args), expr.slot
+            expr.name, tuple(rewrite(a, fn) for a in expr.args), expr.slot,
+            span=expr.span,
         )
     elif isinstance(expr, SuperAggregateCall):
         rebuilt = SuperAggregateCall(
-            expr.name, tuple(rewrite(a, fn) for a in expr.args), expr.slot
+            expr.name, tuple(rewrite(a, fn) for a in expr.args), expr.slot,
+            span=expr.span,
         )
     elif isinstance(expr, StatefulCall):
         rebuilt = StatefulCall(
-            expr.name, expr.state_name, tuple(rewrite(a, fn) for a in expr.args)
+            expr.name, expr.state_name, tuple(rewrite(a, fn) for a in expr.args),
+            span=expr.span,
         )
     else:
         rebuilt = expr

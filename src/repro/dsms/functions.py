@@ -26,11 +26,31 @@ class FunctionRegistry:
 
     def __init__(self) -> None:
         self._functions: Dict[str, ScalarFn] = {}
+        self._deterministic: Dict[str, bool] = {}
 
-    def register(self, name: str, fn: ScalarFn, replace: bool = False) -> None:
+    def register(
+        self,
+        name: str,
+        fn: ScalarFn,
+        replace: bool = False,
+        deterministic: bool = True,
+    ) -> None:
+        """Register ``fn`` under ``name``.
+
+        ``deterministic=False`` marks functions whose result can differ
+        between calls on equal arguments (clocks, RNGs).  The static
+        analyzer uses the flag: such functions are unsafe in GROUP BY
+        (rule SA006) and disqualify a WHERE conjunct from prefilter
+        pushdown (rule SA102).
+        """
         if not replace and name in self._functions:
             raise RegistryError(f"scalar function {name!r} already registered")
         self._functions[name] = fn
+        self._deterministic[name] = deterministic
+
+    def is_deterministic(self, name: str) -> bool:
+        """Whether ``name`` was registered as deterministic (default True)."""
+        return self._deterministic.get(name, True)
 
     def __contains__(self, name: str) -> bool:
         return name in self._functions
@@ -50,6 +70,7 @@ class FunctionRegistry:
     def copy(self) -> "FunctionRegistry":
         clone = FunctionRegistry()
         clone._functions = dict(self._functions)
+        clone._deterministic = dict(self._deterministic)
         return clone
 
 

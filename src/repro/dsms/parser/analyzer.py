@@ -30,13 +30,23 @@ It also derives the *window* variables — group-by variables whose defining
 expressions reference only ordered stream attributes — and folds them into
 the supergroup per paper §6.1 ("all ordered group-by variables are part of
 the supergroup").
+
+Error handling has two modes.  Called bare, :func:`analyze` raises
+:class:`~repro.errors.AnalysisError` at the first problem (the historical
+behaviour the planner and runtime rely on).  Called with a
+:class:`~repro.analysis.diagnostics.DiagnosticCollector`, every violation
+is *collected* (rules ``SA020``–``SA030``, each with a source span) and
+analysis keeps going, so ``repro lint`` can show all of them in one run;
+only an unknown stream is fatal (returns ``None``) because nothing else
+can be checked without a schema.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.diagnostics import DiagnosticCollector
 from repro.errors import AnalysisError
 from repro.dsms.aggregates import AggregateRegistry
 from repro.dsms.expr import (
@@ -50,11 +60,11 @@ from repro.dsms.expr import (
     SuperAggregateCall,
     column_names,
     find_nodes,
-    free_column_names,
     rewrite,
 )
 from repro.dsms.functions import FunctionRegistry
 from repro.dsms.parser.ast import GroupByItem, QueryAst, SelectItem
+from repro.dsms.span import Span
 from repro.dsms.stateful import StatefulLibrary
 from repro.streams.schema import StreamSchema
 
@@ -92,11 +102,51 @@ class AnalyzedQuery:
         return tuple(item.name for item in self.group_by)
 
 
+class _Report:
+    """Routes violations: raise (legacy) or collect (lint mode)."""
+
+    def __init__(self, collector: Optional[DiagnosticCollector]) -> None:
+        self.collector = collector
+
+    @property
+    def collecting(self) -> bool:
+        return self.collector is not None
+
+    def error(
+        self,
+        rule: str,
+        message: str,
+        span: Optional[Span] = None,
+        hint: Optional[str] = None,
+    ) -> None:
+        if self.collector is None:
+            raise AnalysisError(message)
+        self.collector.error(rule, message, span, hint)
+
+
+def _free_column_nodes(expr: Expr) -> List[ColumnRef]:
+    """Column reference *nodes* outside aggregate calls (span-bearing
+    sibling of :func:`~repro.dsms.expr.free_column_names`)."""
+    nodes: List[ColumnRef] = []
+
+    def visit(node: Expr) -> None:
+        if isinstance(node, AggregateCall):
+            return
+        if isinstance(node, ColumnRef):
+            nodes.append(node)
+        for child in node.children():
+            visit(child)
+
+    visit(expr)
+    return nodes
+
+
 class _Classifier:
     """Rewrites FunctionCall nodes and collects slotted aggregates."""
 
-    def __init__(self, registries: Registries) -> None:
+    def __init__(self, registries: Registries, report: _Report) -> None:
         self._registries = registries
+        self._report = report
         self._agg_slots: Dict[Tuple[str, str], AggregateCall] = {}
         self._super_slots: Dict[Tuple[str, str], SuperAggregateCall] = {}
 
@@ -139,26 +189,38 @@ class _Classifier:
         if name.endswith("$"):
             base = name[:-1]
             if base not in registries.superaggregates:
-                raise AnalysisError(f"unknown superaggregate {name!r}")
+                self._report.error(
+                    "SA022", f"unknown superaggregate {name!r}", node.span
+                )
+                return None  # collect mode: leave the call unclassified
             key = (base, "|".join(map(str, args)))
             if key not in self._super_slots:
-                slotted = SuperAggregateCall(base, args, slot=len(self._super_slots))
+                slotted = SuperAggregateCall(
+                    base, args, slot=len(self._super_slots), span=node.span
+                )
                 self._super_slots[key] = slotted
             return self._super_slots[key]
         if name in registries.stateful:
-            return StatefulCall(name, registries.stateful.state_of(name), args)
+            return StatefulCall(
+                name, registries.stateful.state_of(name), args, span=node.span
+            )
         if name in registries.aggregates:
             key = (name, "|".join(map(str, args)))
             if key not in self._agg_slots:
-                slotted = AggregateCall(name, args, slot=len(self._agg_slots))
+                slotted = AggregateCall(
+                    name, args, slot=len(self._agg_slots), span=node.span
+                )
                 self._agg_slots[key] = slotted
             return self._agg_slots[key]
         if name in registries.scalars:
-            return ScalarCall(name, args)
-        raise AnalysisError(
+            return ScalarCall(name, args, span=node.span)
+        self._report.error(
+            "SA021",
             f"unknown function {name!r}: not a scalar, aggregate, superaggregate,"
-            " or stateful function"
+            " or stateful function",
+            node.span,
         )
+        return None
 
 
 def _check_clause(
@@ -166,59 +228,100 @@ def _check_clause(
     expr: Optional[Expr],
     allowed_columns: Sequence[str],
     allow_aggregates: bool,
+    report: _Report,
     allow_superaggregates: bool = True,
     allow_stateful: bool = True,
 ) -> None:
     if expr is None:
         return
-    for name in free_column_names(expr):
-        if name not in allowed_columns:
-            raise AnalysisError(
-                f"{clause} references {name!r}, which is not available there"
-                f" (available: {sorted(set(allowed_columns))})"
+    for node in _free_column_nodes(expr):
+        if node.name not in allowed_columns:
+            report.error(
+                "SA027",
+                f"{clause} references {node.name!r}, which is not available there"
+                f" (available: {sorted(set(allowed_columns))})",
+                node.span,
             )
-    if not allow_aggregates and find_nodes(expr, AggregateCall):
-        raise AnalysisError(f"{clause} may not reference group aggregates")
-    if not allow_superaggregates and find_nodes(expr, SuperAggregateCall):
-        raise AnalysisError(f"{clause} may not reference superaggregates")
-    if not allow_stateful and find_nodes(expr, StatefulCall):
-        raise AnalysisError(f"{clause} may not reference stateful functions")
+    if not allow_aggregates:
+        for bad in find_nodes(expr, AggregateCall):
+            report.error(
+                "SA028",
+                f"{clause} may not reference group aggregates",
+                bad.span,
+            )
+    if not allow_superaggregates:
+        for bad in find_nodes(expr, SuperAggregateCall):
+            report.error(
+                "SA028",
+                f"{clause} may not reference superaggregates",
+                bad.span,
+            )
+    if not allow_stateful:
+        for bad in find_nodes(expr, StatefulCall):
+            report.error(
+                "SA028",
+                f"{clause} may not reference stateful functions",
+                bad.span,
+            )
 
 
-def analyze(ast: QueryAst, registries: Registries) -> AnalyzedQuery:
-    """Validate and classify a parsed query."""
+def analyze(
+    ast: QueryAst,
+    registries: Registries,
+    collector: Optional[DiagnosticCollector] = None,
+) -> Optional[AnalyzedQuery]:
+    """Validate and classify a parsed query.
+
+    Without ``collector``, raises :class:`AnalysisError` at the first
+    violation and always returns an :class:`AnalyzedQuery`.  With a
+    collector, violations are reported as diagnostics and analysis
+    continues; returns ``None`` only when the stream is unknown.
+    """
+    report = _Report(collector)
     try:
         schema = registries.schemas[ast.from_stream]
     except KeyError:
-        raise AnalysisError(
+        report.error(
+            "SA020",
             f"unknown stream {ast.from_stream!r};"
-            f" known: {sorted(registries.schemas)}"
-        ) from None
+            f" known: {sorted(registries.schemas)}",
+            ast.clause_span("FROM"),
+        )
+        return None  # nothing else is checkable without a schema
 
-    classifier = _Classifier(registries)
+    classifier = _Classifier(registries, report)
 
     # -- group-by variables ---------------------------------------------------
     group_by: List[GroupByItem] = []
     seen_names: set = set()
     for item in ast.group_by:
         if item.name in seen_names:
-            raise AnalysisError(f"duplicate group-by variable {item.name!r}")
+            report.error(
+                "SA023",
+                f"duplicate group-by variable {item.name!r}",
+                item.expr.span or ast.clause_span("GROUP BY"),
+            )
+            continue
         seen_names.add(item.name)
         classified = classifier.classify(item.expr)
         assert classified is not None
-        for col in column_names(classified):
-            if col not in schema:
-                raise AnalysisError(
+        for col_node in _free_column_nodes(classified):
+            if col_node.name not in schema:
+                report.error(
+                    "SA024",
                     f"GROUP BY expression for {item.name!r} references unknown"
-                    f" column {col!r}"
+                    f" column {col_node.name!r}",
+                    col_node.span,
                 )
         bad = find_nodes(classified, AggregateCall) + find_nodes(
             classified, SuperAggregateCall
         ) + find_nodes(classified, StatefulCall)
         if bad:
-            raise AnalysisError(
+            report.error(
+                "SA025",
                 f"GROUP BY expression for {item.name!r} may only use columns and"
-                " scalar functions"
+                " scalar functions",
+                bad[0].span or item.expr.span,
             )
         group_by.append(GroupByItem(classified, item.name))
 
@@ -228,18 +331,25 @@ def analyze(ast: QueryAst, registries: Registries) -> AnalyzedQuery:
     ordered_names: List[str] = []
     for item in group_by:
         cols = column_names(item.expr)
-        if cols and all(schema.attribute(c).ordering.is_ordered for c in cols):
+        if cols and all(
+            c in schema and schema.attribute(c).ordering.is_ordered for c in cols
+        ):
             ordered_names.append(item.name)
 
     # -- supergroup --------------------------------------------------------------
+    supergroup: List[str] = []
     for name in ast.supergroup:
         if name not in group_by_names:
-            raise AnalysisError(
+            report.error(
+                "SA026",
                 f"SUPERGROUP variable {name!r} is not a GROUP BY variable"
-                " (supergroups are a specialization of grouping sets)"
+                " (supergroups are a specialization of grouping sets)",
+                ast.clause_span("SUPERGROUP"),
             )
+            continue
+        supergroup.append(name)
     supergroup_names: List[str] = list(ordered_names)
-    for name in ast.supergroup:
+    for name in supergroup:
         if name not in supergroup_names:
             supergroup_names.append(name)
 
@@ -253,8 +363,11 @@ def analyze(ast: QueryAst, registries: Registries) -> AnalyzedQuery:
     )
 
     if (ast.cleaning_when is None) != (ast.cleaning_by is None):
-        raise AnalysisError(
-            "CLEANING WHEN and CLEANING BY must be used together"
+        present = "CLEANING WHEN" if ast.cleaning_when is not None else "CLEANING BY"
+        report.error(
+            "SA030",
+            "CLEANING WHEN and CLEANING BY must be used together",
+            ast.clause_span(present),
         )
 
     has_sampling_features = (
@@ -267,14 +380,21 @@ def analyze(ast: QueryAst, registries: Registries) -> AnalyzedQuery:
 
     if not ast.group_by:
         if classifier.aggregates or classifier.superaggregates:
-            raise AnalysisError(
-                "aggregates require a GROUP BY clause"
+            offender = (classifier.aggregates + classifier.superaggregates)[0]
+            report.error(
+                "SA029",
+                "aggregates require a GROUP BY clause",
+                offender.span,
             )
         if ast.has_cleaning:
-            raise AnalysisError("CLEANING clauses require a GROUP BY clause")
-        _check_clause("WHERE", where, schema.names, allow_aggregates=False)
+            report.error(
+                "SA029",
+                "CLEANING clauses require a GROUP BY clause",
+                ast.clause_span("CLEANING WHEN") or ast.clause_span("CLEANING BY"),
+            )
+        _check_clause("WHERE", where, schema.names, False, report)
         for item in select_items:
-            _check_clause("SELECT", item.expr, schema.names, allow_aggregates=False)
+            _check_clause("SELECT", item.expr, schema.names, False, report)
         state_names = classifier.state_names(
             where, *[s.expr for s in select_items]
         )
@@ -288,6 +408,7 @@ def analyze(ast: QueryAst, registries: Registries) -> AnalyzedQuery:
             having=None,
             cleaning_when=None,
             cleaning_by=None,
+            clause_spans=ast.clause_spans,
         )
         return AnalyzedQuery(
             ast=analyzed_ast,
@@ -303,15 +424,13 @@ def analyze(ast: QueryAst, registries: Registries) -> AnalyzedQuery:
 
     # -- grouped query: clause legality ---------------------------------------------
     where_columns = list(schema.names) + group_by_names
-    _check_clause("WHERE", where, where_columns, allow_aggregates=False)
-    _check_clause(
-        "CLEANING WHEN", cleaning_when, supergroup_names, allow_aggregates=False
-    )
+    _check_clause("WHERE", where, where_columns, False, report)
+    _check_clause("CLEANING WHEN", cleaning_when, supergroup_names, False, report)
     group_context_columns = group_by_names
-    _check_clause("CLEANING BY", cleaning_by, group_context_columns, allow_aggregates=True)
-    _check_clause("HAVING", having, group_context_columns, allow_aggregates=True)
+    _check_clause("CLEANING BY", cleaning_by, group_context_columns, True, report)
+    _check_clause("HAVING", having, group_context_columns, True, report)
     for item in select_items:
-        _check_clause("SELECT", item.expr, group_context_columns, allow_aggregates=True)
+        _check_clause("SELECT", item.expr, group_context_columns, True, report)
 
     state_names = classifier.state_names(
         where, having, cleaning_when, cleaning_by, *[s.expr for s in select_items]
@@ -326,6 +445,7 @@ def analyze(ast: QueryAst, registries: Registries) -> AnalyzedQuery:
         having=having,
         cleaning_when=cleaning_when,
         cleaning_by=cleaning_by,
+        clause_spans=ast.clause_spans,
     )
     return AnalyzedQuery(
         ast=analyzed_ast,

@@ -7,9 +7,10 @@ clause structure of a whole query.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Mapping, Optional, Tuple
 
 from repro.dsms.expr import Expr
+from repro.dsms.span import Span
 
 
 @dataclass(frozen=True)
@@ -52,10 +53,22 @@ class QueryAst:
     having: Optional[Expr] = None
     cleaning_when: Optional[Expr] = None
     cleaning_by: Optional[Expr] = None
+    #: Keyword spans by clause name ("SELECT", "FROM", "WHERE", "GROUP BY",
+    #: "SUPERGROUP", "HAVING", "CLEANING WHEN", "CLEANING BY"), carried for
+    #: diagnostics only — never part of equality.
+    clause_spans: Optional[Mapping[str, Span]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def has_cleaning(self) -> bool:
         return self.cleaning_when is not None or self.cleaning_by is not None
+
+    def clause_span(self, clause: str) -> Optional[Span]:
+        """Span of a clause keyword, if the parser recorded one."""
+        if self.clause_spans is None:
+            return None
+        return self.clause_spans.get(clause)
 
     def __str__(self) -> str:
         parts = ["SELECT " + ", ".join(map(str, self.select)), f"FROM {self.from_stream}"]

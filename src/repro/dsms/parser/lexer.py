@@ -12,9 +12,10 @@ Notable lexical details:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Any, Iterator, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, List
 
+from repro.dsms.span import Span
 from repro.errors import LexError
 
 
@@ -57,6 +58,14 @@ class Token:
     value: Any
     position: int
     line: int
+    #: 1-based column of the token's first character on its line.
+    col: int = field(default=1, compare=False)
+    #: Character length of the lexeme (strings include their quotes).
+    length: int = field(default=1, compare=False)
+
+    @property
+    def span(self) -> Span:
+        return Span(self.line, self.col, self.length)
 
     def is_keyword(self, word: str) -> bool:
         return self.type is TokenType.KEYWORD and self.value == word
@@ -72,12 +81,18 @@ def tokenize(text: str) -> List[Token]:
     tokens: List[Token] = []
     i = 0
     line = 1
+    line_start = 0  # offset of the first character of the current line
     n = len(text)
+
+    def col_of(offset: int) -> int:
+        return offset - line_start + 1
+
     while i < n:
         ch = text[i]
         if ch == "\n":
             line += 1
             i += 1
+            line_start = i
             continue
         if ch.isspace():
             i += 1
@@ -94,17 +109,32 @@ def tokenize(text: str) -> List[Token]:
             word = text[start:i]
             if i < n and text[i] == "$":
                 i += 1
-                tokens.append(Token(TokenType.IDENT, word + "$", start, line))
+                tokens.append(
+                    Token(TokenType.IDENT, word + "$", start, line,
+                          col_of(start), i - start)
+                )
                 continue
             upper = word.upper()
             if upper in KEYWORDS:
-                tokens.append(Token(TokenType.KEYWORD, upper, start, line))
+                tokens.append(
+                    Token(TokenType.KEYWORD, upper, start, line,
+                          col_of(start), i - start)
+                )
             elif upper == "GROUP_BY":
                 # The paper's examples write both GROUP BY and GROUP_BY.
-                tokens.append(Token(TokenType.KEYWORD, "GROUP", start, line))
-                tokens.append(Token(TokenType.KEYWORD, "BY", start, line))
+                tokens.append(
+                    Token(TokenType.KEYWORD, "GROUP", start, line,
+                          col_of(start), 5)
+                )
+                tokens.append(
+                    Token(TokenType.KEYWORD, "BY", start, line,
+                          col_of(start) + 6, 2)
+                )
             else:
-                tokens.append(Token(TokenType.IDENT, word, start, line))
+                tokens.append(
+                    Token(TokenType.IDENT, word, start, line,
+                          col_of(start), i - start)
+                )
             continue
         if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
             start = i
@@ -118,7 +148,10 @@ def tokenize(text: str) -> List[Token]:
                 i += 1
             literal = text[start:i]
             value: Any = float(literal) if "." in literal else int(literal)
-            tokens.append(Token(TokenType.NUMBER, value, start, line))
+            tokens.append(
+                Token(TokenType.NUMBER, value, start, line,
+                      col_of(start), i - start)
+            )
             continue
         if ch in ("'", '"'):
             quote = ch
@@ -133,16 +166,21 @@ def tokenize(text: str) -> List[Token]:
             if i >= n:
                 raise LexError("unterminated string literal", start, line)
             i += 1  # closing quote
-            tokens.append(Token(TokenType.STRING, "".join(chars), start, line))
+            tokens.append(
+                Token(TokenType.STRING, "".join(chars), start, line,
+                      col_of(start), i - start)
+            )
             continue
         matched = False
         for op in _OPERATORS:
             if text.startswith(op, i):
-                tokens.append(Token(TokenType.OP, op, i, line))
+                tokens.append(
+                    Token(TokenType.OP, op, i, line, col_of(i), len(op))
+                )
                 i += len(op)
                 matched = True
                 break
         if not matched:
             raise LexError(f"unexpected character {ch!r}", i, line)
-    tokens.append(Token(TokenType.EOF, None, n, line))
+    tokens.append(Token(TokenType.EOF, None, n, line, col_of(n), 0))
     return tokens

@@ -24,7 +24,7 @@ Grammar (clauses in this order, bracketed ones optional)::
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ParseError
 from repro.dsms.expr import (
@@ -38,6 +38,7 @@ from repro.dsms.expr import (
 )
 from repro.dsms.parser.ast import GroupByItem, QueryAst, SelectItem
 from repro.dsms.parser.lexer import Token, TokenType, tokenize
+from repro.dsms.span import Span
 
 _COMPARISON_OPS = ("=", "<>", "!=", "<=", ">=", "<", ">")
 
@@ -61,7 +62,11 @@ class _Parser:
 
     def _error(self, message: str) -> ParseError:
         token = self._current
-        return ParseError(f"{message}, found {token} (line {token.line})")
+        return ParseError(
+            f"{message}, found {token} (line {token.line})",
+            line=token.line,
+            col=token.col,
+        )
 
     def _expect_keyword(self, word: str) -> Token:
         if not self._current.is_keyword(word):
@@ -97,23 +102,29 @@ class _Parser:
     # -- query --------------------------------------------------------------
 
     def parse_query(self) -> QueryAst:
-        self._expect_keyword("SELECT")
+        clause_spans: Dict[str, Span] = {}
+        clause_spans["SELECT"] = self._expect_keyword("SELECT").span
         select = self._parse_select_list()
         self._expect_keyword("FROM")
+        from_token = self._current
         from_stream = self._expect_ident("stream name after FROM")
+        # FROM diagnostics point at the stream name, not the keyword.
+        clause_spans["FROM"] = from_token.span
 
         where: Optional[Expr] = None
-        if self._accept_keyword("WHERE"):
+        if self._current.is_keyword("WHERE"):
+            clause_spans["WHERE"] = self._advance().span
             where = self.parse_expr()
 
         group_by: Tuple[GroupByItem, ...] = ()
         if self._current.is_keyword("GROUP"):
-            self._advance()
+            clause_spans["GROUP BY"] = self._advance().span
             self._expect_keyword("BY")
             group_by = self._parse_groupby_list()
 
         supergroup: Tuple[str, ...] = ()
-        if self._accept_keyword("SUPERGROUP"):
+        if self._current.is_keyword("SUPERGROUP"):
+            clause_spans["SUPERGROUP"] = self._advance().span
             self._accept_keyword("BY")  # the paper writes both forms
             names = [self._expect_ident("supergroup variable")]
             while self._accept_op(","):
@@ -121,20 +132,23 @@ class _Parser:
             supergroup = tuple(names)
 
         having: Optional[Expr] = None
-        if self._accept_keyword("HAVING"):
+        if self._current.is_keyword("HAVING"):
+            clause_spans["HAVING"] = self._advance().span
             having = self.parse_expr()
 
         cleaning_when: Optional[Expr] = None
         cleaning_by: Optional[Expr] = None
         while self._current.is_keyword("CLEANING"):
-            self._advance()
+            cleaning_token = self._advance()
             if self._accept_keyword("WHEN"):
                 if cleaning_when is not None:
                     raise self._error("duplicate CLEANING WHEN clause")
+                clause_spans["CLEANING WHEN"] = cleaning_token.span
                 cleaning_when = self.parse_expr()
             elif self._accept_keyword("BY"):
                 if cleaning_by is not None:
                     raise self._error("duplicate CLEANING BY clause")
+                clause_spans["CLEANING BY"] = cleaning_token.span
                 cleaning_by = self.parse_expr()
             else:
                 raise self._error("expected WHEN or BY after CLEANING")
@@ -151,6 +165,7 @@ class _Parser:
             having=having,
             cleaning_when=cleaning_when,
             cleaning_by=cleaning_by,
+            clause_spans=clause_spans,
         )
 
     def _parse_select_list(self) -> Tuple[SelectItem, ...]:
@@ -192,21 +207,21 @@ class _Parser:
     def _parse_or(self) -> Expr:
         left = self._parse_and()
         while self._current.is_keyword("OR"):
-            self._advance()
-            left = BinaryOp("OR", left, self._parse_and())
+            op_token = self._advance()
+            left = BinaryOp("OR", left, self._parse_and(), span=op_token.span)
         return left
 
     def _parse_and(self) -> Expr:
         left = self._parse_not()
         while self._current.is_keyword("AND"):
-            self._advance()
-            left = BinaryOp("AND", left, self._parse_not())
+            op_token = self._advance()
+            left = BinaryOp("AND", left, self._parse_not(), span=op_token.span)
         return left
 
     def _parse_not(self) -> Expr:
         if self._current.is_keyword("NOT"):
-            self._advance()
-            return UnaryOp("NOT", self._parse_not())
+            op_token = self._advance()
+            return UnaryOp("NOT", self._parse_not(), span=op_token.span)
         return self._parse_comparison()
 
     def _parse_comparison(self) -> Expr:
@@ -215,7 +230,7 @@ class _Parser:
         if token.type is TokenType.OP and token.value in _COMPARISON_OPS:
             self._advance()
             right = self._parse_additive()
-            return BinaryOp(token.value, left, right)
+            return BinaryOp(token.value, left, right, span=token.span)
         return left
 
     def _parse_additive(self) -> Expr:
@@ -224,7 +239,9 @@ class _Parser:
             token = self._current
             if token.type is TokenType.OP and token.value in ("+", "-"):
                 self._advance()
-                left = BinaryOp(token.value, left, self._parse_multiplicative())
+                left = BinaryOp(
+                    token.value, left, self._parse_multiplicative(), span=token.span
+                )
             else:
                 return left
 
@@ -234,29 +251,32 @@ class _Parser:
             token = self._current
             if token.type is TokenType.OP and token.value in ("*", "/", "%"):
                 self._advance()
-                left = BinaryOp(token.value, left, self._parse_unary())
+                left = BinaryOp(
+                    token.value, left, self._parse_unary(), span=token.span
+                )
             else:
                 return left
 
     def _parse_unary(self) -> Expr:
+        token = self._current
         if self._accept_op("-"):
-            return UnaryOp("-", self._parse_unary())
+            return UnaryOp("-", self._parse_unary(), span=token.span)
         return self._parse_primary()
 
     def _parse_primary(self) -> Expr:
         token = self._current
         if token.type is TokenType.NUMBER:
             self._advance()
-            return Literal(token.value)
+            return Literal(token.value, span=token.span)
         if token.type is TokenType.STRING:
             self._advance()
-            return Literal(token.value)
+            return Literal(token.value, span=token.span)
         if token.is_keyword("TRUE"):
             self._advance()
-            return Literal(True)
+            return Literal(True, span=token.span)
         if token.is_keyword("FALSE"):
             self._advance()
-            return Literal(False)
+            return Literal(False, span=token.span)
         if self._accept_op("("):
             inner = self.parse_expr()
             self._expect_op(")")
@@ -266,12 +286,12 @@ class _Parser:
             if self._accept_op("("):
                 args = self._parse_arglist()
                 self._expect_op(")")
-                return FunctionCall(token.value, tuple(args))
+                return FunctionCall(token.value, tuple(args), span=token.span)
             if token.value.endswith("$"):
                 raise self._error(
                     f"superaggregate {token.value} must be called with arguments"
                 )
-            return ColumnRef(token.value)
+            return ColumnRef(token.value, span=token.span)
         raise self._error("expected an expression")
 
     def _parse_arglist(self) -> List[Expr]:
@@ -289,7 +309,7 @@ class _Parser:
         token = self._current
         if token.type is TokenType.OP and token.value == "*":
             self._advance()
-            return Star()
+            return Star(span=token.span)
         return self.parse_expr()
 
 

@@ -212,8 +212,31 @@ def plan(analyzed: AnalyzedQuery, registries: Registries, query_name: str = "Q")
     )
 
 
-def compile_query(text: str, registries: Registries, query_name: str = "Q") -> QueryPlan:
-    """Parse, analyze and plan a query text in one call."""
+def compile_query(
+    text: str,
+    registries: Registries,
+    query_name: str = "Q",
+    strict: bool = False,
+) -> QueryPlan:
+    """Parse, analyze and plan a query text in one call.
+
+    ``strict`` runs the full static analyzer first and refuses to compile
+    a query with *any* diagnostic — lint warnings included — so sampling
+    mistakes (unbounded group tables, constant CLEANING predicates, ...)
+    fail at submission instead of silently running wrong.
+    """
+    if strict:
+        from repro.analysis.linter import lint_query
+
+        result = lint_query(text, registries, filename=query_name)
+        if result.diagnostics:
+            from repro.errors import AnalysisError
+
+            raise AnalysisError(
+                f"strict compilation of {query_name!r} failed:\n"
+                + result.render()
+            )
     ast = parse_query(text)
     analyzed = analyze(ast, registries)
+    assert analyzed is not None  # raise mode always returns or raises
     return plan(analyzed, registries, query_name=query_name)

@@ -62,8 +62,12 @@ class Gigascope:
         self,
         cost_model: Optional[CostModel] = None,
         ring_capacity: int = 65536,
+        strict: bool = False,
     ) -> None:
+        """``strict`` makes every :meth:`add_query` refuse queries with
+        any static-analysis diagnostic (see ``repro.analysis``)."""
         self.cost = cost_model or NULL_COST_MODEL
+        self.strict = strict
         self.registries = Registries(
             schemas={},
             scalars=default_function_registry(),
@@ -91,8 +95,15 @@ class Gigascope:
         """Merge an SFUN pack into this instance's registries."""
         self.registries.stateful = self.registries.stateful.merge(library)
 
-    def register_scalar(self, name: str, fn) -> None:
-        self.registries.scalars.register(name, fn)
+    def register_scalar(self, name: str, fn, deterministic: bool = True) -> None:
+        self.registries.scalars.register(name, fn, deterministic=deterministic)
+
+    def lint(self, text: str, name: str = "query"):
+        """Statically analyze a query against this instance's registries
+        without compiling or registering it; returns a ``LintResult``."""
+        from repro.analysis.linter import lint_query
+
+        return lint_query(text, self.registries, filename=name)
 
     # -- queries -----------------------------------------------------------------
 
@@ -102,6 +113,7 @@ class Gigascope:
         name: Optional[str] = None,
         keep_results: bool = True,
         low_level_aggregation: bool = False,
+        strict: Optional[bool] = None,
     ) -> QueryHandle:
         """Compile and register one query.
 
@@ -116,6 +128,9 @@ class Gigascope:
         avoids the per-tuple copy cost.  Sampling queries always run at
         the high level (paper §7.2: the low level supports only selection
         and partial aggregation).
+
+        ``strict`` (default: the instance's flag) refuses the query when
+        the static analyzer reports any diagnostic, warnings included.
         """
         if name is None:
             self._auto_counter += 1
@@ -123,7 +138,8 @@ class Gigascope:
         if name in self.registries.schemas:
             raise PlanningError(f"name {name!r} already in use")
 
-        plan = compile_query(text, self.registries, query_name=name)
+        strict = self.strict if strict is None else strict
+        plan = compile_query(text, self.registries, query_name=name, strict=strict)
         source = plan.analyzed.ast.from_stream
         reads_source_stream = source in self._rings
 
@@ -215,8 +231,12 @@ class Gigascope:
     def _add_passthrough_selection(self, stream: str, name: str) -> QueryHandle:
         schema = self.registries.schemas[stream]
         select_list = ", ".join(schema.names)
+        # Internal plumbing, not user input: never strict-check it.
         return self.add_query(
-            f"SELECT {select_list} FROM {stream}", name=name, keep_results=False
+            f"SELECT {select_list} FROM {stream}",
+            name=name,
+            keep_results=False,
+            strict=False,
         )
 
     @staticmethod

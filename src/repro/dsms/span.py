@@ -1,0 +1,36 @@
+"""Source spans: line/column positions threaded from the lexer to diagnostics.
+
+A :class:`Span` names a contiguous run of characters on one source line
+(1-based ``line`` and ``col``, ``length`` >= 1).  The lexer stamps every
+token with a span, the parser copies token spans onto the AST nodes it
+builds, and the analysis subsystem (:mod:`repro.analysis`) reports
+diagnostics against them so the CLI can render source-line carets.
+
+Multi-line constructs carry the span of their *anchor* token (the clause
+keyword, the operator, the function name) rather than the whole extent —
+one caret run per diagnostic keeps the rendering simple and readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Span:
+    """A 1-based (line, col) position with a character length."""
+
+    line: int
+    col: int
+    length: int = 1
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+    def caret_line(self) -> str:
+        """The ``^^^`` underline for this span (no leading indent)."""
+        return "^" * max(1, self.length)
+
+
+#: Span used when no source position is known (programmatic ASTs).
+UNKNOWN_SPAN = Span(0, 0, 0)

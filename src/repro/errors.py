@@ -36,7 +36,16 @@ class LexError(QueryError):
 
 
 class ParseError(QueryError):
-    """The parser could not derive a query from the token stream."""
+    """The parser could not derive a query from the token stream.
+
+    ``line``/``col`` locate the offending token when known (both 0 for
+    errors raised without position context, e.g. programmatic rewrites).
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        super().__init__(message)
+        self.line = line
+        self.col = col
 
 
 class AnalysisError(QueryError):

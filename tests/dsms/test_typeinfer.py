@@ -1,0 +1,198 @@
+"""Pass 1 of the static analyzer: type inference (``repro.analysis.types``).
+
+Checks the ``GType`` lattice, the inferred type of every expression shape,
+function signature extraction, and the clause/group-variable type maps the
+later passes consume.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.diagnostics import DiagnosticCollector
+from repro.analysis.linter import default_lint_registries
+from repro.analysis.signatures import (
+    Arity,
+    GType,
+    aggregate_signature,
+    numeric_join,
+    scalar_signature,
+    stateful_signature,
+    superaggregate_signature,
+)
+from repro.analysis.types import check_types
+from repro.dsms.parser.analyzer import Registries, analyze
+from repro.dsms.parser.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def registries() -> Registries:
+    return default_lint_registries()
+
+
+def infer(registries: Registries, query: str):
+    """Type-check a query, asserting it produced no diagnostics."""
+    collector = DiagnosticCollector()
+    analyzed = analyze(parse_query(query), registries, collector)
+    assert analyzed is not None
+    result = check_types(analyzed, registries, collector)
+    assert not collector.has_errors, list(collector)
+    return result
+
+
+class TestLattice:
+    def test_numeric_join_widens(self):
+        assert numeric_join(GType.UINT, GType.INT) is GType.INT
+        assert numeric_join(GType.INT, GType.FLOAT) is GType.FLOAT
+        assert numeric_join(GType.UINT, GType.UINT) is GType.UINT
+
+    def test_unknown_is_contagious(self):
+        assert numeric_join(GType.UNKNOWN, GType.INT) is GType.UNKNOWN
+
+    def test_arity_accepts(self):
+        assert Arity(1, 2).accepts(1)
+        assert Arity(1, 2).accepts(2)
+        assert not Arity(1, 2).accepts(3)
+        assert Arity(0, None).accepts(17)
+
+    def test_arity_str(self):
+        assert str(Arity(2, 2)) == "2"
+        assert str(Arity(1, 2)) == "1..2"
+        assert str(Arity(0, None)) == "0+"
+
+
+class TestSelectTypes:
+    @pytest.mark.parametrize(
+        "expr, expected",
+        [
+            ("42", GType.INT),
+            ("1.5", GType.FLOAT),
+            ("'x'", GType.STR),
+            ("TRUE", GType.BOOL),
+            ("len", GType.UINT),  # every TCP attribute is uint
+            ("-len", GType.INT),  # negation can go negative
+            ("len + 1", GType.INT),
+            ("len / 2", GType.INT),
+            ("len / 2.0", GType.FLOAT),
+            ("len > 10", GType.BOOL),
+            ("NOT (len > 10)", GType.BOOL),
+            ("H(srcIP)", GType.UINT),
+            ("HU(srcIP)", GType.FLOAT),
+            ("UMAX(srcPort, destPort)", GType.UINT),
+            ("sqrt(len)", GType.FLOAT),
+            ("floor(len / 7.0)", GType.INT),
+            ("ip_str(srcIP)", GType.STR),
+        ],
+    )
+    def test_select_item(self, registries, expr, expected):
+        result = infer(registries, f"SELECT {expr} FROM TCP")
+        assert result.clause_types["SELECT[0]"] is expected
+
+    @pytest.mark.parametrize(
+        "agg, expected",
+        [
+            ("sum(len)", GType.UINT),  # sum of uint stays uint
+            ("count(*)", GType.INT),
+            ("count_distinct(srcIP)", GType.INT),
+            ("avg(len)", GType.FLOAT),
+            ("min(len)", GType.UINT),
+            ("max(len)", GType.UINT),
+            ("first(len)", GType.UINT),
+            ("last(len)", GType.UINT),
+        ],
+    )
+    def test_aggregate_type(self, registries, agg, expected):
+        result = infer(
+            registries,
+            f"SELECT tb, {agg} FROM TCP GROUP BY time/20 as tb",
+        )
+        assert result.clause_types["SELECT[1]"] is expected
+
+
+class TestGroupVarTypes:
+    def test_group_var_from_defining_expr(self, registries):
+        result = infer(
+            registries,
+            "SELECT tb, hb, count(*) FROM TCP"
+            " GROUP BY time/20 as tb, HU(srcIP) as hb",
+        )
+        assert result.group_var_types["tb"] is GType.INT  # uint / int literal
+        assert result.group_var_types["hb"] is GType.FLOAT
+
+    def test_bare_column_group_var(self, registries):
+        result = infer(
+            registries,
+            "SELECT tb, srcIP, count(*) FROM TCP"
+            " GROUP BY time/20 as tb, srcIP",
+        )
+        assert result.group_var_types["srcIP"] is GType.UINT
+
+    def test_select_sees_group_env(self, registries):
+        result = infer(
+            registries,
+            "SELECT hb / 2.0, count(*) FROM TCP"
+            " GROUP BY time/20 as tb, H(srcIP) as hb",
+        )
+        assert result.clause_types["SELECT[0]"] is GType.FLOAT
+
+
+class TestClauseTypes:
+    def test_where_is_bool(self, registries):
+        result = infer(registries, "SELECT len FROM TCP WHERE len > 10")
+        assert result.clause_types["WHERE"] is GType.BOOL
+
+    def test_sfun_predicate_is_bool(self, registries):
+        # SFUN return annotations are strings under PEP 563; the
+        # signature extractor must still resolve ``-> bool``.
+        result = infer(
+            registries,
+            "SELECT tb, srcIP, sum(len) FROM TCP"
+            " WHERE ssample(len, 1000) = TRUE"
+            " GROUP BY time/20 as tb, srcIP, uts"
+            " CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE"
+            " CLEANING BY ssclean_with(sum(len)) = TRUE",
+        )
+        assert result.clause_types["WHERE"] is GType.BOOL
+        assert result.clause_types["CLEANING WHEN"] is GType.BOOL
+        assert result.clause_types["CLEANING BY"] is GType.BOOL
+
+
+class TestSignatures:
+    def test_scalar_builtin(self, registries):
+        sig = scalar_signature(registries.scalars, "H")
+        assert sig.arity.accepts(1) and sig.arity.accepts(2)
+        assert not sig.arity.accepts(3)
+
+    def test_scalar_registered_python_fn(self, registries):
+        registries.scalars.register("thrice", lambda x: 3 * x)
+        sig = scalar_signature(registries.scalars, "thrice")
+        assert sig.arity == Arity(1, 1)
+
+    def test_scalar_annotation_resolved(self, registries):
+        def as_float(x) -> float:
+            return float(x)
+
+        registries.scalars.register("as_float", as_float)
+        sig = scalar_signature(registries.scalars, "as_float")
+        assert sig.returns([GType.UINT]) is GType.FLOAT
+
+    def test_unknown_aggregate_is_permissive(self):
+        sig = aggregate_signature("mystery")
+        assert sig.arity == Arity(1, 1)
+        assert sig.returns([GType.INT]) is GType.UNKNOWN
+
+    def test_superaggregate_sum_joins(self):
+        sig = superaggregate_signature("sum")
+        assert sig.returns([GType.FLOAT]) is GType.FLOAT
+        assert sig.returns([GType.UINT]) is GType.UINT
+
+    def test_stateful_skips_state_param(self, registries):
+        # ssample(state, measure, target) -> user-visible arity 2
+        sig = stateful_signature(registries.stateful, "ssample")
+        assert sig.arity == Arity(2, 2)
+        assert sig.returns([]) is GType.BOOL
+
+    def test_stateful_zero_arg(self, registries):
+        sig = stateful_signature(registries.stateful, "ssthreshold")
+        assert sig.arity == Arity(0, 0)
+        assert sig.returns([]) is GType.FLOAT

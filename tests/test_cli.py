@@ -78,6 +78,92 @@ class TestQuery:
                   "--sql", "SELECT len FROM TCP"])
 
 
+class TestLint:
+    CLEAN_SQL = "SELECT tb, sum(len) FROM TCP GROUP BY time/5 as tb"
+    WARN_SQL = "SELECT srcIP FROM TCP GROUP BY srcIP"
+    ERROR_SQL = "SELECT foo(len) FROM TCP"
+
+    def test_sql_clean(self, capsys):
+        assert main(["lint", "--sql", self.CLEAN_SQL]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_sql_warning_exits_zero(self, capsys):
+        assert main(["lint", "--sql", self.WARN_SQL]) == 0
+        captured = capsys.readouterr()
+        assert "SA001" in captured.out
+        assert "warning(s)" in captured.err
+
+    def test_sql_error_exits_one(self, capsys):
+        assert main(["lint", "--sql", self.ERROR_SQL]) == 1
+        assert "SA021" in capsys.readouterr().out
+
+    def test_strict_promotes_warnings(self, capsys):
+        assert main(["lint", "--strict", "--sql", self.WARN_SQL]) == 1
+
+    def test_file_input(self, tmp_path, capsys):
+        path = tmp_path / "q.gsql"
+        path.write_text(self.WARN_SQL + "\n")
+        assert main(["lint", str(path)]) == 0
+        assert str(path) in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["lint", "/nonexistent/q.gsql"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_no_input_exits_two(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_both_inputs_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "q.gsql"
+        path.write_text(self.CLEAN_SQL)
+        assert main(["lint", str(path), "--sql", self.CLEAN_SQL]) == 2
+
+    def test_caret_rendering(self, capsys):
+        main(["lint", "--sql", "SELECT len/0 FROM TCP"])
+        out = capsys.readouterr().out
+        assert "SA007" in out
+        assert "^" in out
+
+    def test_example_queries_are_clean(self, capsys):
+        import glob
+
+        files = sorted(glob.glob("examples/queries/*.gsql"))
+        assert files, "example queries missing"
+        for path in files:
+            assert main(["lint", path]) == 0, path
+            assert "ok" in capsys.readouterr().out, path
+
+
+class TestQueryLintIntegration:
+    WARN_SQL = "SELECT srcIP, sum(len) FROM TCP GROUP BY srcIP"
+
+    def test_warning_on_stderr_query_still_runs(self, trace_file, capsys):
+        rc = main(["query", "--trace", trace_file, "--sql", self.WARN_SQL])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "SA001" in captured.err
+        assert "rows" in captured.err  # the query actually ran
+
+    def test_no_lint_suppresses(self, trace_file, capsys):
+        rc = main(["query", "--no-lint", "--trace", trace_file,
+                   "--sql", self.WARN_SQL])
+        assert rc == 0
+        assert "SA001" not in capsys.readouterr().err
+
+    def test_strict_refuses_to_run(self, trace_file, capsys):
+        rc = main(["query", "--strict", "--trace", trace_file,
+                   "--sql", self.WARN_SQL])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "SA001" in captured.err
+        assert "rows" not in captured.err  # never executed
+
+    def test_pragma_satisfies_strict(self, trace_file, capsys):
+        rc = main(["query", "--strict", "--trace", trace_file,
+                   "--sql", "-- lint: disable=SA001\n" + self.WARN_SQL])
+        assert rc == 0
+
+
 class TestExplain:
     def test_explain_sampling_query(self, capsys):
         rc = main([
