@@ -61,3 +61,49 @@ def test_throughput_sampling_operator(benchmark, packets):
 
     processed = benchmark(run)
     assert processed == len(packets)
+
+
+def test_throughput_sharded_vs_serial(benchmark, packets):
+    """Sharded-vs-serial wall-clock comparison on one partitionable query.
+
+    Python shards pay interpreter overhead per shard, so the point is not
+    a speedup claim but a recorded comparison — plus the hard assertion
+    that the sharded runtime's output is identical to the serial one.
+    """
+    import time
+
+    from repro.dsms.sharded import ShardedGigascope, canonical_rows
+
+    text = (
+        "SELECT tb, srcIP, sum(len), count(*)"
+        " FROM TCP GROUP BY time/2 as tb, srcIP"
+    )
+
+    def serial():
+        gs = Gigascope()
+        gs.register_stream(TCP_SCHEMA)
+        handle = gs.add_query(text, name="agg")
+        gs.run(iter(packets))
+        return handle.results
+
+    def sharded():
+        sh = ShardedGigascope(shards=2)
+        sh.register_stream(TCP_SCHEMA)
+        handle = sh.add_query(text, name="agg")
+        sh.run(iter(packets))
+        return handle.results
+
+    start = time.perf_counter()
+    serial_results = serial()
+    serial_seconds = time.perf_counter() - start
+
+    sharded_results = benchmark(sharded)
+
+    assert canonical_rows(sharded_results) == canonical_rows(serial_results)
+    sharded_seconds = benchmark.stats.stats.mean
+    print(
+        f"\nserial {serial_seconds:.3f}s vs sharded(2) {sharded_seconds:.3f}s"
+        f" ({serial_seconds / sharded_seconds:.2f}x)"
+    )
+    benchmark.extra_info["serial_seconds"] = serial_seconds
+    benchmark.extra_info["sharded_shards"] = 2

@@ -45,7 +45,7 @@ from repro.streams import (
     data_center_feed,
     ddos_feed,
 )
-from repro.dsms import Gigascope, CostModel, CostBook, RingBuffer
+from repro.dsms import Gigascope, ShardedGigascope, CostModel, CostBook, RingBuffer
 from repro.core import SamplingOperator
 
 __version__ = "1.0.0"
@@ -63,6 +63,7 @@ __all__ = [
     "data_center_feed",
     "ddos_feed",
     "Gigascope",
+    "ShardedGigascope",
     "CostModel",
     "CostBook",
     "RingBuffer",

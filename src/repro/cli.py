@@ -38,6 +38,7 @@ from typing import List, Optional
 from repro.dsms.explain import explain
 from repro.dsms.parser import compile_query
 from repro.dsms.runtime import Gigascope
+from repro.dsms.sharded import ShardedGigascope
 from repro.streams.persistence import load_trace, save_trace
 from repro.streams.schema import TCP_SCHEMA
 from repro.streams.traces import (
@@ -61,9 +62,18 @@ _FEEDS = {
 }
 
 
-def _standard_instance(relax_factor: float) -> Gigascope:
-    """A DSMS instance with the TCP stream and all SFUN packs loaded."""
-    gs = Gigascope()
+def _standard_instance(
+    relax_factor: float, shards: int = 0, shard_processes: bool = False
+):
+    """A DSMS instance with the TCP stream and all SFUN packs loaded.
+
+    ``shards > 0`` returns a :class:`ShardedGigascope` running the query
+    hash-partitioned across that many shards instead of serially.
+    """
+    if shards > 0:
+        gs = ShardedGigascope(shards=shards, processes=shard_processes)
+    else:
+        gs = Gigascope()
     gs.register_stream(TCP_SCHEMA)
     gs.use_stateful_library(subset_sum_library(relax_factor=relax_factor))
     gs.use_stateful_library(basic_subset_sum_library())
@@ -90,10 +100,17 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if not trace:
         print("trace is empty", file=sys.stderr)
         return 1
-    gs = _standard_instance(args.relax_factor)
+    gs = _standard_instance(
+        args.relax_factor, shards=args.shards, shard_processes=args.shard_processes
+    )
     # Re-register the trace's own schema if it is not the stock TCP one.
     if trace[0].schema != TCP_SCHEMA:
-        gs = Gigascope()
+        if args.shards > 0:
+            gs = ShardedGigascope(
+                shards=args.shards, processes=args.shard_processes
+            )
+        else:
+            gs = Gigascope()
         gs.register_stream(trace[0].schema)
     if args.lint:
         result = gs.lint(args.sql, name="cli")
@@ -182,6 +199,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="refuse to run if the linter reports anything",
+    )
+    query.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="run the query hash-partitioned across N parallel shards"
+        " (0 = serial)",
+    )
+    query.add_argument(
+        "--shard-processes",
+        action="store_true",
+        help="with --shards, fork one worker process per shard instead of"
+        " interleaving the shards in-process",
     )
     query.set_defaults(fn=_cmd_query)
 

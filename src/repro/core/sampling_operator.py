@@ -68,6 +68,11 @@ class WindowStats:
     #: approximately monotone; Gigascope marks time `increasing` and
     #: assumes the NIC delivers it that way).
     late_tuples: int = 0
+    #: Tuples whose window id could not be compared with the current one
+    #: (a ``TypeError``, e.g. a malformed string timestamp in an integer
+    #: feed).  They are counted and dropped; treating them as a window
+    #: change would destroy all in-window sampling state.
+    incomparable_tuples: int = 0
     #: High-water mark of the group table during the window — the memory
     #: figure the paper's §8 flow-sampling discussion is about.
     peak_groups: int = 0
@@ -229,7 +234,12 @@ class SamplingOperator:
             try:
                 is_late = window < self._current_window
             except TypeError:
-                is_late = False  # incomparable window ids: treat as new
+                # A malformed tuple whose window id cannot be ordered
+                # against the current window must not close the window
+                # (that would drop every live group and SFUN state).
+                assert self._active_stats is not None
+                self._active_stats.incomparable_tuples += 1
+                return outputs
             if is_late:
                 # The tuple's window already closed and was emitted; state
                 # for it no longer exists.  Count and drop.

@@ -22,12 +22,15 @@ This package provides that substrate:
 * :mod:`repro.dsms.parser` — the GSQL-subset front end,
 * :mod:`repro.dsms.operators` — selection / projection / aggregation
   operators plus the bridge to the sampling operator,
-* :mod:`repro.dsms.runtime` — query nodes and the two-level runtime.
+* :mod:`repro.dsms.runtime` — query nodes and the two-level runtime,
+* :mod:`repro.dsms.sharded` — hash-partitioned SPLIT/MERGE parallel
+  execution across N replica shards.
 """
 
 from repro.dsms.ring_buffer import RingBuffer
 from repro.dsms.cost import CostModel, CostBook, NULL_COST_MODEL
 from repro.dsms.runtime import Gigascope, QueryHandle
+from repro.dsms.sharded import ShardedGigascope, ShardedQueryHandle
 
 __all__ = [
     "RingBuffer",
@@ -36,4 +39,6 @@ __all__ = [
     "NULL_COST_MODEL",
     "Gigascope",
     "QueryHandle",
+    "ShardedGigascope",
+    "ShardedQueryHandle",
 ]

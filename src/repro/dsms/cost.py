@@ -100,6 +100,21 @@ class CostModel:
             raise CostModelError("cannot charge a negative count")
         self._accounts[account] = self._accounts.get(account, 0) + unit * count
 
+    def absorb(self, accounts: Dict[str, int]) -> None:
+        """Merge raw cycle balances into this model.
+
+        Used by the sharded runtime: each worker shard charges its own
+        model, and the parent folds the per-shard balances back under
+        the same account names so ``cpu_percent`` reports one aggregate
+        figure per query regardless of the shard count.
+        """
+        if not self.enabled:
+            return
+        for account, cycles in accounts.items():
+            if cycles < 0:
+                raise CostModelError("cannot absorb a negative balance")
+            self._accounts[account] = self._accounts.get(account, 0) + cycles
+
     # -- reporting -------------------------------------------------------------
 
     def cycles(self, account: str) -> int:

@@ -212,6 +212,116 @@ def plan(analyzed: AnalyzedQuery, registries: Registries, query_name: str = "Q")
     )
 
 
+# ---------------------------------------------------------------------------
+# Partition-key inference (sharded execution support)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartitionInfo:
+    """How one planned query constrains hash-partitioned execution.
+
+    The sharded runtime splits a source stream across shards by hashing
+    one *partition column*; a query is shard-safe when every pair of
+    tuples that can interact through operator state lands on the same
+    shard.  ``candidates`` are the source-column names that guarantee
+    this for the query (``None`` means the query is stateless across
+    partitions and accepts any partition column; an empty tuple means
+    the query cannot be sharded at all — ``reason`` says why).
+
+    ``passthrough`` lists output columns that remain *colocated* after
+    this query: if the stream is partitioned on column ``c`` and ``c``
+    is in ``passthrough``, all output rows sharing a ``c`` value are
+    produced on one shard, so a downstream query may partition on it.
+    """
+
+    candidates: Optional[Tuple[str, ...]]
+    passthrough: Tuple[str, ...]
+    reason: str = ""
+
+
+def _identity_output_names(select_items: Sequence[SelectItem]) -> List[str]:
+    """Output columns that are a bare source column under its own name."""
+    names = []
+    for item in select_items:
+        if isinstance(item.expr, ColumnRef) and (
+            item.alias is None or item.alias == item.expr.name
+        ):
+            names.append(item.expr.name)
+    return names
+
+
+def _bare_nonordered_groupby(
+    items: Sequence[GroupByItem], ordered_names: Sequence[str]
+) -> List[str]:
+    """Non-ordered group-by variables defined as a bare source column."""
+    return [
+        item.name
+        for item in items
+        if item.name not in ordered_names
+        and isinstance(item.expr, ColumnRef)
+        and item.expr.name == item.name
+    ]
+
+
+def partition_info(plan: QueryPlan) -> PartitionInfo:
+    """Derive the sharding constraints of one planned query.
+
+    The rules follow where operator state lives:
+
+    * **selection** — stateless per tuple: unconstrained.
+    * **stateful selection** — one global SFUN state set: cannot shard.
+    * **aggregation** — state per group: any non-ordered bare-column
+      group-by variable keeps each group shard-local.
+    * **sampling** with SFUN states or superaggregates — state per
+      supergroup: a non-ordered bare-column *supergroup* variable is
+      required (all of a supergroup's tuples must share a shard).
+    * **sampling** without shared state — falls back to the aggregation
+      rule (groups are then independent).
+    """
+    analyzed = plan.analyzed
+    select_passthrough = _identity_output_names(analyzed.ast.select)
+    if plan.kind == "selection":
+        return PartitionInfo(None, tuple(select_passthrough))
+    if plan.kind == "stateful_selection":
+        return PartitionInfo(
+            (),
+            (),
+            "a stateful selection keeps one global SFUN state set, so its"
+            " tuples cannot be split across shards; run it serially or"
+            " rewrite it as a sampling query with a SUPERGROUP",
+        )
+
+    group_candidates = _bare_nonordered_groupby(
+        analyzed.group_by, analyzed.ordered_names
+    )
+    # Grouped output columns stay colocated only when they are group-by
+    # variables (each output row inherits its group's value).
+    passthrough = tuple(
+        name for name in select_passthrough if name in group_candidates
+    )
+
+    spec = plan.sampling
+    if spec is not None and (spec.state_names or spec.superaggregates):
+        supergroup_items = [spec.group_by[i] for i in spec.nonordered_supergroup_indices]
+        candidates = _bare_nonordered_groupby(
+            supergroup_items, analyzed.ordered_names
+        )
+        reason = (
+            "sampling state (SFUN states / superaggregates) is shared per"
+            " supergroup, and the supergroup has no non-ordered bare-column"
+            " variable to hash-partition on; add one, e.g."
+            " SUPERGROUP BY <window var>, <key column>"
+        )
+    else:
+        candidates = group_candidates
+        reason = (
+            "no non-ordered bare-column GROUP BY variable to hash-partition"
+            " on; every shard would emit its own partial row per window"
+        )
+    return PartitionInfo(tuple(candidates), passthrough, reason if not candidates else "")
+
+
 def compile_query(
     text: str,
     registries: Registries,

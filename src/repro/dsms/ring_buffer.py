@@ -80,16 +80,28 @@ class RingBuffer:
         return out
 
     def drops(self, subscriber_id: int) -> int:
-        """How many records this subscriber lost to overwrites."""
+        """How many records this subscriber lost to overwrites.
+
+        Includes records already overwritten but not yet accounted by a
+        :meth:`poll`, so overload is observable the moment it happens.
+        """
         if subscriber_id not in self._drops:
             raise StreamError(f"unknown subscriber id {subscriber_id}")
-        return self._drops[subscriber_id]
+        return self._drops[subscriber_id] + self._pending_drops(subscriber_id)
 
     def backlog(self, subscriber_id: int) -> int:
-        """Records currently waiting for this subscriber."""
+        """Records currently waiting (still readable) for this subscriber."""
         if subscriber_id not in self._cursors:
             raise StreamError(f"unknown subscriber id {subscriber_id}")
-        return self._head - self._cursors[subscriber_id]
+        return self._head - self._cursors[subscriber_id] - self._pending_drops(
+            subscriber_id
+        )
+
+    def _pending_drops(self, subscriber_id: int) -> int:
+        """Records overwritten past this subscriber's cursor since its
+        last poll (the poll will fold them into the stored counter)."""
+        oldest_available = max(0, self._head - self.capacity)
+        return max(0, oldest_available - self._cursors[subscriber_id])
 
     def __len__(self) -> int:
         """Total records ever pushed (monotone)."""

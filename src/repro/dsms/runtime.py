@@ -81,6 +81,8 @@ class Gigascope:
         self._order: List[str] = []  # insertion order == topological order
         self._downstream: Dict[str, List[str]] = {}
         self._auto_counter = 0
+        #: low-level subscriber ids while an incremental run is open
+        self._session: Optional[Dict[str, int]] = None
 
     # -- registration -----------------------------------------------------------
 
@@ -158,11 +160,19 @@ class Gigascope:
             # query against a raw stream needs a low-level feeder.  Insert
             # the pass-through selection the paper used (and measured).
             feeder_name = f"{name}__lowsel"
-            feeder = self._add_passthrough_selection(source, feeder_name)
-            text_rewritten = self._rewrite_from(text, source, feeder_name)
-            plan = compile_query(
-                text_rewritten, self.registries, query_name=name
-            )
+            self._add_passthrough_selection(source, feeder_name)
+            try:
+                text_rewritten = self._rewrite_from(text, source, feeder_name)
+                plan = compile_query(
+                    text_rewritten, self.registries, query_name=name,
+                    strict=strict,
+                )
+            except Exception:
+                # The feeder must not outlive the query it was inserted
+                # for; a leaked __lowsel node would shadow the name and
+                # keep forwarding (and charging for) every tuple.
+                self._remove_query(feeder_name)
+                raise
             source = feeder_name
             reads_source_stream = False
 
@@ -241,15 +251,43 @@ class Gigascope:
 
     @staticmethod
     def _rewrite_from(text: str, old: str, new: str) -> str:
-        # The FROM clause holds a single identifier; a targeted token
-        # replacement is safe because stream names are identifiers.
-        import re
+        """Replace the FROM stream name using the parsed AST's span.
 
-        pattern = re.compile(rf"(\bFROM\s+){re.escape(old)}\b", re.IGNORECASE)
-        rewritten, count = pattern.subn(rf"\g<1>{new}", text, count=1)
-        if count != 1:
-            raise PlanningError(f"could not rewrite FROM {old} in query text")
-        return rewritten
+        A textual search can match ``FROM <name>`` inside a string
+        literal or a ``--`` comment and corrupt the query; the parser's
+        FROM span points at the one real stream-name token.
+        """
+        from repro.dsms.parser import parse_query
+
+        ast = parse_query(text)
+        if ast.from_stream != old:
+            raise PlanningError(
+                f"could not rewrite FROM {old}: query reads from"
+                f" {ast.from_stream!r}"
+            )
+        span = ast.clause_span("FROM")
+        if span is None:  # pragma: no cover - parser always records it
+            raise PlanningError(f"could not rewrite FROM {old}: no span")
+        lines = text.split("\n")
+        offset = sum(len(line) + 1 for line in lines[: span.line - 1])
+        offset += span.col - 1
+        if text[offset : offset + span.length] != old:
+            raise PlanningError(
+                f"could not rewrite FROM {old}: span does not cover the"
+                " stream name"
+            )
+        return text[:offset] + new + text[offset + span.length :]
+
+    def _remove_query(self, name: str) -> None:
+        """Unregister a query added during a failed composite operation."""
+        handle = self._queries.pop(name)
+        self._order.remove(name)
+        self.registries.schemas.pop(name, None)
+        downstream = self._downstream.get(handle.source)
+        if downstream and name in downstream:
+            downstream.remove(name)
+            if not downstream:
+                del self._downstream[handle.source]
 
     def query(self, name: str) -> QueryHandle:
         try:
@@ -266,18 +304,49 @@ class Gigascope:
         After the iterator is exhausted every operator is flushed in
         topological order, so trailing windows are emitted.
         """
-        subscribers = self._subscribe_low_level()
+        self.start()
         total = 0
         batch: List[Record] = []
-        for record in records:
-            batch.append(record)
-            if len(batch) >= batch_size:
-                total += self._run_batch(batch, subscribers)
-                batch = []
-        if batch:
-            total += self._run_batch(batch, subscribers)
-        self._flush_all()
+        try:
+            for record in records:
+                batch.append(record)
+                if len(batch) >= batch_size:
+                    total += self.feed(batch)
+                    batch = []
+            if batch:
+                total += self.feed(batch)
+        except BaseException:
+            self._session = None  # abandon the run without flushing
+            raise
+        self.finish()
         return total
+
+    # Incremental driving (used by the sharded runtime, which interleaves
+    # feeding several instances): start() once, feed() any number of
+    # batches, finish() once to flush trailing windows.
+
+    def start(self) -> None:
+        """Begin an incremental run: subscribe low-level queries."""
+        if self._session is not None:
+            raise ExecutionError("instance is already running; finish() first")
+        self._session = self._subscribe_low_level()
+
+    def feed(self, records: List[Record]) -> int:
+        """Push one batch of records through the DAG; returns batch size."""
+        if self._session is None:
+            raise ExecutionError("start() the instance before feeding it")
+        if not records:
+            return 0
+        return self._run_batch(list(records), self._session)
+
+    def finish(self) -> None:
+        """End an incremental run: flush every operator in topo order."""
+        if self._session is None:
+            raise ExecutionError("instance is not running")
+        try:
+            self._flush_all()
+        finally:
+            self._session = None
 
     def _subscribe_low_level(self) -> Dict[str, int]:
         subscribers: Dict[str, int] = {}

@@ -1,0 +1,598 @@
+"""Sharded parallel runtime: hash-partitioned SPLIT / MERGE execution.
+
+The paper runs its sampling operator inside Gigascope on live 100 kpps
+feeds; the serial :class:`~repro.dsms.runtime.Gigascope` instance is the
+throughput ceiling of this reproduction.  Group-by sampling is
+embarrassingly partitionable — every algorithm's state (reservoir,
+subset-sum threshold, heavy-hitter counters) lives in group/supergroup
+tables keyed by group-by values — so hash-partitioning the source stream
+on a non-ordered group-by key makes all operator state shard-local, and
+the existing :class:`~repro.dsms.operators.merge.MergeOperator` (the
+paper's ordered merge) recombines shard outputs without disturbing the
+windowed ordering downstream queries rely on.
+
+Architecture::
+
+                       +-> shard 0: Gigascope (full query DAG) -+
+    records --SPLIT----+-> shard 1: Gigascope (full query DAG) -+--MERGE--> results
+     (hash of          +-> ...                                  -+  (per query,
+      partition col)                                                watermark)
+
+* **SPLIT** — each source stream gets one *partition column*, inferred
+  by the planner (:func:`repro.dsms.parser.planner.partition_info`) from
+  every query reading the stream; records route to shard
+  ``stable_hash(record[column]) % shards``.
+* **shards** — full replicas of the query DAG.  ``processes=False``
+  (default) drives them in-process, batch-interleaved and fully
+  deterministic; ``processes=True`` forks one worker per shard and
+  exchanges pickled record batches over queues (POSIX ``fork`` start
+  method, so SFUN closures need no pickling).
+* **MERGE** — one :class:`MergeOperator` per registered query recombines
+  the shard outputs on the query's ordered output attribute; a shard
+  that finishes releases its watermark via ``end_source``.
+
+Semantics: for queries whose partition constraints are satisfiable (see
+``partition_info``), a sharded run produces the same window output as
+the serial runtime up to within-window row order (the serial operator
+emits a window's groups in hash-table insertion order, which interleaves
+shard-owned keys arbitrarily; :func:`canonical_rows` gives the common
+canonical form).  One documented edge: a shard that receives *no* tuple
+for an entire window never observes that window boundary, so
+window-to-window SFUN carryover on that shard skips the silent window
+(the serial operator would have dropped the carryover state); dense
+feeds — the paper's operating regime — never hit this.
+
+Cost accounting: every shard charges the shared cost model (in-process)
+or its own forked copy whose balances the parent absorbs afterwards
+(processes), both under the plain query name — so ``cpu_percent`` and
+the Fig 5/6 benchmarks read one aggregate account per query, exactly as
+with the serial runtime.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, PlanningError
+from repro.dsms.cost import CostModel, NULL_COST_MODEL
+from repro.dsms.operators.merge import MergeOperator
+from repro.dsms.parser import compile_query
+from repro.dsms.parser.planner import partition_info
+from repro.dsms.runtime import Gigascope, QueryHandle
+from repro.dsms.stateful import StatefulLibrary
+from repro.streams.records import Record
+from repro.streams.schema import StreamSchema
+
+
+def stable_hash(value: Any) -> int:
+    """Deterministic, process-independent hash for partition routing.
+
+    Python's builtin ``hash`` is salted per process for strings, so it
+    cannot route records consistently between a parent and its forked
+    workers; CRC32 of the value's ``repr`` is stable everywhere.
+    """
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+def canonical_rows(records: Sequence[Record]) -> List[Tuple[Any, ...]]:
+    """Window output in canonical order: sorted by the ordered attribute,
+    then by the full value tuple.
+
+    Within a window the serial operator emits groups in insertion order
+    while the sharded merge emits them in shard order; both orders are
+    permutations of the same rows, and sorting makes serial and sharded
+    outputs comparable byte for byte.
+    """
+    rows: List[Tuple[Any, Tuple[Any, ...]]] = []
+    for record in records:
+        ordered = record.schema.ordered_attributes()
+        key_index = record.schema.index_of(ordered[0].name) if ordered else 0
+        rows.append((record.values[key_index], record.values))
+    rows.sort()
+    return [values for _, values in rows]
+
+
+@dataclass
+class ShardedQueryHandle:
+    """One query registered on every shard, with the merged sink."""
+
+    name: str
+    text: str
+    output_schema: StreamSchema
+    keep_results: bool = True
+    #: merged (order-recombined) output across all shards
+    results: List[Record] = field(default_factory=list)
+    #: the per-shard handles (note: in ``processes`` mode the parent's
+    #: copies stay empty — shard results live in the worker processes)
+    shard_handles: List[QueryHandle] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class _Node:
+    """Partition bookkeeping for one stream or query node."""
+
+    #: source streams this node transitively reads from
+    roots: frozenset
+    #: root column names that stay shard-colocated through this node
+    passthrough: frozenset
+
+
+class _MergeSink:
+    """Recombines one query's shard outputs through a MergeOperator."""
+
+    def __init__(self, handle: ShardedQueryHandle, shards: int) -> None:
+        self.handle = handle
+        self.sources = [f"shard{i}" for i in range(shards)]
+        # MergeOperator needs >= 2 sources; one shard is a pass-through.
+        self.operator = (
+            MergeOperator(handle.output_schema, self.sources)
+            if shards > 1
+            else None
+        )
+        self.cursors = [0] * shards
+
+    def feed(self, shard: int, records: Sequence[Record]) -> None:
+        if self.operator is None:
+            self._sink(list(records))
+            return
+        for record in records:
+            self._sink(self.operator.process_from(self.sources[shard], record))
+
+    def drain(self, shard: int, handle: QueryHandle) -> None:
+        """Feed any records the shard produced since the last drain."""
+        produced = handle.results
+        cursor = self.cursors[shard]
+        if len(produced) > cursor:
+            self.feed(shard, produced[cursor:])
+            self.cursors[shard] = len(produced)
+
+    def end_source(self, shard: int) -> None:
+        if self.operator is not None:
+            self._sink(self.operator.end_source(self.sources[shard]))
+
+    def _sink(self, outputs: List[Record]) -> None:
+        if outputs and self.handle.keep_results:
+            self.handle.results.extend(outputs)
+
+
+class ShardedGigascope:
+    """A DSMS instance that executes every query on N parallel shards.
+
+    Mirrors the :class:`Gigascope` API (``register_stream``,
+    ``use_stateful_library``, ``add_query``, ``add_merge``, ``run``,
+    ``results``, ``cpu_percent``, ``explain``); queries must satisfy the
+    partition rules of :func:`partition_info` or ``add_query`` raises a
+    :class:`PlanningError` explaining why the query cannot shard.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        *,
+        processes: bool = False,
+        cost_model: Optional[CostModel] = None,
+        ring_capacity: int = 65536,
+        strict: bool = False,
+    ) -> None:
+        if shards < 1:
+            raise PlanningError("shards must be >= 1")
+        self.shards = shards
+        self.processes = processes
+        self.cost = cost_model or NULL_COST_MODEL
+        self.strict = strict
+        # Strictness is enforced once, centrally, in add_query; the shard
+        # instances receive pre-vetted text and never re-lint it.
+        self._instances = [
+            Gigascope(cost_model=self.cost, ring_capacity=ring_capacity)
+            for _ in range(shards)
+        ]
+        self._handles: Dict[str, ShardedQueryHandle] = {}
+        self._order: List[str] = []
+        self._nodes: Dict[str, _Node] = {}
+        self._streams: List[str] = []
+        #: per root stream: (query name, acceptable partition columns)
+        self._constraints: Dict[str, List[Tuple[str, frozenset]]] = {}
+        self._partition: Dict[str, str] = {}
+        self._auto_counter = 0
+
+    # -- registration -----------------------------------------------------------
+
+    @property
+    def registries(self):
+        """Registries of shard 0 (all shards are kept identical)."""
+        return self._instances[0].registries
+
+    def register_stream(self, schema: StreamSchema) -> None:
+        for instance in self._instances:
+            instance.register_stream(schema)
+        nonordered = frozenset(
+            a.name for a in schema.attributes if not a.ordering.is_ordered
+        )
+        self._nodes[schema.name] = _Node(frozenset({schema.name}), nonordered)
+        self._streams.append(schema.name)
+        self._constraints[schema.name] = []
+
+    def use_stateful_library(self, library: StatefulLibrary) -> None:
+        for instance in self._instances:
+            instance.use_stateful_library(library)
+
+    def register_scalar(self, name: str, fn, deterministic: bool = True) -> None:
+        for instance in self._instances:
+            instance.register_scalar(name, fn, deterministic=deterministic)
+
+    def lint(self, text: str, name: str = "query"):
+        return self._instances[0].lint(text, name=name)
+
+    # -- queries -----------------------------------------------------------------
+
+    def add_query(
+        self,
+        text: str,
+        name: Optional[str] = None,
+        keep_results: bool = True,
+        low_level_aggregation: bool = False,
+        strict: Optional[bool] = None,
+    ) -> ShardedQueryHandle:
+        """Register one query on every shard (see :meth:`Gigascope.add_query`).
+
+        Beyond the serial checks, the query must be *shardable*: its
+        output needs an ordered attribute (for the recombining MERGE)
+        and its operator state must be partitionable on some non-ordered
+        column of the source stream (see :func:`partition_info`).
+        """
+        if name is None:
+            self._auto_counter += 1
+            name = f"q{self._auto_counter}"
+        if name in self._nodes:
+            raise PlanningError(f"name {name!r} already in use")
+
+        strict = self.strict if strict is None else strict
+        plan = compile_query(
+            text, self._instances[0].registries, query_name=name, strict=strict
+        )
+        source = plan.analyzed.ast.from_stream
+        node = self._nodes.get(source)
+        if node is None:
+            raise PlanningError(
+                f"query {name!r} reads from {source!r}, which is neither a"
+                " source stream nor a registered query"
+            )
+        if not plan.output_schema.ordered_attributes():
+            raise PlanningError(
+                f"cannot shard query {name!r}: its output has no ordered"
+                " attribute for the recombining MERGE; select the window"
+                " variable (an ordered column) first"
+            )
+
+        info = partition_info(plan)
+        if info.candidates is not None:
+            effective = frozenset(info.candidates) & node.passthrough
+            if not effective:
+                detail = info.reason or (
+                    "none of its candidate partition columns"
+                    f" {sorted(info.candidates)} survives the upstream"
+                    f" query chain (colocated columns: {sorted(node.passthrough)})"
+                )
+                raise PlanningError(
+                    f"cannot shard query {name!r}: {detail}"
+                )
+            for root in node.roots:
+                self._constraints[root].append((name, effective))
+        self._nodes[name] = _Node(
+            node.roots, frozenset(info.passthrough) & node.passthrough
+        )
+
+        shard_handles = [
+            instance.add_query(
+                text,
+                name=name,
+                keep_results=True,  # shard outputs feed the merge
+                low_level_aggregation=low_level_aggregation,
+                strict=False,
+            )
+            for instance in self._instances
+        ]
+        handle = ShardedQueryHandle(
+            name=name,
+            text=text,
+            output_schema=shard_handles[0].output_schema,
+            keep_results=keep_results,
+            shard_handles=shard_handles,
+        )
+        self._handles[name] = handle
+        self._order.append(name)
+        return handle
+
+    def add_merge(self, name: str, sources: List[str]) -> ShardedQueryHandle:
+        """Merge same-schema queries inside every shard (then re-merge
+        the shard outputs like any other query)."""
+        if name in self._nodes:
+            raise PlanningError(f"name {name!r} already in use")
+        nodes = []
+        for source in sources:
+            if source not in self._handles:
+                raise PlanningError(
+                    f"merge source {source!r} is not a registered query"
+                )
+            nodes.append(self._nodes[source])
+        shard_handles = [
+            instance.add_merge(name, sources) for instance in self._instances
+        ]
+        roots: frozenset = frozenset().union(*(n.roots for n in nodes))
+        passthrough = nodes[0].passthrough
+        for n in nodes[1:]:
+            passthrough &= n.passthrough
+        self._nodes[name] = _Node(roots, passthrough)
+        handle = ShardedQueryHandle(
+            name=name,
+            text=shard_handles[0].text,
+            output_schema=shard_handles[0].output_schema,
+            keep_results=True,
+            shard_handles=shard_handles,
+        )
+        self._handles[name] = handle
+        self._order.append(name)
+        return handle
+
+    def query(self, name: str) -> ShardedQueryHandle:
+        try:
+            return self._handles[name]
+        except KeyError:
+            raise ExecutionError(f"unknown query {name!r}") from None
+
+    def results(self, name: str) -> List[Record]:
+        return self.query(name).results
+
+    # -- partition resolution -----------------------------------------------------
+
+    def partition_column(self, stream: str) -> str:
+        """The partition column chosen for one source stream."""
+        self._resolve_partitions()
+        try:
+            return self._partition[stream]
+        except KeyError:
+            raise ExecutionError(f"unknown stream {stream!r}") from None
+
+    def _resolve_partitions(self) -> None:
+        for stream in self._streams:
+            constraints = self._constraints[stream]
+            if constraints:
+                common = frozenset.intersection(
+                    *(candidates for _, candidates in constraints)
+                )
+                if not common:
+                    per_query = ", ".join(
+                        f"{query}: {sorted(candidates)}"
+                        for query, candidates in constraints
+                    )
+                    raise PlanningError(
+                        f"stream {stream!r} has no partition column acceptable"
+                        f" to every query ({per_query}); split the queries"
+                        " across instances or align their keys"
+                    )
+            else:
+                common = self._nodes[stream].passthrough
+                if not common:
+                    raise PlanningError(
+                        f"stream {stream!r} has no non-ordered attribute to"
+                        " partition on"
+                    )
+            # Deterministic choice: first acceptable column in schema order.
+            schema = self._instances[0].registries.schemas[stream]
+            self._partition[stream] = next(
+                name for name in schema.names if name in common
+            )
+
+    def _route_indices(self) -> Dict[str, int]:
+        self._resolve_partitions()
+        schemas = self._instances[0].registries.schemas
+        return {
+            stream: schemas[stream].index_of(column)
+            for stream, column in self._partition.items()
+        }
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, records: Iterable[Record], batch_size: int = 4096) -> int:
+        """SPLIT the record stream across the shards, MERGE their outputs.
+
+        Returns the number of records read (like :meth:`Gigascope.run`).
+        """
+        route = self._route_indices()
+        sinks = [_MergeSink(self._handles[name], self.shards) for name in self._order]
+        if self.processes:
+            return self._run_processes(records, batch_size, route, sinks)
+        return self._run_inline(records, batch_size, route, sinks)
+
+    def _split(
+        self, batch: Sequence[Record], route: Dict[str, int]
+    ) -> List[List[Record]]:
+        buckets: List[List[Record]] = [[] for _ in range(self.shards)]
+        for record in batch:
+            try:
+                index = route[record.schema.name]
+            except KeyError:
+                raise ExecutionError(
+                    f"record for unregistered stream {record.schema.name!r}"
+                ) from None
+            buckets[stable_hash(record.values[index]) % self.shards].append(record)
+        return buckets
+
+    def _run_inline(
+        self,
+        records: Iterable[Record],
+        batch_size: int,
+        route: Dict[str, int],
+        sinks: List[_MergeSink],
+    ) -> int:
+        """Deterministic in-process mode: shards advance batch by batch."""
+        for instance in self._instances:
+            instance.start()
+        total = 0
+        batch: List[Record] = []
+
+        def feed_round(batch: List[Record]) -> int:
+            buckets = self._split(batch, route)
+            for shard, bucket in enumerate(buckets):
+                if bucket:
+                    self._instances[shard].feed(bucket)
+            for sink in sinks:
+                for shard in range(self.shards):
+                    sink.drain(shard, sink.handle.shard_handles[shard])
+            return len(batch)
+
+        try:
+            for record in records:
+                batch.append(record)
+                if len(batch) >= batch_size:
+                    total += feed_round(batch)
+                    batch = []
+            if batch:
+                total += feed_round(batch)
+            for shard, instance in enumerate(self._instances):
+                instance.finish()
+                for sink in sinks:
+                    sink.drain(shard, sink.handle.shard_handles[shard])
+                    sink.end_source(shard)
+        except BaseException:
+            for instance in self._instances:
+                instance._session = None
+            raise
+        return total
+
+    def _run_processes(
+        self,
+        records: Iterable[Record],
+        batch_size: int,
+        route: Dict[str, int],
+        sinks: List[_MergeSink],
+    ) -> int:
+        """Fork one worker per shard; exchange pickled record batches."""
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise ExecutionError(
+                "processes=True needs the 'fork' start method (POSIX);"
+                " use the in-process mode instead"
+            ) from exc
+        in_queues = [context.Queue() for _ in range(self.shards)]
+        out_queue = context.Queue()
+        workers = [
+            context.Process(
+                target=_shard_worker,
+                args=(shard, self._instances[shard], list(self._order),
+                      in_queues[shard], out_queue),
+                daemon=True,
+            )
+            for shard in range(self.shards)
+        ]
+        for worker in workers:
+            worker.start()
+
+        total = 0
+        batch: List[Record] = []
+        try:
+            for record in records:
+                batch.append(record)
+                if len(batch) >= batch_size:
+                    total += self._ship(batch, route, in_queues)
+                    batch = []
+            if batch:
+                total += self._ship(batch, route, in_queues)
+        finally:
+            for queue in in_queues:
+                queue.put(None)
+
+        failures = []
+        shard_results: Dict[int, Dict[str, List[Record]]] = {}
+        for _ in range(self.shards):
+            shard, results, accounts, error = out_queue.get()
+            if error is not None:
+                failures.append(f"shard {shard}: {error}")
+                continue
+            shard_results[shard] = results
+            self.cost.absorb(accounts)
+        for worker in workers:
+            worker.join()
+        if failures:
+            raise ExecutionError("sharded run failed: " + "; ".join(failures))
+
+        for sink in sinks:
+            for shard in range(self.shards):
+                sink.feed(shard, shard_results[shard].get(sink.handle.name, []))
+                sink.end_source(shard)
+        return total
+
+    def _ship(
+        self,
+        batch: List[Record],
+        route: Dict[str, int],
+        in_queues: List,
+    ) -> int:
+        for shard, bucket in enumerate(self._split(batch, route)):
+            if bucket:
+                in_queues[shard].put(bucket)
+        return len(batch)
+
+    # -- reporting ------------------------------------------------------------------
+
+    def cpu_percent(self, name: str, stream_seconds: float) -> float:
+        """Aggregate CPU% of one query across all shards (one account)."""
+        return self.cost.cpu_percent(name, stream_seconds)
+
+    def explain(self) -> str:
+        """Render the sharding layout plus one shard's query DAG."""
+        lines = [
+            f"ShardedGigascope(shards={self.shards},"
+            f" processes={self.processes})"
+        ]
+        try:
+            self._resolve_partitions()
+            for stream in self._streams:
+                lines.append(
+                    f"  split {stream} by hash({self._partition[stream]})"
+                    f" % {self.shards}"
+                )
+        except PlanningError as exc:
+            lines.append(f"  (partition unresolved: {exc})")
+        for name in self._order:
+            lines.append(f"  merge {name} on its ordered attribute")
+        lines.append("  per-shard DAG:")
+        lines.extend("    " + line for line in self._instances[0].explain().splitlines())
+        return "\n".join(lines)
+
+
+def _shard_worker(
+    shard: int,
+    instance: Gigascope,
+    query_names: List[str],
+    in_queue,
+    out_queue,
+) -> None:
+    """Worker-process loop: drain batches, run the shard DAG, ship results.
+
+    Runs in a forked child, so ``instance`` (including closures inside
+    SFUN libraries) is inherited by memory copy rather than pickled; only
+    record batches, result records and cost balances cross the process
+    boundary, and those pickle cleanly.
+    """
+    try:
+        if instance.cost.enabled:
+            # The fork copied the parent's balances; count only this
+            # worker's own charges so the parent can absorb the delta.
+            instance.cost.reset()
+        instance.start()
+        while True:
+            batch = in_queue.get()
+            if batch is None:
+                break
+            instance.feed(batch)
+        instance.finish()
+        results = {name: instance.query(name).results for name in query_names}
+        accounts = instance.cost.accounts() if instance.cost.enabled else {}
+        out_queue.put((shard, results, accounts, None))
+    except BaseException as exc:  # pragma: no cover - exercised via parent
+        out_queue.put((shard, {}, {}, repr(exc)))

@@ -62,9 +62,15 @@ class Record:
 
     def __getattr__(self, name: str) -> Any:
         # __getattr__ is only called when normal lookup fails, so schema and
-        # values resolve through __slots__ first.
+        # values resolve through __slots__ first.  During unpickling the
+        # slots are not yet set, and looking up self.schema would re-enter
+        # __getattr__ forever — hence the guarded access.
         try:
-            idx = self.schema.index_of(name)
+            schema = object.__getattribute__(self, "schema")
+        except AttributeError:
+            raise AttributeError(name) from None
+        try:
+            idx = schema.index_of(name)
         except SchemaError:
             raise AttributeError(name) from None
         return self.values[idx]
@@ -91,6 +97,13 @@ class Record:
         return Record(self.schema, new_values)
 
     # -- protocol -------------------------------------------------------------
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        # Rebuild through the constructor: the slots+__getattr__ combination
+        # breaks pickle's default state protocol (it probes __setstate__ on
+        # a not-yet-initialised instance).  The sharded runtime ships record
+        # batches between processes, so records must pickle cleanly.
+        return (Record, (self.schema, self.values))
 
     def __iter__(self) -> Iterator[Any]:
         return iter(self.values)

@@ -365,3 +365,36 @@ class TestLateTuples:
             op.process(packet(time=t))
         op.finish()
         assert all(s.late_tuples == 0 for s in op.window_stats)
+
+
+class TestIncomparableWindows:
+    """A tuple whose window id cannot be ordered against the current
+    window (e.g. a None timestamp from a corrupt capture) must be counted
+    and dropped — not treated as a window boundary, which would evict
+    every live group and SFUN state mid-window."""
+
+    QUERY = (
+        "SELECT tb, srcIP, count(*) FROM TCP"
+        " GROUP BY time as tb, srcIP SUPERGROUP tb"
+    )
+
+    def test_incomparable_tuple_dropped_and_counted(self, registries):
+        op = build(self.QUERY, registries)
+        op.process(packet(time=7))
+        op.process(packet(time=7))
+        assert op.process(packet(time=None)) == []
+        outs = op.finish()
+        # The in-flight window survived with both tuples.
+        assert len(outs) == 1 and outs[0][2] == 2
+        assert op.window_stats[0].incomparable_tuples == 1
+        assert op.window_stats[0].tuples_seen == 2
+
+    def test_incomparable_tuples_do_not_open_windows(self, registries):
+        op = build(self.QUERY, registries)
+        op.process(packet(time=7))
+        for _ in range(3):
+            op.process(packet(time=None))
+        op.process(packet(time=8))
+        op.finish()
+        assert [s.window for s in op.window_stats] == [(7,), (8,)]
+        assert op.window_stats[0].incomparable_tuples == 3

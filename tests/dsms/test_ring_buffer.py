@@ -73,6 +73,29 @@ class TestOverflow:
         ring.poll(sid)
         assert ring.backlog(sid) == 0
 
+    def test_drops_counted_before_poll(self):
+        # Overwritten records must show up in drops()/backlog() as soon as
+        # they become unreachable, not only after the next poll — overload
+        # monitors read these counters without consuming the stream.
+        ring = RingBuffer(4)
+        sid = ring.subscribe()
+        ring.extend(iter(range(10)))
+        assert ring.drops(sid) == 6
+        assert ring.backlog(sid) == 4
+        ring.poll(sid)
+        assert ring.drops(sid) == 6
+        assert ring.backlog(sid) == 0
+
+    def test_pending_drops_are_not_double_counted(self):
+        ring = RingBuffer(4)
+        sid = ring.subscribe()
+        ring.extend(iter(range(10)))
+        assert ring.drops(sid) == 6
+        ring.extend(iter(range(10, 14)))
+        assert ring.drops(sid) == 10
+        assert ring.poll(sid) == [10, 11, 12, 13]
+        assert ring.drops(sid) == 10
+
     def test_no_drops_when_keeping_up(self):
         ring = RingBuffer(4)
         sid = ring.subscribe()

@@ -150,6 +150,119 @@ class TestFromRewrite:
         with pytest.raises(PlanningError):
             Gigascope._rewrite_from("SELECT a FROM OTHER", "TCP", "feeder")
 
+    def test_rewrite_ignores_comment_mentioning_from(self):
+        # A textual replace would hit the comment (the first occurrence of
+        # "FROM TCP") and leave the real clause pointing at the stream.
+        text = (
+            "-- derived FROM TCP by the capture pipeline\n"
+            "SELECT len\n"
+            "FROM TCP\n"
+            "WHERE len > 1"
+        )
+        rewritten = Gigascope._rewrite_from(text, "TCP", "feeder")
+        assert "-- derived FROM TCP by the capture pipeline" in rewritten
+        assert "\nFROM feeder\n" in rewritten
+        assert rewritten.count("feeder") == 1
+
+    def test_query_with_commented_from_runs_through_feeder(self, gigascope):
+        handle = gigascope.add_query(
+            "-- counts FROM TCP per bucket\n"
+            "SELECT tb, count(*) FROM TCP GROUP BY time/2 as tb",
+            name="agg",
+        )
+        gigascope.run(iter(packets(10)))
+        assert gigascope.query("agg__lowsel").level == "low"
+        assert sum(row[1] for row in handle.results) == 10
+
+
+class TestStrictRecompile:
+    """The post-rewrite recompile must inherit the caller's strict flag
+    and must not leak the auto-inserted feeder when it fails."""
+
+    def test_recompile_preserves_strict(self, monkeypatch):
+        import repro.dsms.runtime as runtime_mod
+
+        calls = []
+        real = runtime_mod.compile_query
+
+        def spy(text, registries, query_name="Q", strict=False):
+            calls.append((query_name, strict))
+            return real(text, registries, query_name=query_name, strict=strict)
+
+        monkeypatch.setattr(runtime_mod, "compile_query", spy)
+        gs = Gigascope()
+        gs.register_stream(TCP_SCHEMA)
+        gs.use_stateful_library(subset_sum_library())
+        gs.add_query(
+            SUBSET_SUM_QUERY.format(window=2, target=5), name="ss", strict=True
+        )
+        strict_flags = [s for (n, s) in calls if n == "ss"]
+        assert len(strict_flags) == 2  # submission + post-rewrite recompile
+        assert all(strict_flags)
+
+    def test_failed_recompile_removes_feeder(self, monkeypatch):
+        import repro.dsms.runtime as runtime_mod
+
+        real = runtime_mod.compile_query
+        arm = [True]
+
+        def failing(text, registries, query_name="Q", strict=False):
+            if arm[0] and "lowsel" in text:
+                raise PlanningError("recompile boom")
+            return real(text, registries, query_name=query_name, strict=strict)
+
+        monkeypatch.setattr(runtime_mod, "compile_query", failing)
+        gs = Gigascope()
+        gs.register_stream(TCP_SCHEMA)
+        query = "SELECT tb, sum(len) FROM TCP GROUP BY time/2 as tb"
+        with pytest.raises(PlanningError, match="recompile boom"):
+            gs.add_query(query, name="agg")
+        with pytest.raises(ExecutionError):
+            gs.query("agg__lowsel")
+        assert "agg__lowsel" not in gs.registries.schemas
+        # The names are reusable once the failure is fixed.
+        arm[0] = False
+        handle = gs.add_query(query, name="agg")
+        gs.run(iter(packets(10)))
+        assert handle.results
+
+
+class TestIncrementalRun:
+    def test_start_feed_finish_matches_run(self):
+        def run_oneshot():
+            gs = Gigascope()
+            gs.register_stream(TCP_SCHEMA)
+            handle = gs.add_query(
+                "SELECT tb, sum(len) FROM TCP GROUP BY time/2 as tb", name="agg"
+            )
+            gs.run(iter(packets(20)))
+            return [tuple(r.values) for r in handle.results]
+
+        gs = Gigascope()
+        gs.register_stream(TCP_SCHEMA)
+        handle = gs.add_query(
+            "SELECT tb, sum(len) FROM TCP GROUP BY time/2 as tb", name="agg"
+        )
+        gs.start()
+        batch = packets(20)
+        gs.feed(batch[:7])
+        gs.feed(batch[7:])
+        gs.finish()
+        assert [tuple(r.values) for r in handle.results] == run_oneshot()
+
+    def test_double_start_rejected(self, gigascope):
+        gigascope.start()
+        with pytest.raises(ExecutionError, match="already running"):
+            gigascope.start()
+
+    def test_feed_requires_start(self, gigascope):
+        with pytest.raises(ExecutionError, match="start"):
+            gigascope.feed(packets(1))
+
+    def test_finish_requires_start(self, gigascope):
+        with pytest.raises(ExecutionError):
+            gigascope.finish()
+
 
 class TestLowLevelAggregation:
     """Paper Figure 1: low-level nodes may do early partial aggregation."""

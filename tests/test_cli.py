@@ -77,6 +77,32 @@ class TestQuery:
             main(["query", "--trace", str(tmp_path / "missing.bin"),
                   "--sql", "SELECT len FROM TCP"])
 
+    def test_sharded_matches_serial(self, trace_file, capsys):
+        sql = "SELECT tb, srcIP, sum(len) FROM TCP GROUP BY time/5 as tb, srcIP"
+
+        def rows(extra):
+            rc = main([
+                "query", "--trace", trace_file, "--limit", "100000",
+                "--sql", sql, *extra,
+            ])
+            assert rc == 0
+            return sorted(capsys.readouterr().out.splitlines()[1:])
+
+        serial = rows([])
+        assert rows(["--shards", "2"]) == serial
+        assert rows(["--shards", "2", "--shard-processes"]) == serial
+
+    def test_unshardeable_query_errors_clearly(self, trace_file, capsys):
+        from repro.errors import PlanningError
+
+        with pytest.raises(PlanningError, match="cannot shard"):
+            main([
+                "query", "--trace", trace_file, "--shards", "2",
+                "--sql",
+                "SELECT tb, b, count(*) FROM TCP"
+                " GROUP BY time/5 as tb, srcIP/2 as b",
+            ])
+
 
 class TestLint:
     CLEAN_SQL = "SELECT tb, sum(len) FROM TCP GROUP BY time/5 as tb"
