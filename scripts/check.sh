@@ -42,7 +42,16 @@ for query in examples/queries/*.gsql; do
 done
 echo
 
-run python -m pytest tests/
+# Per-test wall-clock ceiling: the resilience tests exercise deadlock
+# fixes, so a regression must fail loudly rather than hang the gate.
+# Uses the pytest-timeout plugin when installed (pip install -e .[test]);
+# otherwise tests/conftest.py enforces the same ceiling via SIGALRM.
+if python -c "import pytest_timeout" >/dev/null 2>&1; then
+    run python -m pytest tests/ --timeout=120
+else
+    echo "==> pytest-timeout not installed; relying on the conftest SIGALRM fallback"
+    run python -m pytest tests/
+fi
 
 if [ "$failures" -ne 0 ]; then
     echo "$failures check(s) failed" >&2

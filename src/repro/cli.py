@@ -37,6 +37,7 @@ from typing import List, Optional
 
 from repro.dsms.explain import explain
 from repro.dsms.parser import compile_query
+from repro.dsms.resilience import SupervisionPolicy
 from repro.dsms.runtime import Gigascope
 from repro.dsms.sharded import ShardedGigascope
 from repro.streams.persistence import load_trace, save_trace
@@ -63,17 +64,34 @@ _FEEDS = {
 
 
 def _standard_instance(
-    relax_factor: float, shards: int = 0, shard_processes: bool = False
+    relax_factor: float,
+    shards: int = 0,
+    shard_processes: bool = False,
+    supervise: bool = False,
+    max_restarts: int = 2,
+    shed_threshold: Optional[int] = None,
 ):
     """A DSMS instance with the TCP stream and all SFUN packs loaded.
 
     ``shards > 0`` returns a :class:`ShardedGigascope` running the query
     hash-partitioned across that many shards instead of serially.
+    ``supervise`` runs shard workers under crash supervision with up to
+    ``max_restarts`` restarts each; ``shed_threshold`` enables overload
+    shedding (ring-backlog admission control, and — supervised — input
+    queue shedding).
     """
     if shards > 0:
-        gs = ShardedGigascope(shards=shards, processes=shard_processes)
+        gs = ShardedGigascope(
+            shards=shards,
+            processes=shard_processes,
+            supervise=supervise,
+            supervision=SupervisionPolicy(max_restarts=max_restarts)
+            if supervise
+            else None,
+            shed_threshold=shed_threshold,
+        )
     else:
-        gs = Gigascope()
+        gs = Gigascope(shed_threshold=shed_threshold)
     gs.register_stream(TCP_SCHEMA)
     gs.use_stateful_library(subset_sum_library(relax_factor=relax_factor))
     gs.use_stateful_library(basic_subset_sum_library())
@@ -101,16 +119,27 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print("trace is empty", file=sys.stderr)
         return 1
     gs = _standard_instance(
-        args.relax_factor, shards=args.shards, shard_processes=args.shard_processes
+        args.relax_factor,
+        shards=args.shards,
+        shard_processes=args.shard_processes,
+        supervise=args.supervise,
+        max_restarts=args.max_restarts,
+        shed_threshold=args.shed_threshold,
     )
     # Re-register the trace's own schema if it is not the stock TCP one.
     if trace[0].schema != TCP_SCHEMA:
         if args.shards > 0:
             gs = ShardedGigascope(
-                shards=args.shards, processes=args.shard_processes
+                shards=args.shards,
+                processes=args.shard_processes,
+                supervise=args.supervise,
+                supervision=SupervisionPolicy(max_restarts=args.max_restarts)
+                if args.supervise
+                else None,
+                shed_threshold=args.shed_threshold,
             )
         else:
-            gs = Gigascope()
+            gs = Gigascope(shed_threshold=args.shed_threshold)
         gs.register_stream(trace[0].schema)
     if args.lint:
         result = gs.lint(args.sql, name="cli")
@@ -128,7 +157,41 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if limit < len(rows):
         print(f"... ({len(rows) - limit} more rows)")
     print(f"-- {len(rows)} rows", file=sys.stderr)
+    _print_run_report(gs, force=args.report)
     return 0
+
+
+def _print_run_report(gs, force: bool = False) -> None:
+    """Degradation counters to stderr: drops, backlog, shed, late tuples.
+
+    Printed only when something was actually dropped/shed (the healthy
+    path stays quiet), or always with ``--report``.
+    """
+    report = gs.run_report()
+    for stream, counters in sorted(report["streams"].items()):
+        if force or any(counters.values()):
+            print(
+                f"-- stream {stream}: drops={counters['drops']}"
+                f" backlog={counters['backlog']} shed={counters['shed']}",
+                file=sys.stderr,
+            )
+    for name, counters in sorted(report["queries"].items()):
+        if force or any(counters.values()):
+            rendered = " ".join(f"{key}={value}" for key, value in sorted(counters.items()))
+            print(f"-- query {name}: {rendered}", file=sys.stderr)
+    supervision = getattr(gs, "last_supervision", None)
+    if supervision is not None and (
+        force or supervision.total_restarts or supervision.total_shed
+    ):
+        print(
+            f"-- supervision: restarts={supervision.total_restarts}"
+            f" checkpoints={sum(supervision.checkpoints.values())}"
+            f" replayed_batches={sum(supervision.replayed_batches.values())}"
+            f" shed_records={supervision.total_shed}",
+            file=sys.stderr,
+        )
+        for failure in supervision.failures:
+            print(f"--   {failure}", file=sys.stderr)
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -212,6 +275,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --shards, fork one worker process per shard instead of"
         " interleaving the shards in-process",
+    )
+    query.add_argument(
+        "--supervise",
+        action="store_true",
+        help="with --shards, run shard workers under crash supervision:"
+        " dead/stalled workers restart and recover from checkpoints plus"
+        " batch replay (implies worker processes)",
+    )
+    query.add_argument(
+        "--max-restarts",
+        type=int,
+        default=2,
+        help="with --supervise, restarts allowed per shard before the run"
+        " fails (default 2)",
+    )
+    query.add_argument(
+        "--shed-threshold",
+        type=int,
+        default=None,
+        help="shed admission beyond this ring backlog (and, supervised,"
+        " drop batches when a shard queue stays this deep) instead of"
+        " blocking; shed counts appear in the run report",
+    )
+    query.add_argument(
+        "--report",
+        action="store_true",
+        help="always print the degradation/supervision report to stderr"
+        " (default: only when something was dropped or shed)",
     )
     query.set_defaults(fn=_cmd_query)
 

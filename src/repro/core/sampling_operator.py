@@ -31,6 +31,7 @@ removed when **CLEANING BY evaluates to FALSE**.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -73,6 +74,11 @@ class WindowStats:
     #: feed).  They are counted and dropped; treating them as a window
     #: change would destroy all in-window sampling state.
     incomparable_tuples: int = 0
+    #: Tuples the runtime refused at admission during this window because
+    #: the ring-buffer backlog crossed the load-shed threshold (the
+    #: paper's drop-under-overload behavior, §1/§7, made deliberate and
+    #: observable instead of arbitrary packet loss).
+    shed_tuples: int = 0
     #: High-water mark of the group table during the window — the memory
     #: figure the paper's §8 flow-sampling discussion is about.
     peak_groups: int = 0
@@ -206,6 +212,9 @@ class SamplingOperator:
         self._current_window: Optional[Tuple[Any, ...]] = None
         self._window_stats: List[WindowStats] = []
         self._active_stats: Optional[WindowStats] = None
+        #: shed tuples reported before any window is open (folded into the
+        #: next window's stats)
+        self._pending_shed = 0
 
         self._tuple_ctx = _TupleContext(self)
         self._group_ctx = _GroupContext(self)
@@ -343,6 +352,97 @@ class SamplingOperator:
     def tables(self) -> GroupTables:
         return self._tables
 
+    def note_shed(self, count: int) -> None:
+        """Record ``count`` input tuples shed upstream by the runtime's
+        overload admission check (they never reached :meth:`process`)."""
+        if self._active_stats is not None:
+            self._active_stats.shed_tuples += count
+        else:
+            self._pending_shed += count
+
+    def overload_counters(self) -> Dict[str, int]:
+        """Degradation counters over all windows (closed and active).
+
+        These are the "did the sample quietly degrade?" numbers: tuples
+        dropped because they arrived late, tuples with unorderable window
+        ids, and tuples shed at admission under overload.
+        """
+        stats = list(self._window_stats)
+        if self._active_stats is not None:
+            stats.append(self._active_stats)
+        return {
+            "late_tuples": sum(s.late_tuples for s in stats),
+            "incomparable_tuples": sum(s.incomparable_tuples for s in stats),
+            "shed_tuples": sum(s.shed_tuples for s in stats) + self._pending_shed,
+        }
+
+    # -- crash-recovery checkpoints -------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Picklable snapshot of the full operator state.
+
+        Groups (aggregate vectors) and superaggregates deepcopy/pickle
+        directly; SFUN states are snapshotted by *state name* plus field
+        dict because their classes are closure-local inside the
+        ``*_library`` factories (see ``StatefulState.checkpoint``).
+        Group insertion order is preserved by the group list, which also
+        reconstructs the supergroup-group table — the cleaning pass
+        depends on visiting groups in arrival order.
+        """
+
+        def snap_supergroups(table: Dict[Any, SuperGroupEntry]) -> List[Tuple]:
+            return [
+                (
+                    entry.key,
+                    self._stateful.checkpoint_states(entry.states),
+                    copy.deepcopy(entry.superaggregates),
+                )
+                for entry in table.values()
+            ]
+
+        return {
+            "current_window": self._current_window,
+            "window_stats": copy.deepcopy(self._window_stats),
+            "active_stats": copy.deepcopy(self._active_stats),
+            "pending_shed": self._pending_shed,
+            "groups": [
+                (entry.key, copy.deepcopy(entry.aggregates), entry.supergroup_key)
+                for entry in self._tables.groups.values()
+            ],
+            "new_supergroups": snap_supergroups(self._tables.new_supergroups),
+            "old_supergroups": snap_supergroups(self._tables.old_supergroups),
+        }
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Reinstate a :meth:`checkpoint` snapshot on a fresh operator."""
+
+        def rebuild(snaps: List[Tuple]) -> Dict[Any, SuperGroupEntry]:
+            return {
+                key: SuperGroupEntry(
+                    key=key,
+                    states=self._stateful.restore_states(states),
+                    superaggregates=copy.deepcopy(superaggs),
+                )
+                for key, states, superaggs in snaps
+            }
+
+        tables = GroupTables()
+        tables.new_supergroups = rebuild(snapshot["new_supergroups"])
+        tables.old_supergroups = rebuild(snapshot["old_supergroups"])
+        for key, aggregates, supergroup_key in snapshot["groups"]:
+            tables.add_group(
+                GroupEntry(
+                    key=key,
+                    aggregates=copy.deepcopy(aggregates),
+                    supergroup_key=supergroup_key,
+                )
+            )
+        self._tables = tables
+        self._current_window = snapshot["current_window"]
+        self._window_stats = copy.deepcopy(snapshot["window_stats"])
+        self._active_stats = copy.deepcopy(snapshot["active_stats"])
+        self._pending_shed = snapshot["pending_shed"]
+
     # -- internals -----------------------------------------------------------------
 
     def _charge(self, operation: str, count: int = 1) -> None:
@@ -351,6 +451,9 @@ class SamplingOperator:
     def _open_window(self, window: Tuple[Any, ...]) -> None:
         self._current_window = window
         self._active_stats = WindowStats(window=window)
+        if self._pending_shed:
+            self._active_stats.shed_tuples = self._pending_shed
+            self._pending_shed = 0
 
     def _lookup_supergroup(self, gb_values: Tuple[Any, ...]) -> SuperGroupEntry:
         key = tuple(gb_values[i] for i in self.spec.nonordered_supergroup_indices)

@@ -69,6 +69,11 @@ class CostBook:
     output_tuple: int = 900
     #: Per-window fixed overhead (table swaps, state finalisation).
     window_flush: int = 3_000
+    #: Dropping one tuple at admission under overload (load shedding).
+    #: Deliberately cheap — the whole point of shedding is that refusing
+    #: a tuple costs far less than processing it (paper §1: Gigascope
+    #: degrades by dropping packets when the feed outruns the system).
+    tuple_shed: int = 50
 
 
 class CostModel:

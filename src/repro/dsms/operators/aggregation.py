@@ -12,6 +12,7 @@ windows run next to the sampling query.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
@@ -138,6 +139,22 @@ class AggregationOperator(Operator):
         outputs = self._emit_window()
         self._current_window = None
         return outputs
+
+    def checkpoint(self) -> Any:
+        """Snapshot the open window: group table plus current window id.
+
+        Aggregate instances are module-level classes holding plain
+        accumulator fields, so a deepcopy is both decoupled from the live
+        table and picklable across the worker/parent boundary.
+        """
+        return {
+            "groups": copy.deepcopy(self._groups),
+            "current_window": self._current_window,
+        }
+
+    def restore(self, snapshot: Any) -> None:
+        self._groups = copy.deepcopy(snapshot["groups"])
+        self._current_window = snapshot["current_window"]
 
     def _emit_window(self) -> List[Record]:
         outputs: List[Record] = []

@@ -4,12 +4,19 @@ Operators consume one input record at a time and return zero or more
 output records; :meth:`flush` closes any trailing window at end of
 stream.  The runtime chains operators by feeding each output record to
 the downstream node.
+
+Operators also support crash-recovery checkpoints: :meth:`checkpoint`
+returns a picklable snapshot of all mutable state and :meth:`restore`
+reinstates it on a freshly built operator of the same plan.  The shard
+supervisor uses this pair to resume a replacement worker from the last
+checkpoint instead of replaying the whole stream.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List
+from typing import Any, Iterable, Iterator, List
 
+from repro.errors import ExecutionError
 from repro.streams.records import Record
 from repro.streams.schema import StreamSchema
 
@@ -26,6 +33,24 @@ class Operator:
     def flush(self) -> List[Record]:
         """End-of-stream: emit anything still buffered (default: nothing)."""
         return []
+
+    def checkpoint(self) -> Any:
+        """Picklable snapshot of mutable operator state.
+
+        ``None`` means the operator is stateless (the default — plain
+        selections have nothing to recover).  Stateful operators return a
+        structure fully decoupled from their live state, so the snapshot
+        stays valid while the operator keeps processing.
+        """
+        return None
+
+    def restore(self, snapshot: Any) -> None:
+        """Reinstate a :meth:`checkpoint` snapshot (stateless: no-op)."""
+        if snapshot is not None:
+            raise ExecutionError(
+                f"{type(self).__name__} is stateless but was given a"
+                f" non-empty snapshot ({type(snapshot).__name__})"
+            )
 
     def run(self, records: Iterable[Record]) -> Iterator[Record]:
         """Drive the operator over a whole stream."""

@@ -14,6 +14,7 @@ watermark back.  ``flush`` releases everything that remains.
 
 from __future__ import annotations
 
+import copy
 import heapq
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -108,6 +109,23 @@ class MergeOperator(Operator):
             _key, _seq, record = heapq.heappop(self._heap)
             out.append(record)
         return out
+
+    def checkpoint(self) -> Any:
+        """Snapshot buffered records, per-source frontiers, and ended
+        sources (the heap list is already heap-ordered, so restore needs
+        no re-heapify)."""
+        return {
+            "heap": copy.deepcopy(self._heap),
+            "seq": self._seq,
+            "frontier": dict(self._frontier),
+            "done": set(self._done),
+        }
+
+    def restore(self, snapshot: Any) -> None:
+        self._heap = copy.deepcopy(snapshot["heap"])
+        self._seq = snapshot["seq"]
+        self._frontier = dict(snapshot["frontier"])
+        self._done = set(snapshot["done"])
 
     @property
     def buffered(self) -> int:

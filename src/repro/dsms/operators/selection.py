@@ -102,6 +102,7 @@ class StatefulSelectionOperator(Operator):
         self.output_schema = output_schema
         self._cost = cost_model
         self._account = account
+        self._stateful = stateful
         self.states = stateful.instantiate_states(analyzed.state_names)
         self._ctx = _SelectionContext(scalars, stateful, self.states, cost_model, account)
 
@@ -115,3 +116,13 @@ class StatefulSelectionOperator(Operator):
                 return []
         values = [evaluate(item.expr, self._ctx) for item in self.analyzed.ast.select]
         return [Record(self.output_schema, values)]
+
+    def checkpoint(self) -> Any:
+        """Snapshot the global SFUN state set by state *name* (the state
+        classes are closure-local and unpicklable — see
+        ``StatefulState.checkpoint``)."""
+        return {"states": self._stateful.checkpoint_states(self.states)}
+
+    def restore(self, snapshot: Any) -> None:
+        self.states = self._stateful.restore_states(snapshot["states"])
+        self._ctx._states = self.states

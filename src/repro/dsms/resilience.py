@@ -1,0 +1,518 @@
+"""Shard supervision: crash detection, restart, replay and checkpoints.
+
+A production DSMS keeps answering queries when a worker dies; this
+module gives the sharded runtime that property.  The
+:class:`ShardSupervisor` replaces the fire-and-forget worker handling of
+``ShardedGigascope._run_processes`` with a monitored execution loop:
+
+* **Failure detection** — three signals: the worker process is dead
+  (``is_alive`` false, with a short grace period for a result already in
+  the queue's feeder pipe), the worker is *stalled* (alive but no
+  ack/checkpoint/result event for ``heartbeat_timeout`` seconds while it
+  has outstanding work), or the result queue delivered an undecodable
+  (corrupt) message — the sender of a corrupt message is expected to die
+  and is then attributed by the liveness check.
+* **Restart with capped exponential backoff** — each shard may restart
+  ``max_restarts`` times; the Nth restart waits
+  ``min(backoff_base * 2**(N-1), backoff_cap)`` seconds.  Workers are
+  re-forked from the parent's pristine (never-started) shard instances,
+  so a restarted worker begins from a clean slate.
+* **Replay from a bounded journal** — the parent journals every routed
+  batch per shard as ``(seq, records)``.  Recovery replays journalled
+  batches in order, so a restarted shard deterministically reconstructs
+  its state (all sampling state is seeded RNG + counters, so replay is
+  exact).
+* **Checkpoint when the journal is truncated** — every
+  ``checkpoint_interval`` batches the parent asks the worker for an
+  operator-state snapshot (:meth:`Gigascope.checkpoint`), and on the
+  snapshot's arrival trims journal entries it covers.  The journal is
+  thereby bounded by ``journal_capacity``; if it fills before a snapshot
+  lands, shipping backpressures until the in-flight checkpoint arrives
+  (the supervisor never discards a batch it might need — recoverability
+  is an invariant, not best-effort).  Recovery then *restores* the
+  snapshot and replays only the journal tail past it.
+* **Graceful degradation** — when a shard's input queue stays full and
+  its depth is at ``shed_threshold``, the supervisor drops the batch
+  instead of blocking indefinitely: the shed records are counted in the
+  :class:`SupervisionReport`, charged to the cost model as
+  ``tuple_shed``, and the run keeps its latency at the cost of answer
+  completeness (the paper's position: a degraded sample beats a stalled
+  operator).
+
+Epochs disambiguate incarnations: every worker message carries the
+worker's epoch, and the parent ignores messages from epochs it has
+already declared dead (a killed worker's queued acks must not be
+mistaken for progress of its replacement).
+
+Caveat: terminating a worker mid-``put`` can in principle corrupt a
+queue (multiprocessing's documented limitation).  The supervisor only
+terminates workers that have been silent for ``heartbeat_timeout``,
+which in practice means blocked or sleeping, not mid-write; the corrupt
+message path is handled anyway.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as _queue
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.errors import ExecutionError
+from repro.streams.records import Record
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dsms.sharded import ShardedGigascope
+
+
+@dataclass
+class SupervisionPolicy:
+    """Tunables for shard supervision (defaults suit test-scale runs)."""
+
+    #: restarts allowed per shard before the run fails permanently
+    max_restarts: int = 2
+    #: first-restart backoff in seconds; doubles per restart
+    backoff_base: float = 0.05
+    #: ceiling on the exponential backoff
+    backoff_cap: float = 2.0
+    #: seconds without any worker event before an alive worker counts as stalled
+    heartbeat_timeout: float = 10.0
+    #: request an operator-state checkpoint every N shipped batches
+    checkpoint_interval: int = 8
+    #: max journalled batches per shard before shipping backpressures
+    journal_capacity: int = 64
+    #: per-attempt queue put timeout (liveness is re-checked between attempts)
+    put_timeout: float = 0.25
+    #: overall ceiling on waiting for final results after finish
+    result_timeout: float = 30.0
+    #: grace for a dead worker's in-flight result to surface from the pipe
+    result_grace: float = 1.0
+
+
+@dataclass
+class SupervisionReport:
+    """What the supervisor did: per-shard counters plus a failure log."""
+
+    restarts: Dict[int, int] = field(default_factory=dict)
+    checkpoints: Dict[int, int] = field(default_factory=dict)
+    recoveries_from_checkpoint: Dict[int, int] = field(default_factory=dict)
+    replayed_batches: Dict[int, int] = field(default_factory=dict)
+    shed_records: Dict[int, int] = field(default_factory=dict)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(self.restarts.values())
+
+    @property
+    def total_shed(self) -> int:
+        return sum(self.shed_records.values())
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "restarts": dict(self.restarts),
+            "checkpoints": dict(self.checkpoints),
+            "recoveries_from_checkpoint": dict(self.recoveries_from_checkpoint),
+            "replayed_batches": dict(self.replayed_batches),
+            "shed_records": dict(self.shed_records),
+            "failures": list(self.failures),
+        }
+
+
+def _bump(counter: Dict[int, int], shard: int, by: int = 1) -> None:
+    counter[shard] = counter.get(shard, 0) + by
+
+
+class _WorkerDied(Exception):
+    """Internal: the worker targeted by a recovery put is gone."""
+
+
+class ShardSupervisor:
+    """Run one sharded query set under crash supervision.
+
+    One supervisor drives one :meth:`ShardedGigascope.run` call; it is
+    not reusable.  The owner provides the shard instances, routing and
+    cost model; the supervisor owns worker lifecycle, the journal,
+    checkpoints and the recovery protocol.
+    """
+
+    def __init__(
+        self,
+        owner: "ShardedGigascope",
+        policy: Optional[SupervisionPolicy] = None,
+        fault_plan: Any = None,
+        shed_threshold: Optional[int] = None,
+    ) -> None:
+        self.owner = owner
+        self.policy = policy or SupervisionPolicy()
+        self.fault_plan = fault_plan
+        self.shed_threshold = shed_threshold
+        self.report = SupervisionReport()
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise ExecutionError(
+                "supervised execution needs the 'fork' start method (POSIX)"
+            ) from exc
+        shards = owner.shards
+        self._out_queue = self._context.Queue()
+        self._in_queues: List[Any] = [None] * shards
+        self._workers: List[Any] = [None] * shards
+        self._epoch = [0] * shards
+        self._seq = [0] * shards
+        #: per shard: journalled (seq, records) batches not yet checkpointed
+        self._journal: List[List[Tuple[int, List[Record]]]] = [[] for _ in range(shards)]
+        #: per shard: latest checkpoint as (covered seq, pickled snapshot)
+        self._ckpt: List[Optional[Tuple[int, bytes]]] = [None] * shards
+        self._last_ckpt_request = [0] * shards
+        self._last_event = [0.0] * shards
+        self._restarts = [0] * shards
+        #: error text a worker reported before exiting (better than exitcode)
+        self._pending_error: Dict[int, str] = {}
+        self._results: Dict[int, Tuple[Dict[str, List[Record]], dict, dict]] = {}
+        self._finishing = False
+
+    # -- main loop -------------------------------------------------------------------
+
+    def run(
+        self,
+        records,
+        batch_size: int,
+        route: Dict[str, int],
+    ) -> Tuple[int, Dict[int, Dict[str, List[Record]]], List[dict]]:
+        """Ship all records under supervision; returns
+        ``(total, shard_results, worker_run_reports)``."""
+        for shard in range(self.owner.shards):
+            self._spawn(shard)
+        total = 0
+        batch: List[Record] = []
+        try:
+            for record in records:
+                batch.append(record)
+                if len(batch) >= batch_size:
+                    total += self._ship_round(batch, route)
+                    batch = []
+            if batch:
+                total += self._ship_round(batch, route)
+            shard_results, reports = self._finish_and_collect()
+            return total, shard_results, reports
+        finally:
+            for worker in self._workers:
+                if worker is not None and worker.is_alive():
+                    worker.terminate()
+            for worker in self._workers:
+                if worker is not None:
+                    worker.join(timeout=5.0)
+
+    def _ship_round(self, batch: List[Record], route: Dict[str, int]) -> int:
+        for shard, bucket in enumerate(self.owner._split(batch, route)):
+            if not bucket:
+                continue
+            self._seq[shard] += 1
+            seq = self._seq[shard]
+            self._journal[shard].append((seq, list(bucket)))
+            self._send_batch(shard, seq, bucket)
+            self._maybe_checkpoint(shard)
+            self._enforce_journal_bound(shard)
+        self._drain()
+        return len(batch)
+
+    # -- worker lifecycle ------------------------------------------------------------
+
+    def _spawn(self, shard: int) -> None:
+        from repro.dsms.sharded import _supervised_worker
+
+        old_queue = self._in_queues[shard]
+        if old_queue is not None:
+            try:
+                old_queue.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+        in_queue = self._context.Queue(maxsize=self.owner.queue_depth)
+        worker = self._context.Process(
+            target=_supervised_worker,
+            args=(
+                shard,
+                self._epoch[shard],
+                self.owner._instances[shard],
+                list(self.owner._order),
+                in_queue,
+                self._out_queue,
+                self.fault_plan,
+            ),
+            daemon=True,
+        )
+        self._in_queues[shard] = in_queue
+        self._workers[shard] = worker
+        worker.start()
+        self._last_event[shard] = time.monotonic()
+
+    def _recover(self, shard: int, reason: str) -> None:
+        """Restart one shard: backoff, re-fork, restore, replay.
+
+        Loops (rather than recursing) if the replacement also dies during
+        recovery; every attempt burns one unit of the restart budget.
+        """
+        while True:
+            self.report.failures.append(
+                f"shard {shard} epoch {self._epoch[shard]}: {reason}"
+            )
+            if self._restarts[shard] >= self.policy.max_restarts:
+                raise ExecutionError(
+                    f"shard {shard} failed permanently after"
+                    f" {self._restarts[shard]} restart(s): {reason}"
+                    f" (failure log: {'; '.join(self.report.failures)})"
+                )
+            self._restarts[shard] += 1
+            _bump(self.report.restarts, shard)
+            old = self._workers[shard]
+            if old.is_alive():
+                old.terminate()
+            old.join(timeout=5.0)
+            time.sleep(
+                min(
+                    self.policy.backoff_base * (2 ** (self._restarts[shard] - 1)),
+                    self.policy.backoff_cap,
+                )
+            )
+            self._epoch[shard] += 1
+            self._pending_error.pop(shard, None)
+            self._spawn(shard)
+            checkpoint = self._ckpt[shard]
+            self._last_ckpt_request[shard] = checkpoint[0] if checkpoint else 0
+            try:
+                start_seq = 0
+                if checkpoint is not None:
+                    ckpt_seq, blob = checkpoint
+                    self._put_or_die(shard, ("restore", ckpt_seq, blob))
+                    start_seq = ckpt_seq
+                    _bump(self.report.recoveries_from_checkpoint, shard)
+                for seq, bucket in self._journal[shard]:
+                    if seq > start_seq:
+                        self._put_or_die(shard, ("batch", seq, bucket))
+                        _bump(self.report.replayed_batches, shard)
+                if self._finishing:
+                    self._put_or_die(shard, ("finish",))
+                return
+            except _WorkerDied as died:
+                reason = str(died)
+
+    def _put_or_die(self, shard: int, message: tuple) -> None:
+        while True:
+            worker = self._workers[shard]
+            if not worker.is_alive():
+                raise _WorkerDied(
+                    f"replacement worker (pid {worker.pid}) exited with code"
+                    f" {worker.exitcode} during recovery"
+                )
+            try:
+                self._in_queues[shard].put(message, timeout=self.policy.put_timeout)
+                return
+            except _queue.Full:
+                self._drain()
+                if (
+                    time.monotonic() - self._last_event[shard]
+                    > self.policy.heartbeat_timeout
+                ):
+                    worker.terminate()
+                    worker.join(timeout=5.0)
+                    raise _WorkerDied(
+                        "replacement worker stalled during recovery replay"
+                    ) from None
+
+    def _failure_reason(self, shard: int) -> str:
+        error = self._pending_error.pop(shard, None)
+        if error is not None:
+            return f"worker raised: {error}"
+        worker = self._workers[shard]
+        return (
+            f"worker (pid {worker.pid}) exited with code {worker.exitcode}"
+            " without reporting a result"
+        )
+
+    # -- shipping --------------------------------------------------------------------
+
+    def _send_batch(self, shard: int, seq: int, bucket: List[Record]) -> None:
+        while True:
+            worker = self._workers[shard]
+            if not worker.is_alive():
+                # Recovery replays the journal, which already holds this
+                # batch — nothing further to send here.
+                self._recover(shard, self._failure_reason(shard))
+                return
+            try:
+                self._in_queues[shard].put(("batch", seq, bucket), timeout=self.policy.put_timeout)
+                return
+            except _queue.Full:
+                if (
+                    self.shed_threshold is not None
+                    and self._queue_depth(shard) >= self.shed_threshold
+                ):
+                    entry = self._journal[shard].pop()
+                    assert entry[0] == seq
+                    self._shed(shard, bucket)
+                    return
+                self._drain()
+                if self._check_stalled(shard):
+                    return
+
+    def _send_control(self, shard: int, message: tuple) -> bool:
+        """Send a non-batch message; returns False if recovery intervened
+        (recovery resets control bookkeeping, so nothing is re-sent)."""
+        while True:
+            worker = self._workers[shard]
+            if not worker.is_alive():
+                self._recover(shard, self._failure_reason(shard))
+                return False
+            try:
+                self._in_queues[shard].put(message, timeout=self.policy.put_timeout)
+                return True
+            except _queue.Full:
+                self._drain()
+                if self._check_stalled(shard):
+                    return False
+
+    def _check_stalled(self, shard: int) -> bool:
+        """Terminate-and-recover a silent worker; True if recovery ran."""
+        if time.monotonic() - self._last_event[shard] <= self.policy.heartbeat_timeout:
+            return False
+        worker = self._workers[shard]
+        worker.terminate()
+        worker.join(timeout=5.0)
+        self._recover(
+            shard,
+            f"stalled: no event for {self.policy.heartbeat_timeout}s"
+            " with outstanding work",
+        )
+        return True
+
+    def _maybe_checkpoint(self, shard: int) -> None:
+        covered = self._ckpt[shard][0] if self._ckpt[shard] else 0
+        outstanding = max(self._last_ckpt_request[shard], covered)
+        if self._seq[shard] - outstanding >= self.policy.checkpoint_interval:
+            if self._send_control(shard, ("checkpoint", self._seq[shard])):
+                self._last_ckpt_request[shard] = self._seq[shard]
+
+    def _enforce_journal_bound(self, shard: int) -> None:
+        """Backpressure until an in-flight checkpoint trims the journal."""
+        while len(self._journal[shard]) > self.policy.journal_capacity:
+            covered = self._ckpt[shard][0] if self._ckpt[shard] else 0
+            if self._last_ckpt_request[shard] <= covered:
+                if self._send_control(shard, ("checkpoint", self._seq[shard])):
+                    self._last_ckpt_request[shard] = self._seq[shard]
+                continue
+            if not self._pump_once(0.05):
+                self._check_health(shard)
+
+    def _check_health(self, shard: int) -> None:
+        worker = self._workers[shard]
+        if not worker.is_alive():
+            self._recover(shard, self._failure_reason(shard))
+        else:
+            self._check_stalled(shard)
+
+    def _shed(self, shard: int, bucket: List[Record]) -> None:
+        _bump(self.report.shed_records, shard, len(bucket))
+        per_stream: Dict[str, int] = {}
+        for record in bucket:
+            name = record.schema.name
+            per_stream[name] = per_stream.get(name, 0) + 1
+        for stream, count in per_stream.items():
+            self.owner.cost.charge(stream, "tuple_shed", count)
+
+    def _queue_depth(self, shard: int) -> int:
+        try:
+            return self._in_queues[shard].qsize()
+        except NotImplementedError:  # pragma: no cover - macOS
+            # No depth introspection: a full queue counts as at-threshold.
+            return self.shed_threshold or 0
+
+    # -- event pump ------------------------------------------------------------------
+
+    def _drain(self) -> None:
+        while self._pump_once(0.0):
+            pass
+
+    def _pump_once(self, timeout: float) -> bool:
+        """Process at most one worker event; True if anything arrived."""
+        try:
+            if timeout <= 0:
+                message = self._out_queue.get_nowait()
+            else:
+                message = self._out_queue.get(timeout=timeout)
+        except _queue.Empty:
+            return False
+        except Exception as exc:
+            # A message that failed to unpickle: the queue survives, the
+            # broken sender dies and the liveness check attributes it.
+            self.report.failures.append(
+                f"result queue delivered an undecodable message: {exc!r}"
+            )
+            return True
+        kind, shard, epoch = message[0], message[1], message[2]
+        if epoch != self._epoch[shard]:
+            return True  # stale event from a dead incarnation
+        self._last_event[shard] = time.monotonic()
+        if kind == "ack":
+            pass  # the event itself is the heartbeat
+        elif kind == "ckpt":
+            seq, blob = message[3], message[4]
+            self._ckpt[shard] = (seq, blob)
+            _bump(self.report.checkpoints, shard)
+            self._journal[shard] = [
+                entry for entry in self._journal[shard] if entry[0] > seq
+            ]
+        elif kind == "result":
+            self._results[shard] = (message[3], message[4], message[5])
+        elif kind == "error":
+            self._pending_error[shard] = message[3]
+        return True
+
+    # -- completion ------------------------------------------------------------------
+
+    def _finish_and_collect(
+        self,
+    ) -> Tuple[Dict[int, Dict[str, List[Record]]], List[dict]]:
+        self._finishing = True
+        for shard in range(self.owner.shards):
+            self._send_control(shard, ("finish",))
+        deadline = time.monotonic() + self.policy.result_timeout
+        dead_since: Dict[int, float] = {}
+        while len(self._results) < self.owner.shards:
+            if self._pump_once(0.05):
+                continue
+            now = time.monotonic()
+            for shard in range(self.owner.shards):
+                if shard in self._results:
+                    dead_since.pop(shard, None)
+                    continue
+                worker = self._workers[shard]
+                if not worker.is_alive():
+                    since = dead_since.setdefault(shard, now)
+                    if now - since >= self.policy.result_grace:
+                        dead_since.pop(shard, None)
+                        self._recover(shard, self._failure_reason(shard))
+                elif now - self._last_event[shard] > self.policy.heartbeat_timeout:
+                    worker.terminate()
+                    worker.join(timeout=5.0)
+                    self._recover(
+                        shard,
+                        "stalled while finishing: no event for"
+                        f" {self.policy.heartbeat_timeout}s",
+                    )
+            if time.monotonic() > deadline:
+                missing = sorted(set(range(self.owner.shards)) - set(self._results))
+                raise ExecutionError(
+                    f"supervised run timed out after {self.policy.result_timeout}s"
+                    f" waiting for shards {missing}"
+                    f" (failure log: {'; '.join(self.report.failures) or 'none'})"
+                )
+        shard_results: Dict[int, Dict[str, List[Record]]] = {}
+        reports: List[dict] = []
+        for shard in range(self.owner.shards):
+            results, accounts, report = self._results[shard]
+            shard_results[shard] = results
+            self.owner.cost.absorb(accounts)
+            reports.append(report)
+        return shard_results, reports

@@ -97,6 +97,23 @@ class RingBuffer:
             subscriber_id
         )
 
+    def max_drops(self) -> int:
+        """Worst drop count over all subscribers (0 with no subscribers).
+
+        Subscribers read the same records, so the slowest consumer's drop
+        counter is the stream's effective loss under overload.
+        """
+        return max((self.drops(sid) for sid in self._cursors), default=0)
+
+    def max_backlog(self) -> int:
+        """Worst backlog over all subscribers (0 with no subscribers).
+
+        This is the overload signal the load-shedding admission check
+        reads: when the slowest consumer is this far behind, pushing more
+        records only converts backlog into drops.
+        """
+        return max((self.backlog(sid) for sid in self._cursors), default=0)
+
     def _pending_drops(self, subscriber_id: int) -> int:
         """Records overwritten past this subscriber's cursor since its
         last poll (the poll will fold them into the stored counter)."""

@@ -21,7 +21,7 @@ of Figure 1) and also forwarded to any downstream queries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.errors import ExecutionError, PlanningError
 from repro.dsms.aggregates import default_aggregate_registry
@@ -63,11 +63,24 @@ class Gigascope:
         cost_model: Optional[CostModel] = None,
         ring_capacity: int = 65536,
         strict: bool = False,
+        shed_threshold: Optional[int] = None,
     ) -> None:
         """``strict`` makes every :meth:`add_query` refuse queries with
-        any static-analysis diagnostic (see ``repro.analysis``)."""
+        any static-analysis diagnostic (see ``repro.analysis``).
+
+        ``shed_threshold`` enables overload load shedding: when a source
+        stream's ring-buffer backlog (slowest subscriber) would exceed
+        this many records, the surplus of the incoming batch is *shed* —
+        dropped at admission, counted per stream (:meth:`run_report`),
+        charged to the cost model (``tuple_shed``) and reported to
+        downstream sampling operators (``WindowStats.shed_tuples``) —
+        instead of silently overwriting the ring.  ``None`` disables
+        shedding (the default; the ring then drops oldest records under
+        overload exactly as before).
+        """
         self.cost = cost_model or NULL_COST_MODEL
         self.strict = strict
+        self.shed_threshold = shed_threshold
         self.registries = Registries(
             schemas={},
             scalars=default_function_registry(),
@@ -83,6 +96,10 @@ class Gigascope:
         self._auto_counter = 0
         #: low-level subscriber ids while an incremental run is open
         self._session: Optional[Dict[str, int]] = None
+        #: subscriber ids of the most recent run (for run_report)
+        self._last_subscribers: Dict[str, int] = {}
+        #: records shed at admission, per source stream
+        self._shed: Dict[str, int] = {}
 
     # -- registration -----------------------------------------------------------
 
@@ -330,6 +347,9 @@ class Gigascope:
         if self._session is not None:
             raise ExecutionError("instance is already running; finish() first")
         self._session = self._subscribe_low_level()
+        # Kept after finish() so run_report() can still read ring
+        # drop/backlog counters for the completed run.
+        self._last_subscribers = dict(self._session)
 
     def feed(self, records: List[Record]) -> int:
         """Push one batch of records through the DAG; returns batch size."""
@@ -366,6 +386,10 @@ class Gigascope:
                 raise ExecutionError(
                     f"record for unregistered stream {stream!r}"
                 )
+            if self.shed_threshold is not None:
+                stream_records = self._admit(
+                    stream, stream_records, ring, subscribers
+                )
             for record in stream_records:
                 ring.push(record)
         for name, sid in subscribers.items():
@@ -374,6 +398,57 @@ class Gigascope:
             for record in pending:
                 self._dispatch(handle, record)
         return len(batch)
+
+    def _admit(
+        self,
+        stream: str,
+        records: List[Record],
+        ring: RingBuffer,
+        subscribers: Dict[str, int],
+    ) -> List[Record]:
+        """Overload admission: step down intake instead of drowning the ring.
+
+        When the slowest subscriber's backlog plus the incoming batch
+        would exceed ``shed_threshold``, the surplus (newest records) is
+        shed: counted, charged, and reported to downstream sampling
+        operators so the degradation is deliberate and observable — the
+        paper's drop-under-overload behavior (§1) made explicit.
+        """
+        backlog = max(
+            (
+                ring.backlog(sid)
+                for name, sid in subscribers.items()
+                if self._queries[name].source == stream
+            ),
+            default=0,
+        )
+        assert self.shed_threshold is not None
+        allowed = max(0, self.shed_threshold - backlog)
+        if len(records) <= allowed:
+            return records
+        shed = len(records) - allowed
+        self._shed[stream] = self._shed.get(stream, 0) + shed
+        self.cost.charge(stream, "tuple_shed", shed)
+        self._notify_shed(stream, shed)
+        return records[:allowed]
+
+    def _notify_shed(self, stream: str, count: int) -> None:
+        """Tell every query downstream of ``stream`` (transitively) that
+        ``count`` of its input tuples were shed, so sampling operators can
+        expose the loss in their per-window stats."""
+        seen = set()
+        frontier = [stream]
+        while frontier:
+            node = frontier.pop()
+            for child in self._downstream.get(node, ()):
+                if child in seen:
+                    continue
+                seen.add(child)
+                operator = self._queries[child].operator
+                note = getattr(operator, "note_shed", None)
+                if note is not None:
+                    note(count)
+                frontier.append(child)
 
     def _dispatch(
         self, handle: QueryHandle, record: Record, from_source: Optional[str] = None
@@ -415,10 +490,94 @@ class Gigascope:
                     if released:
                         self._propagate(child, released)
 
+    # -- crash-recovery checkpoints -------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Picklable snapshot of all mutable run state.
+
+        Captures every query node: operator state (see
+        ``Operator.checkpoint``), retained results, and forwarded-tuple
+        counters — plus shed counters and cost balances.  Ring buffers
+        are deliberately *not* captured: a restored instance starts with
+        empty rings, and the supervisor replays the journalled batches
+        that postdate the checkpoint to refill the pipeline.
+        """
+        queries = {}
+        for name in self._order:
+            handle = self._queries[name]
+            queries[name] = {
+                "operator": handle.operator.checkpoint(),
+                # Shallow copy: records are immutable once emitted, the
+                # list must be decoupled from the still-growing handle.
+                "results": list(handle.results),
+                "forwarded": handle.forwarded,
+            }
+        return {
+            "version": 1,
+            "queries": queries,
+            "shed": dict(self._shed),
+            "cost_accounts": self.cost.accounts() if self.cost.enabled else {},
+        }
+
+    def restore(self, snapshot: Dict[str, Any], restore_cost: bool = False) -> None:
+        """Reinstate a :meth:`checkpoint` taken from an identically
+        registered instance (same streams and queries, in order).
+
+        ``restore_cost`` also resets this instance's cost model to the
+        snapshot's balances — only safe when the model is private to this
+        instance (a forked worker's copy), not shared across shards.
+        """
+        queries = snapshot["queries"]
+        if set(queries) != set(self._order):
+            raise ExecutionError(
+                "checkpoint does not match this instance: snapshot has"
+                f" queries {sorted(queries)}, instance has {sorted(self._order)}"
+            )
+        for name in self._order:
+            entry = queries[name]
+            handle = self._queries[name]
+            handle.operator.restore(entry["operator"])
+            handle.results[:] = entry["results"]
+            handle.forwarded = entry["forwarded"]
+        self._shed = dict(snapshot["shed"])
+        if restore_cost and self.cost.enabled:
+            self.cost.reset()
+            self.cost.absorb(snapshot["cost_accounts"])
+
     # -- reporting ------------------------------------------------------------------
 
     def results(self, name: str) -> List[Record]:
         return self.query(name).results
+
+    def run_report(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+        """Overload/degradation counters for the most recent run.
+
+        ``streams``: per source stream, ring-buffer ``drops`` (slowest
+        subscriber), remaining ``backlog``, and ``shed`` records.
+        ``queries``: per sampling query, late / incomparable / shed tuple
+        totals over all windows.  Everything here is a tuple the answer
+        silently does *not* include — the report makes degradation
+        visible instead of silent.
+        """
+        streams: Dict[str, Dict[str, int]] = {}
+        for stream, ring in self._rings.items():
+            sids = [
+                sid
+                for name, sid in self._last_subscribers.items()
+                if self._queries[name].source == stream
+            ]
+            streams[stream] = {
+                "drops": max((ring.drops(sid) for sid in sids), default=0),
+                "backlog": max((ring.backlog(sid) for sid in sids), default=0),
+                "shed": self._shed.get(stream, 0),
+            }
+        queries: Dict[str, Dict[str, int]] = {}
+        for name in self._order:
+            operator = self._queries[name].operator
+            counters = getattr(operator, "overload_counters", None)
+            if counters is not None:
+                queries[name] = counters()
+        return {"streams": streams, "queries": queries}
 
     def explain(self) -> str:
         """Render the query DAG (levels, sources, operators, cost)."""

@@ -52,6 +52,10 @@ with the serial runtime.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import pickle
+import queue as _queue
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -61,6 +65,7 @@ from repro.dsms.cost import CostModel, NULL_COST_MODEL
 from repro.dsms.operators.merge import MergeOperator
 from repro.dsms.parser import compile_query
 from repro.dsms.parser.planner import partition_info
+from repro.dsms.resilience import ShardSupervisor, SupervisionPolicy, SupervisionReport
 from repro.dsms.runtime import Gigascope, QueryHandle
 from repro.dsms.stateful import StatefulLibrary
 from repro.streams.records import Record
@@ -176,17 +181,55 @@ class ShardedGigascope:
         cost_model: Optional[CostModel] = None,
         ring_capacity: int = 65536,
         strict: bool = False,
+        queue_depth: int = 8,
+        stall_timeout: float = 60.0,
+        supervise: bool = False,
+        supervision: Optional[SupervisionPolicy] = None,
+        shed_threshold: Optional[int] = None,
+        fault_plan: Any = None,
     ) -> None:
+        """Beyond the PR-2 parameters:
+
+        ``queue_depth`` bounds each worker's input queue (batches), so a
+        wedged worker backpressures the splitter instead of buffering
+        unboundedly.  ``stall_timeout`` caps how long an *unsupervised*
+        process run waits for worker results before failing.
+        ``supervise=True`` runs workers under a :class:`ShardSupervisor`
+        (implies process mode): crashed or stalled shards restart and
+        recover from the batch journal / operator checkpoints, per
+        ``supervision`` (a :class:`SupervisionPolicy`, default policy if
+        None).  ``shed_threshold`` enables graceful degradation: each
+        shard's Gigascope sheds admission beyond that ring backlog, and
+        the supervisor sheds batches when a shard's input queue stays at
+        that depth.  ``fault_plan`` (a
+        :class:`repro.testing.faults.FaultPlan`) injects deterministic
+        worker failures for tests; ignored by the in-process mode.
+        """
         if shards < 1:
             raise PlanningError("shards must be >= 1")
+        if queue_depth < 1:
+            raise PlanningError("queue_depth must be >= 1")
         self.shards = shards
-        self.processes = processes
+        self.supervise = supervise or supervision is not None
+        self.processes = processes or self.supervise
         self.cost = cost_model or NULL_COST_MODEL
         self.strict = strict
+        self.queue_depth = queue_depth
+        self.stall_timeout = stall_timeout
+        self.supervision = supervision
+        self.shed_threshold = shed_threshold
+        self.fault_plan = fault_plan
+        #: SupervisionReport of the most recent supervised run (else None)
+        self.last_supervision: Optional[SupervisionReport] = None
+        self._last_report: Optional[dict] = None
         # Strictness is enforced once, centrally, in add_query; the shard
         # instances receive pre-vetted text and never re-lint it.
         self._instances = [
-            Gigascope(cost_model=self.cost, ring_capacity=ring_capacity)
+            Gigascope(
+                cost_model=self.cost,
+                ring_capacity=ring_capacity,
+                shed_threshold=shed_threshold,
+            )
             for _ in range(shards)
         ]
         self._handles: Dict[str, ShardedQueryHandle] = {}
@@ -403,6 +446,10 @@ class ShardedGigascope:
         """
         route = self._route_indices()
         sinks = [_MergeSink(self._handles[name], self.shards) for name in self._order]
+        self._last_report = None
+        self.last_supervision = None
+        if self.supervise:
+            return self._run_supervised(records, batch_size, route, sinks)
         if self.processes:
             return self._run_processes(records, batch_size, route, sinks)
         return self._run_inline(records, batch_size, route, sinks)
@@ -463,6 +510,31 @@ class ShardedGigascope:
             raise
         return total
 
+    def _run_supervised(
+        self,
+        records: Iterable[Record],
+        batch_size: int,
+        route: Dict[str, int],
+        sinks: List[_MergeSink],
+    ) -> int:
+        """Run the workers under a :class:`ShardSupervisor`: crashed or
+        stalled shards restart and recover by checkpoint restore plus
+        journal replay, so a single worker failure does not fail the run."""
+        supervisor = ShardSupervisor(
+            self,
+            policy=self.supervision,
+            fault_plan=self.fault_plan,
+            shed_threshold=self.shed_threshold,
+        )
+        self.last_supervision = supervisor.report
+        total, shard_results, reports = supervisor.run(records, batch_size, route)
+        for sink in sinks:
+            for shard in range(self.shards):
+                sink.feed(shard, shard_results[shard].get(sink.handle.name, []))
+                sink.end_source(shard)
+        self._last_report = _merge_reports(reports)
+        return total
+
     def _run_processes(
         self,
         records: Iterable[Record],
@@ -470,7 +542,12 @@ class ShardedGigascope:
         route: Dict[str, int],
         sinks: List[_MergeSink],
     ) -> int:
-        """Fork one worker per shard; exchange pickled record batches."""
+        """Fork one worker per shard; exchange pickled record batches.
+
+        Unsupervised: a worker failure fails the whole run — but it fails
+        *promptly and attributably* (naming the dead shard) rather than
+        deadlocking on a queue the worker will never serve again.
+        """
         try:
             context = multiprocessing.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-POSIX platforms
@@ -478,13 +555,13 @@ class ShardedGigascope:
                 "processes=True needs the 'fork' start method (POSIX);"
                 " use the in-process mode instead"
             ) from exc
-        in_queues = [context.Queue() for _ in range(self.shards)]
+        in_queues = [context.Queue(maxsize=self.queue_depth) for _ in range(self.shards)]
         out_queue = context.Queue()
         workers = [
             context.Process(
                 target=_shard_worker,
                 args=(shard, self._instances[shard], list(self._order),
-                      in_queues[shard], out_queue),
+                      in_queues[shard], out_queue, self.fault_plan),
                 daemon=True,
             )
             for shard in range(self.shards)
@@ -495,46 +572,125 @@ class ShardedGigascope:
         total = 0
         batch: List[Record] = []
         try:
-            for record in records:
-                batch.append(record)
-                if len(batch) >= batch_size:
-                    total += self._ship(batch, route, in_queues)
-                    batch = []
-            if batch:
-                total += self._ship(batch, route, in_queues)
+            try:
+                for record in records:
+                    batch.append(record)
+                    if len(batch) >= batch_size:
+                        total += self._ship(batch, route, in_queues, workers)
+                        batch = []
+                if batch:
+                    total += self._ship(batch, route, in_queues, workers)
+            finally:
+                for queue in in_queues:
+                    try:
+                        # Timed: a dead worker's full queue never drains,
+                        # and the collection loop reports it either way.
+                        queue.put(None, timeout=1.0)
+                    except _queue.Full:
+                        pass
+
+            shard_results, reports = self._collect_results(workers, out_queue)
         finally:
-            for queue in in_queues:
-                queue.put(None)
+            for worker in workers:
+                if worker.is_alive():
+                    worker.terminate()
+            for worker in workers:
+                worker.join(timeout=5.0)
 
-        failures = []
-        shard_results: Dict[int, Dict[str, List[Record]]] = {}
-        for _ in range(self.shards):
-            shard, results, accounts, error = out_queue.get()
-            if error is not None:
-                failures.append(f"shard {shard}: {error}")
-                continue
-            shard_results[shard] = results
-            self.cost.absorb(accounts)
-        for worker in workers:
-            worker.join()
-        if failures:
-            raise ExecutionError("sharded run failed: " + "; ".join(failures))
-
+        self._last_report = _merge_reports(reports)
         for sink in sinks:
             for shard in range(self.shards):
                 sink.feed(shard, shard_results[shard].get(sink.handle.name, []))
                 sink.end_source(shard)
         return total
 
+    def _collect_results(
+        self, workers: List, out_queue
+    ) -> Tuple[Dict[int, Dict[str, List[Record]]], List[dict]]:
+        """Gather one result per shard with liveness checks.
+
+        A bare ``out_queue.get()`` here deadlocks forever if a worker
+        died (nothing will ever arrive); instead we poll with a timeout,
+        watch worker liveness — with a short grace period, because a
+        dying worker's result may still be in the queue's feeder pipe —
+        and fail with the dead shard's identity and exit code.
+        """
+        failures: List[str] = []
+        shard_results: Dict[int, Dict[str, List[Record]]] = {}
+        reports: List[dict] = []
+        pending = set(range(self.shards))
+        dead_since: Dict[int, float] = {}
+        deadline = time.monotonic() + self.stall_timeout
+        while pending:
+            try:
+                message = out_queue.get(timeout=0.1)
+            except _queue.Empty:
+                message = None
+            except Exception as exc:
+                # Undecodable (corrupt) message: the queue survives; the
+                # broken sender dies and the liveness check below names it.
+                failures.append(
+                    f"result queue delivered an undecodable message: {exc!r}"
+                )
+                message = None
+            if message is not None:
+                shard, results, accounts, error, report = message
+                if shard in pending:
+                    pending.discard(shard)
+                    dead_since.pop(shard, None)
+                    if error is not None:
+                        failures.append(f"shard {shard}: {error}")
+                    else:
+                        shard_results[shard] = results
+                        self.cost.absorb(accounts)
+                        reports.append(report)
+                continue
+            now = time.monotonic()
+            for shard in sorted(pending):
+                worker = workers[shard]
+                if worker.is_alive():
+                    continue
+                since = dead_since.setdefault(shard, now)
+                if now - since >= 1.0:
+                    pending.discard(shard)
+                    failures.append(
+                        f"shard {shard} worker (pid {worker.pid}) exited with"
+                        f" code {worker.exitcode} without reporting a result"
+                    )
+            if pending and now > deadline:
+                stuck = ", ".join(str(shard) for shard in sorted(pending))
+                raise ExecutionError(
+                    f"sharded run stalled: no result from shard(s) {stuck}"
+                    f" within stall_timeout={self.stall_timeout}s"
+                )
+        if failures:
+            raise ExecutionError("sharded run failed: " + "; ".join(failures))
+        return shard_results, reports
+
     def _ship(
         self,
         batch: List[Record],
         route: Dict[str, int],
         in_queues: List,
+        workers: Optional[List] = None,
     ) -> int:
         for shard, bucket in enumerate(self._split(batch, route)):
-            if bucket:
-                in_queues[shard].put(bucket)
+            if not bucket:
+                continue
+            while True:
+                try:
+                    # Bounded put: never block forever on a queue whose
+                    # consumer is gone.
+                    in_queues[shard].put(bucket, timeout=0.25)
+                    break
+                except _queue.Full:
+                    if workers is not None and not workers[shard].is_alive():
+                        worker = workers[shard]
+                        raise ExecutionError(
+                            f"shard {shard} worker (pid {worker.pid}) exited"
+                            f" with code {worker.exitcode} while its input"
+                            " queue was full"
+                        ) from None
         return len(batch)
 
     # -- reporting ------------------------------------------------------------------
@@ -542,6 +698,21 @@ class ShardedGigascope:
     def cpu_percent(self, name: str, stream_seconds: float) -> float:
         """Aggregate CPU% of one query across all shards (one account)."""
         return self.cost.cpu_percent(name, stream_seconds)
+
+    def run_report(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+        """Overload counters of the most recent run, summed over shards.
+
+        Same shape as :meth:`Gigascope.run_report`; in process modes the
+        per-shard reports crossed the queue with the results, in the
+        in-process mode they are read straight off the shard instances.
+        Supervisor-level shedding is reported separately via
+        :attr:`last_supervision`.
+        """
+        if self._last_report is not None:
+            return self._last_report
+        return _merge_reports(
+            [instance.run_report() for instance in self._instances]
+        )
 
     def explain(self) -> str:
         """Render the sharding layout plus one shard's query DAG."""
@@ -565,12 +736,27 @@ class ShardedGigascope:
         return "\n".join(lines)
 
 
+def _merge_reports(reports: Sequence[dict]) -> Dict[str, Dict[str, Dict[str, int]]]:
+    """Sum per-shard :meth:`Gigascope.run_report` dicts counter-wise."""
+    merged: Dict[str, Dict[str, Dict[str, int]]] = {"streams": {}, "queries": {}}
+    for report in reports:
+        if not report:
+            continue
+        for section in ("streams", "queries"):
+            for name, counters in report.get(section, {}).items():
+                slot = merged[section].setdefault(name, {})
+                for key, value in counters.items():
+                    slot[key] = slot.get(key, 0) + value
+    return merged
+
+
 def _shard_worker(
     shard: int,
     instance: Gigascope,
     query_names: List[str],
     in_queue,
     out_queue,
+    fault_plan: Any = None,
 ) -> None:
     """Worker-process loop: drain batches, run the shard DAG, ship results.
 
@@ -585,14 +771,80 @@ def _shard_worker(
             # worker's own charges so the parent can absorb the delta.
             instance.cost.reset()
         instance.start()
+        batch_no = 0
         while True:
             batch = in_queue.get()
             if batch is None:
                 break
+            batch_no += 1
+            if fault_plan is not None:
+                fault_plan.fire_batch(shard, 0, batch_no, out_queue)
             instance.feed(batch)
+        if fault_plan is not None and fault_plan.drops_result(shard, 0):
+            os._exit(0)
         instance.finish()
         results = {name: instance.query(name).results for name in query_names}
         accounts = instance.cost.accounts() if instance.cost.enabled else {}
-        out_queue.put((shard, results, accounts, None))
+        out_queue.put((shard, results, accounts, None, instance.run_report()))
     except BaseException as exc:  # pragma: no cover - exercised via parent
-        out_queue.put((shard, {}, {}, repr(exc)))
+        out_queue.put((shard, {}, {}, repr(exc), {}))
+
+
+def _supervised_worker(
+    shard: int,
+    epoch: int,
+    instance: Gigascope,
+    query_names: List[str],
+    in_queue,
+    out_queue,
+    fault_plan: Any = None,
+) -> None:
+    """Worker loop under supervision: a small message protocol.
+
+    Inbound: ``("restore", seq, blob)`` reinstates a pickled
+    :meth:`Gigascope.checkpoint`; ``("batch", seq, records)`` feeds one
+    routed batch and acks it; ``("checkpoint", seq)`` snapshots operator
+    state and ships it back; ``("finish",)`` flushes and reports.
+    Outbound messages all carry ``(kind, shard, epoch, ...)`` so the
+    parent can discard events from incarnations it has declared dead.
+
+    The checkpoint blob is pickled *synchronously* (``pickle.dumps``)
+    before it enters the queue: Queue.put pickles lazily on a feeder
+    thread, which would race with this loop mutating operator state on
+    the very next batch.
+    """
+    try:
+        if instance.cost.enabled:
+            instance.cost.reset()
+        instance.start()
+        batch_no = 0
+        while True:
+            message = in_queue.get()
+            kind = message[0]
+            if kind == "restore":
+                snapshot = pickle.loads(message[2])
+                instance.restore(snapshot, restore_cost=instance.cost.enabled)
+            elif kind == "batch":
+                seq, records = message[1], message[2]
+                batch_no += 1
+                if fault_plan is not None:
+                    fault_plan.fire_batch(shard, epoch, batch_no, out_queue)
+                instance.feed(records)
+                out_queue.put(("ack", shard, epoch, seq))
+            elif kind == "checkpoint":
+                blob = pickle.dumps(instance.checkpoint())
+                out_queue.put(("ckpt", shard, epoch, message[1], blob))
+            elif kind == "finish":
+                if fault_plan is not None and fault_plan.drops_result(shard, epoch):
+                    os._exit(0)
+                instance.finish()
+                results = {name: instance.query(name).results for name in query_names}
+                accounts = instance.cost.accounts() if instance.cost.enabled else {}
+                out_queue.put(
+                    ("result", shard, epoch, results, accounts, instance.run_report())
+                )
+                return
+            else:  # pragma: no cover - protocol guard
+                raise ExecutionError(f"unknown supervisor message {kind!r}")
+    except BaseException as exc:  # pragma: no cover - exercised via parent
+        out_queue.put(("error", shard, epoch, repr(exc)))

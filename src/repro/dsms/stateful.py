@@ -25,6 +25,7 @@ planner then knows which states each supergroup must allocate.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Callable, Dict, List, Optional, Sequence, Type
 
 from repro.errors import RegistryError, StatefulFunctionError
@@ -51,6 +52,27 @@ class StatefulState:
 
     def on_window_final(self) -> None:
         """Called once when the window containing this state closes."""
+
+    # -- crash-recovery checkpoints ---------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """A picklable snapshot of this state's fields.
+
+        State *classes* are often closure-local (the ``*_library``
+        factories define them inside the factory so they close over the
+        pack configuration), which makes the instances themselves
+        unpicklable by class reference.  The field dict, by contrast, is
+        plain data (numbers, lists, ``random.Random`` instances), so the
+        supervisor checkpoints states as ``(state name, field dict)`` and
+        rebuilds the instance from the library on restore.  Subclasses
+        holding unsnapshottable resources override this pair.
+        """
+        return copy.deepcopy(self.__dict__)
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Reinstate the fields captured by :meth:`checkpoint`."""
+        self.__dict__.clear()
+        self.__dict__.update(copy.deepcopy(snapshot))
 
 
 SFun = Callable[..., Any]
@@ -165,6 +187,27 @@ class StatefulLibrary:
             cls = self.state_class(name)
             old = old_states.get(name) if old_states else None
             states[name] = cls.initial(old)
+        return states
+
+    def checkpoint_states(
+        self, states: Dict[str, StatefulState]
+    ) -> Dict[str, Dict[str, Any]]:
+        """Picklable snapshot of a supergroup's state set, keyed by state
+        name (instances cannot pickle directly — see
+        :meth:`StatefulState.checkpoint`)."""
+        return {name: state.checkpoint() for name, state in states.items()}
+
+    def restore_states(
+        self, snapshot: Dict[str, Dict[str, Any]]
+    ) -> Dict[str, StatefulState]:
+        """Rebuild live state instances from a :meth:`checkpoint_states`
+        snapshot, resolving each state name against this library."""
+        states: Dict[str, StatefulState] = {}
+        for name, fields in snapshot.items():
+            cls = self.state_class(name)
+            state = cls.__new__(cls)
+            state.restore(fields)
+            states[name] = state
         return states
 
     def invoke(

@@ -1,0 +1,5 @@
+"""Test-support utilities (deterministic fault injection)."""
+
+from repro.testing.faults import Fault, FaultPlan, PoisonPill
+
+__all__ = ["Fault", "FaultPlan", "PoisonPill"]

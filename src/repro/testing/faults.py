@@ -1,0 +1,121 @@
+"""Deterministic fault injection for the sharded runtime.
+
+Crash-recovery code is only trustworthy if its failure paths are
+*exercised*, and real worker crashes are timing-dependent.  This module
+gives tests a way to make a specific shard worker fail at a specific,
+repeatable point:
+
+* ``kill`` — hard-exit the worker (``os._exit(1)``) just before it
+  processes its Nth batch, simulating a segfaulting UDF or an OOM kill.
+* ``delay`` — sleep inside the worker before batch N, simulating a stall
+  (slow disk, GC pause); with a short supervisor heartbeat timeout this
+  exercises the stalled-worker detection path.
+* ``corrupt`` — emit a :class:`PoisonPill` on the result queue (its
+  unpickling raises in the parent) and then hard-exit, simulating a
+  truncated/garbled IPC message from a dying worker.
+* ``drop_result`` — exit cleanly *instead of* sending the final result,
+  simulating a worker that dies between finishing work and reporting it.
+
+A :class:`Fault` fires once per matching batch position.  By default it
+fires only in the worker's first incarnation (``every_epoch=False``), so
+a supervised restart of the same shard succeeds — which is exactly the
+recovery scenario the tests assert.  Set ``every_epoch=True`` to make
+the failure permanent and exercise the restarts-exhausted path.
+
+Faults are injected *inside the worker process*: the plan is captured by
+``fork``, so no fault state needs to pickle.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+_ACTIONS = ("kill", "delay", "corrupt", "drop_result")
+
+
+def _raise_poison() -> None:
+    raise RuntimeError("poisoned pickle from fault injection")
+
+
+class PoisonPill:
+    """An object whose *unpickling* raises, corrupting the result queue.
+
+    ``__reduce__`` hands the unpickler a callable that raises, so the
+    parent's ``Queue.get`` — not the worker's ``put`` — blows up, exactly
+    like a garbled message from a crashing process.
+    """
+
+    def __reduce__(self):
+        return (_raise_poison, ())
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One deterministic failure: *shard* misbehaves at batch *at_batch*.
+
+    ``at_batch`` counts data batches the worker has accepted, starting at
+    1; the fault fires just before the worker processes that batch (for
+    ``drop_result``, at finish time and ``at_batch`` is ignored).
+    ``seconds`` is the stall length for ``delay``.  ``every_epoch=False``
+    restricts the fault to the worker's first incarnation (epoch 0) so a
+    supervised restart runs clean.
+    """
+
+    shard: int
+    action: str
+    at_batch: int = 1
+    seconds: float = 0.0
+    every_epoch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; expected one of {_ACTIONS}"
+            )
+
+
+class FaultPlan:
+    """The full set of faults for one run, evaluated inside each worker."""
+
+    def __init__(self, faults: Sequence[Fault] = ()) -> None:
+        self.faults: List[Fault] = list(faults)
+
+    def add(self, fault: Fault) -> "FaultPlan":
+        self.faults.append(fault)
+        return self
+
+    def _matches(self, shard: int, epoch: int, action: str) -> List[Fault]:
+        return [
+            f
+            for f in self.faults
+            if f.shard == shard and f.action == action and (f.every_epoch or epoch == 0)
+        ]
+
+    def fire_batch(self, shard: int, epoch: int, batch_no: int, out_queue=None) -> None:
+        """Called by the worker before processing data batch ``batch_no``.
+
+        May sleep, poison ``out_queue``, or never return (hard exit).
+        """
+        for fault in self._matches(shard, epoch, "delay"):
+            if fault.at_batch == batch_no:
+                time.sleep(fault.seconds)
+        for fault in self._matches(shard, epoch, "corrupt"):
+            if fault.at_batch == batch_no and out_queue is not None:
+                out_queue.put(PoisonPill())
+                # Flush the feeder thread so the poison actually reaches
+                # the pipe, then die: a corrupt message in practice means
+                # the sender is broken, and exiting lets the parent's
+                # liveness check attribute the poison to this shard.
+                out_queue.close()
+                out_queue.join_thread()
+                os._exit(1)
+        for fault in self._matches(shard, epoch, "kill"):
+            if fault.at_batch == batch_no:
+                os._exit(1)
+
+    def drops_result(self, shard: int, epoch: int) -> bool:
+        """Called by the worker at finish: die silently instead of reporting?"""
+        return bool(self._matches(shard, epoch, "drop_result"))

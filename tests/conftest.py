@@ -1,8 +1,51 @@
-"""Shared fixtures: registries, small traces, DSMS factories."""
+"""Shared fixtures: registries, small traces, DSMS factories.
+
+Also a per-test timeout fallback: resilience tests exercise deadlock
+fixes, and a regression there should fail the test, not hang the suite.
+When the ``pytest-timeout`` plugin is installed (CI) it owns timeouts;
+otherwise a SIGALRM-based hookwrapper enforces the same ceiling on
+POSIX.
+"""
 
 from __future__ import annotations
 
+import signal
+
 import pytest
+
+_DEFAULT_TEST_TIMEOUT = 120.0
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+_HAVE_SIGALRM = hasattr(signal, "SIGALRM")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if _HAVE_PYTEST_TIMEOUT or not _HAVE_SIGALRM:
+        yield
+        return
+    marker = item.get_closest_marker("timeout")
+    seconds = float(marker.args[0]) if marker and marker.args else _DEFAULT_TEST_TIMEOUT
+
+    def _alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {seconds:.0f}s per-test timeout (fallback"
+            " SIGALRM enforcement; install pytest-timeout for rich output)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 from repro.dsms.aggregates import default_aggregate_registry
 from repro.dsms.functions import default_function_registry

@@ -92,6 +92,35 @@ class TestQuery:
         assert rows(["--shards", "2"]) == serial
         assert rows(["--shards", "2", "--shard-processes"]) == serial
 
+    def test_supervised_matches_serial_and_reports(self, trace_file, capsys):
+        sql = "SELECT tb, srcIP, sum(len) FROM TCP GROUP BY time/5 as tb, srcIP"
+
+        def run(extra):
+            rc = main([
+                "query", "--trace", trace_file, "--limit", "100000",
+                "--sql", sql, *extra,
+            ])
+            assert rc == 0
+            captured = capsys.readouterr()
+            return sorted(captured.out.splitlines()[1:]), captured.err
+
+        serial, _ = run([])
+        rows, err = run(["--shards", "2", "--supervise", "--report"])
+        assert rows == serial
+        assert "supervision: restarts=0" in err
+        assert "stream TCP:" in err
+
+    def test_shed_threshold_reported(self, trace_file, capsys):
+        rc = main([
+            "query", "--trace", trace_file, "--limit", "0",
+            "--shed-threshold", "50",
+            "--sql", "SELECT tb, srcIP, sum(len) FROM TCP"
+            " GROUP BY time/5 as tb, srcIP",
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "shed=" in err
+
     def test_unshardeable_query_errors_clearly(self, trace_file, capsys):
         from repro.errors import PlanningError
 
