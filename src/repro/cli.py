@@ -11,10 +11,18 @@ Subcommands (also reachable as ``python -m repro.cli``):
 
       python -m repro.cli query --trace trace.bin \\
           --sql "SELECT tb, sum(len) FROM TCP GROUP BY time/20 as tb"
+      python -m repro.cli query examples/queries/subset_sum.gsql
 
-  The subset-sum / reservoir / heavy-hitters / distinct SFUN packs are
-  pre-registered, so the paper's sampling queries work out of the box
-  (``--relax-factor`` configures the subset-sum pack).
+  The query comes from a ``.gsql`` file (positional) or ``--sql``; with
+  no ``--trace`` a default research-center feed is synthesised in
+  memory.  The subset-sum / reservoir / heavy-hitters / distinct SFUN
+  packs are pre-registered, so the paper's sampling queries work out of
+  the box (``--relax-factor`` configures the subset-sum pack).
+  Observability (docs/OBSERVABILITY.md): ``--metrics-out m.json`` dumps
+  the metrics registry (``.prom``/``.txt`` renders Prometheus text),
+  ``--trace-out t.jsonl`` records window/cleaning trace events, and
+  ``--profile`` charges per-operator wall time into
+  ``operator_seconds``.
 
 * ``explain`` — compile a query and print its plan without running it.
 
@@ -40,6 +48,7 @@ from repro.dsms.parser import compile_query
 from repro.dsms.resilience import SupervisionPolicy
 from repro.dsms.runtime import Gigascope
 from repro.dsms.sharded import ShardedGigascope
+from repro.obs import TraceSink, write_metrics, write_trace
 from repro.streams.persistence import load_trace, save_trace
 from repro.streams.schema import TCP_SCHEMA
 from repro.streams.traces import (
@@ -70,6 +79,8 @@ def _standard_instance(
     supervise: bool = False,
     max_restarts: int = 2,
     shed_threshold: Optional[int] = None,
+    trace_sink: Optional[TraceSink] = None,
+    profile: bool = False,
 ):
     """A DSMS instance with the TCP stream and all SFUN packs loaded.
 
@@ -78,7 +89,8 @@ def _standard_instance(
     ``supervise`` runs shard workers under crash supervision with up to
     ``max_restarts`` restarts each; ``shed_threshold`` enables overload
     shedding (ring-backlog admission control, and — supervised — input
-    queue shedding).
+    queue shedding).  ``trace_sink`` / ``profile`` attach the
+    observability layer (docs/OBSERVABILITY.md).
     """
     if shards > 0:
         gs = ShardedGigascope(
@@ -89,9 +101,12 @@ def _standard_instance(
             if supervise
             else None,
             shed_threshold=shed_threshold,
+            trace=trace_sink,
         )
     else:
-        gs = Gigascope(shed_threshold=shed_threshold)
+        gs = Gigascope(
+            shed_threshold=shed_threshold, trace=trace_sink, profile=profile
+        )
     gs.register_stream(TCP_SCHEMA)
     gs.use_stateful_library(subset_sum_library(relax_factor=relax_factor))
     gs.use_stateful_library(basic_subset_sum_library())
@@ -114,10 +129,40 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    trace = load_trace(args.trace)
+    if args.file is None and args.sql is None:
+        print("query needs a .gsql file or --sql", file=sys.stderr)
+        return 2
+    if args.file is not None and args.sql is not None:
+        print("query takes a .gsql file or --sql, not both", file=sys.stderr)
+        return 2
+    if args.file is not None:
+        try:
+            with open(args.file, "r", encoding="utf-8") as fh:
+                sql = fh.read()
+        except OSError as exc:
+            print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        sql = args.sql
+
+    if args.trace is not None:
+        trace = load_trace(args.trace)
+    else:
+        # No trace given: synthesise the default research-center feed
+        # (same parameters as `generate` defaults) in memory.
+        config = TraceConfig(duration_seconds=60, rate_scale=0.01, seed=20050614)
+        trace = list(research_center_feed(config))
+        print(
+            f"-- no --trace: synthesised research feed ({len(trace):,} records)",
+            file=sys.stderr,
+        )
     if not trace:
         print("trace is empty", file=sys.stderr)
         return 1
+
+    trace_sink = TraceSink() if args.trace_out else None
+    if args.profile and args.shards > 0:
+        print("-- --profile is serial-only; ignored with --shards", file=sys.stderr)
     gs = _standard_instance(
         args.relax_factor,
         shards=args.shards,
@@ -125,6 +170,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         supervise=args.supervise,
         max_restarts=args.max_restarts,
         shed_threshold=args.shed_threshold,
+        trace_sink=trace_sink,
+        profile=args.profile,
     )
     # Re-register the trace's own schema if it is not the stock TCP one.
     if trace[0].schema != TCP_SCHEMA:
@@ -137,17 +184,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 if args.supervise
                 else None,
                 shed_threshold=args.shed_threshold,
+                trace=trace_sink,
             )
         else:
-            gs = Gigascope(shed_threshold=args.shed_threshold)
+            gs = Gigascope(
+                shed_threshold=args.shed_threshold,
+                trace=trace_sink,
+                profile=args.profile,
+            )
         gs.register_stream(trace[0].schema)
     if args.lint:
-        result = gs.lint(args.sql, name="cli")
+        result = gs.lint(sql, name="cli")
         if result.diagnostics:
             print(result.render(), file=sys.stderr)
         if result.errors or (args.strict and result.diagnostics):
             return 1
-    handle = gs.add_query(args.sql, name="cli")
+    handle = gs.add_query(sql, name="cli")
     gs.run(iter(trace))
     rows = handle.results
     limit = args.limit if args.limit is not None else len(rows)
@@ -158,6 +210,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"... ({len(rows) - limit} more rows)")
     print(f"-- {len(rows)} rows", file=sys.stderr)
     _print_run_report(gs, force=args.report)
+    if args.metrics_out:
+        count = write_metrics(gs.metrics, args.metrics_out)
+        print(f"-- wrote {count} metric series to {args.metrics_out}", file=sys.stderr)
+    if args.trace_out:
+        count = write_trace(trace_sink, args.trace_out)
+        print(f"-- wrote {count} trace events to {args.trace_out}", file=sys.stderr)
     return 0
 
 
@@ -248,8 +306,15 @@ def build_parser() -> argparse.ArgumentParser:
     generate.set_defaults(fn=_cmd_generate)
 
     query = sub.add_parser("query", help="run one GSQL query over a trace")
-    query.add_argument("--trace", required=True)
-    query.add_argument("--sql", required=True)
+    query.add_argument(
+        "file", nargs="?", help="path to a .gsql query file (or use --sql)"
+    )
+    query.add_argument(
+        "--trace",
+        default=None,
+        help="trace file to run over (default: synthesise a research feed)",
+    )
+    query.add_argument("--sql", help="query text instead of a .gsql file")
     query.add_argument("--limit", type=int, default=20)
     query.add_argument("--relax-factor", type=float, default=10.0)
     query.add_argument(
@@ -303,6 +368,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="always print the degradation/supervision report to stderr"
         " (default: only when something was dropped or shed)",
+    )
+    query.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics registry after the run (.prom/.txt ="
+        " Prometheus text format, anything else = JSON)",
+    )
+    query.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record window/cleaning trace events and write them as JSONL",
+    )
+    query.add_argument(
+        "--profile",
+        action="store_true",
+        help="charge per-operator wall time into the operator_seconds"
+        " histogram (serial runs only)",
     )
     query.set_defaults(fn=_cmd_query)
 

@@ -48,6 +48,8 @@ from repro.dsms.expr import (
 from repro.dsms.functions import FunctionRegistry
 from repro.dsms.parser.planner import SamplingSpec
 from repro.dsms.stateful import StatefulLibrary
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACE, TraceSink
 from repro.core.group_tables import GroupEntry, GroupTables, SuperGroupEntry
 from repro.streams.records import Record
 
@@ -188,6 +190,9 @@ class _SuperGroupContext(EvalContext):
 class SamplingOperator:
     """Executable instance of one sampling query."""
 
+    #: value of the ``operator`` label on this operator's metric series
+    kind_label = "sampling"
+
     def __init__(
         self,
         spec: SamplingSpec,
@@ -219,6 +224,91 @@ class SamplingOperator:
         self._tuple_ctx = _TupleContext(self)
         self._group_ctx = _GroupContext(self)
         self._super_ctx = _SuperGroupContext(self)
+        self.bind_obs(MetricsRegistry(), NULL_TRACE, account)
+
+    # -- observability -----------------------------------------------------------
+    #
+    # SamplingOperator is not an Operator subclass (its push protocol
+    # predates the operator base), but it speaks the same bind_obs
+    # protocol so the runtime can re-bind it onto the instance-wide
+    # registry.  Conservation identity (docs/OBSERVABILITY.md):
+    #   in == filtered + admitted + late + incomparable
+    #   groups_created == rows_out + groups_evicted + having_rejected
+
+    def bind_obs(
+        self, metrics: MetricsRegistry, trace: TraceSink, query: str
+    ) -> None:
+        """Attach metric series and the trace sink (see Operator.bind_obs)."""
+        self.obs_metrics = metrics
+        self.obs_trace = trace
+        self.obs_query = query
+        common = {"query": query, "operator": self.kind_label}
+        self.m_in = metrics.counter(
+            "operator_tuples_in_total",
+            help="input tuples presented to the operator",
+            **common,
+        )
+        self.m_filtered = metrics.counter(
+            "operator_tuples_filtered_total",
+            help="input tuples rejected by WHERE",
+            **common,
+        )
+        self.m_admitted = metrics.counter(
+            "operator_tuples_admitted_total",
+            help="tuples that passed WHERE and fed a group",
+            **common,
+        )
+        self.m_late = metrics.counter(
+            "operator_late_tuples_total",
+            help="tuples dropped because their window already closed",
+            **common,
+        )
+        self.m_incomparable = metrics.counter(
+            "operator_incomparable_tuples_total",
+            help="tuples dropped because their window id was unorderable",
+            **common,
+        )
+        self.m_shed = metrics.counter(
+            "operator_shed_tuples_total",
+            help="tuples shed upstream at admission (never reached process)",
+            **common,
+        )
+        self.m_rows_out = metrics.counter(
+            "operator_rows_out_total",
+            help="output records emitted (per window for windowed operators)",
+            **common,
+        )
+        self.m_windows = metrics.counter(
+            "operator_windows_total", help="windows closed", **common
+        )
+        self.m_groups_created = metrics.counter(
+            "operator_groups_created_total", help="group-table inserts", **common
+        )
+        self.m_groups_evicted = metrics.counter(
+            "operator_groups_evicted_total",
+            help="groups evicted by CLEANING BY during cleaning phases",
+            **common,
+        )
+        self.m_having_rejected = metrics.counter(
+            "operator_having_rejected_total",
+            help="groups rejected by HAVING at window close",
+            **common,
+        )
+        self.m_cleaning_phases = metrics.counter(
+            "operator_cleaning_phases_total",
+            help="cleaning phases triggered by CLEANING WHEN",
+            **common,
+        )
+        self.m_carryover = metrics.counter(
+            "operator_supergroup_carryover_total",
+            help="supergroups whose SFUN states carried over from the old window",
+            **common,
+        )
+        self.g_peak_groups = metrics.gauge(
+            "operator_peak_groups",
+            help="high-water mark of the group table",
+            **common,
+        )
 
     # -- public API -------------------------------------------------------------
 
@@ -227,6 +317,7 @@ class SamplingOperator:
         when this record closed a window)."""
         outputs: List[Record] = []
         self._charge("tuple_read")
+        self.m_in.inc()
         self._tuple_ctx.record = record
         self._tuple_ctx.supergroup = None
         self._tuple_ctx.gb_values = ()
@@ -248,12 +339,14 @@ class SamplingOperator:
                 # (that would drop every live group and SFUN state).
                 assert self._active_stats is not None
                 self._active_stats.incomparable_tuples += 1
+                self.m_incomparable.inc()
                 return outputs
             if is_late:
                 # The tuple's window already closed and was emitted; state
                 # for it no longer exists.  Count and drop.
                 assert self._active_stats is not None
                 self._active_stats.late_tuples += 1
+                self.m_late.inc()
                 return outputs
             outputs = self._close_window()
             self._open_window(window)
@@ -268,9 +361,11 @@ class SamplingOperator:
         if self.spec.where is not None:
             self._charge("predicate_eval")
             if not evaluate(self.spec.where, self._tuple_ctx):
+                self.m_filtered.inc()
                 return outputs
 
         stats.tuples_admitted += 1
+        self.m_admitted.inc()
 
         group_key = gb_values
         for sa_spec, sa in zip(self.spec.superaggregates, supergroup.superaggregates):
@@ -292,8 +387,12 @@ class SamplingOperator:
             )
             self._tables.add_group(group)
             stats.groups_created += 1
+            self.m_groups_created.inc()
             if self._tables.group_count > stats.peak_groups:
                 stats.peak_groups = self._tables.group_count
+                self.g_peak_groups.set(
+                    max(self.g_peak_groups.value, self._tables.group_count)
+                )
             self._charge("hash_insert")
         for node, aggregate in zip(self.spec.aggregates, group.aggregates):
             arg = node.args[0] if node.args else None
@@ -318,6 +417,13 @@ class SamplingOperator:
             self._super_ctx.gb_values = gb_values
             self._charge("predicate_eval")
             if evaluate(self.spec.cleaning_when, self._super_ctx):
+                if self.obs_trace.enabled:
+                    self.obs_trace.emit(
+                        "cleaning_trigger",
+                        query=self.obs_query,
+                        window=list(self._current_window or ()),
+                        supergroup=list(supergroup.key),
+                    )
                 self._run_cleaning_phase(supergroup)
 
         return outputs
@@ -359,6 +465,7 @@ class SamplingOperator:
             self._active_stats.shed_tuples += count
         else:
             self._pending_shed += count
+        self.m_shed.inc(count)
 
     def overload_counters(self) -> Dict[str, int]:
         """Degradation counters over all windows (closed and active).
@@ -454,6 +561,10 @@ class SamplingOperator:
         if self._pending_shed:
             self._active_stats.shed_tuples = self._pending_shed
             self._pending_shed = 0
+        if self.obs_trace.enabled:
+            self.obs_trace.emit(
+                "window_open", query=self.obs_query, window=list(window)
+            )
 
     def _lookup_supergroup(self, gb_values: Tuple[Any, ...]) -> SuperGroupEntry:
         key = tuple(gb_values[i] for i in self.spec.nonordered_supergroup_indices)
@@ -463,6 +574,15 @@ class SamplingOperator:
             return entry
         old_entry = self._tables.old_supergroups.get(key)
         old_states = old_entry.states if old_entry is not None else None
+        if old_entry is not None:
+            self.m_carryover.inc()
+            if self.obs_trace.enabled:
+                self.obs_trace.emit(
+                    "supergroup_carryover",
+                    query=self.obs_query,
+                    window=list(self._current_window or ()),
+                    supergroup=list(key),
+                )
         states = self._stateful.instantiate_states(self.spec.state_names, old_states)
         superaggs = [
             self._superaggregate_factory(sa.name, sa.const_args)
@@ -477,6 +597,7 @@ class SamplingOperator:
         stats = self._active_stats
         assert stats is not None
         stats.cleaning_phases += 1
+        self.m_cleaning_phases.inc()
         self._charge("cleaning_phase")
         self._group_ctx.supergroup = supergroup
         for group_key in self._tables.groups_of(supergroup.key):
@@ -493,6 +614,14 @@ class SamplingOperator:
             if not keep:
                 self._evict_group(group, supergroup)
                 stats.groups_evicted += 1
+                self.m_groups_evicted.inc()
+                if self.obs_trace.enabled:
+                    self.obs_trace.emit(
+                        "group_evicted",
+                        query=self.obs_query,
+                        window=list(self._current_window or ()),
+                        group=list(group.key),
+                    )
 
     def _evict_group(self, group: GroupEntry, supergroup: SuperGroupEntry) -> None:
         self._group_ctx.group = group
@@ -529,15 +658,42 @@ class SamplingOperator:
                 self._charge("predicate_eval")
                 if not evaluate(self.spec.having, self._group_ctx):
                     self._evict_group(group, supergroup)
+                    self.m_having_rejected.inc()
+                    if self.obs_trace.enabled:
+                        self.obs_trace.emit(
+                            "having_rejected",
+                            query=self.obs_query,
+                            window=list(stats.window),
+                            group=list(group.key),
+                        )
                     continue
             values = [
                 evaluate(item.expr, self._group_ctx) for item in self.spec.select_items
             ]
             outputs.append(Record(self.spec.output_schema, values))
             self._charge("output_tuple")
+            if self.obs_trace.enabled:
+                self.obs_trace.emit(
+                    "group_emitted",
+                    query=self.obs_query,
+                    window=list(stats.window),
+                    group=list(group.key),
+                )
 
         stats.output_tuples = len(outputs)
         self._window_stats.append(stats)
+        self.m_windows.inc()
+        self.m_rows_out.inc(len(outputs))
+        if self.obs_trace.enabled:
+            self.obs_trace.emit(
+                "window_close",
+                query=self.obs_query,
+                window=list(stats.window),
+                rows_out=len(outputs),
+                groups_created=stats.groups_created,
+                groups_evicted=stats.groups_evicted,
+                cleaning_phases=stats.cleaning_phases,
+            )
 
         # 3. Swap tables (paper §6.4).
         self._tables.end_window()

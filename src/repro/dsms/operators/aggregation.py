@@ -67,6 +67,8 @@ class _AggGroupContext(EvalContext):
 class AggregationOperator(Operator):
     """Plain windowed grouping and aggregation."""
 
+    kind_label = "aggregation"
+
     def __init__(
         self,
         analyzed: AnalyzedQuery,
@@ -96,6 +98,28 @@ class AggregationOperator(Operator):
 
         self._tuple_ctx = _AggTupleContext(self)
         self._group_ctx = _AggGroupContext(self)
+        self._default_obs(account)
+
+    def _bind_series(self) -> None:
+        super()._bind_series()
+        common = {"query": self.obs_query, "operator": self.kind_label}
+        m = self.obs_metrics
+        self.m_admitted = m.counter(
+            "operator_tuples_admitted_total",
+            help="tuples that passed WHERE and fed a group",
+            **common,
+        )
+        self.m_windows = m.counter(
+            "operator_windows_total", help="windows closed", **common
+        )
+        self.m_groups_created = m.counter(
+            "operator_groups_created_total", help="group-table inserts", **common
+        )
+        self.m_having_rejected = m.counter(
+            "operator_having_rejected_total",
+            help="groups rejected by HAVING at window close",
+            **common,
+        )
 
     def process(self, record: Record) -> List[Record]:
         self._tuple_ctx.record = record
@@ -109,23 +133,33 @@ class AggregationOperator(Operator):
         outputs: List[Record] = []
         if self._current_window is None:
             self._current_window = window
+            self.obs_trace.emit(
+                "window_open", query=self.obs_query, window=list(window)
+            )
         elif window != self._current_window:
             outputs = self._emit_window()
             self._current_window = window
+            self.obs_trace.emit(
+                "window_open", query=self.obs_query, window=list(window)
+            )
 
         self._cost.charge(self._account, "tuple_read")
         self._cost.charge(self._account, "hash_probe")
+        self.m_in.inc()
         where = self.analyzed.ast.where
         if where is not None:
             self._cost.charge(self._account, "predicate_eval")
             if not evaluate(where, self._tuple_ctx):
+                self.m_filtered.inc()
                 return outputs
+        self.m_admitted.inc()
 
         group = self._groups.get(gb_values)
         if group is None:
             group = [self._registry.create(node.name) for node in self.analyzed.aggregates]
             self._groups[gb_values] = group
             self._cost.charge(self._account, "hash_insert")
+            self.m_groups_created.inc()
         for node, aggregate in zip(self.analyzed.aggregates, group):
             arg = node.args[0] if node.args else None
             value = evaluate(arg, self._tuple_ctx) if arg is not None else 1
@@ -166,6 +200,7 @@ class AggregationOperator(Operator):
             if having is not None:
                 self._cost.charge(self._account, "predicate_eval")
                 if not evaluate(having, self._group_ctx):
+                    self.m_having_rejected.inc()
                     continue
             values = [
                 evaluate(item.expr, self._group_ctx)
@@ -173,5 +208,13 @@ class AggregationOperator(Operator):
             ]
             outputs.append(Record(self.output_schema, values))
             self._cost.charge(self._account, "output_tuple")
+        self.m_windows.inc()
+        self.m_rows_out.inc(len(outputs))
+        self.obs_trace.emit(
+            "window_close",
+            query=self.obs_query,
+            window=list(self._current_window or ()),
+            rows_out=len(outputs),
+        )
         self._groups.clear()
         return outputs

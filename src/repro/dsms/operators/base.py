@@ -17,6 +17,8 @@ from __future__ import annotations
 from typing import Any, Iterable, Iterator, List
 
 from repro.errors import ExecutionError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACE, TraceSink
 from repro.streams.records import Record
 from repro.streams.schema import StreamSchema
 
@@ -26,6 +28,53 @@ class Operator:
 
     #: Schema of the records this operator emits.
     output_schema: StreamSchema
+
+    #: value of the ``operator`` label on this operator's metric series
+    kind_label = "operator"
+
+    # -- observability -----------------------------------------------------
+    #
+    # Every operator carries metric series for the tuple-conservation
+    # identity ``in == filtered + rows_out`` (selections) or
+    # ``in == filtered + admitted + late + incomparable`` (windowed
+    # operators; see docs/OBSERVABILITY.md).  Series are resolved once,
+    # at bind time, into plain attributes so the per-tuple cost is one
+    # integer add.  Operators built standalone (unit tests) bind a
+    # private registry; the runtime re-binds them onto the instance-wide
+    # registry before any tuple flows.
+
+    def bind_obs(
+        self, metrics: MetricsRegistry, trace: TraceSink, query: str
+    ) -> None:
+        """Attach this operator's metric series and trace sink."""
+        self.obs_metrics = metrics
+        self.obs_trace = trace
+        self.obs_query = query
+        self._bind_series()
+
+    def _bind_series(self) -> None:
+        """Resolve metric series (subclasses extend, then call super)."""
+        common = {"query": self.obs_query, "operator": self.kind_label}
+        m = self.obs_metrics
+        self.m_in = m.counter(
+            "operator_tuples_in_total",
+            help="input tuples presented to the operator",
+            **common,
+        )
+        self.m_filtered = m.counter(
+            "operator_tuples_filtered_total",
+            help="input tuples rejected by WHERE",
+            **common,
+        )
+        self.m_rows_out = m.counter(
+            "operator_rows_out_total",
+            help="output records emitted (per window for windowed operators)",
+            **common,
+        )
+
+    def _default_obs(self, query: str) -> None:
+        """Bind a private registry (constructor fallback; see bind_obs)."""
+        self.bind_obs(MetricsRegistry(), NULL_TRACE, query)
 
     def process(self, record: Record) -> List[Record]:
         raise NotImplementedError

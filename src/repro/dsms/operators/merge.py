@@ -27,6 +27,8 @@ from repro.streams.schema import StreamSchema
 class MergeOperator(Operator):
     """Merge N same-schema streams by their first ordered attribute."""
 
+    kind_label = "merge"
+
     def __init__(self, schema: StreamSchema, sources: Sequence[str]) -> None:
         if len(sources) < 2:
             raise ExecutionError("a merge needs at least two sources")
@@ -44,6 +46,16 @@ class MergeOperator(Operator):
         #: last ordered value per live source (None until first record)
         self._frontier: Dict[str, Optional[Any]] = {s: None for s in sources}
         self._done: set = set()
+        self._default_obs("merge")
+
+    def _bind_series(self) -> None:
+        super()._bind_series()
+        self.g_buffered = self.obs_metrics.gauge(
+            "merge_buffered",
+            help="records held back by the merge watermark",
+            query=self.obs_query,
+            operator=self.kind_label,
+        )
 
     # -- input -------------------------------------------------------------------
 
@@ -60,6 +72,7 @@ class MergeOperator(Operator):
                 f"merge source {source!r} violated ordering:"
                 f" {key!r} after {last!r}"
             )
+        self.m_in.inc()
         self._frontier[source] = key
         heapq.heappush(self._heap, (key, self._seq, record))
         self._seq += 1
@@ -93,12 +106,15 @@ class MergeOperator(Operator):
         watermark = self._watermark()
         out: List[Record] = []
         if watermark is _HOLD:
+            self.g_buffered.set(len(self._heap))
             return out
         while self._heap and (
             watermark is None or self._heap[0][0] <= watermark
         ):
             _key, _seq, record = heapq.heappop(self._heap)
             out.append(record)
+        self.m_rows_out.inc(len(out))
+        self.g_buffered.set(len(self._heap))
         return out
 
     def flush(self) -> List[Record]:
@@ -108,6 +124,8 @@ class MergeOperator(Operator):
         while self._heap:
             _key, _seq, record = heapq.heappop(self._heap)
             out.append(record)
+        self.m_rows_out.inc(len(out))
+        self.g_buffered.set(0)
         return out
 
     def checkpoint(self) -> Any:

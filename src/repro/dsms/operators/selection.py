@@ -55,6 +55,8 @@ class _SelectionContext(EvalContext):
 class SelectionOperator(Operator):
     """Plain WHERE + SELECT over a stream."""
 
+    kind_label = "selection"
+
     def __init__(
         self,
         analyzed: AnalyzedQuery,
@@ -68,16 +70,20 @@ class SelectionOperator(Operator):
         self._cost = cost_model
         self._account = account
         self._ctx = _SelectionContext(scalars, None, None, cost_model, account)
+        self._default_obs(account)
 
     def process(self, record: Record) -> List[Record]:
         self._ctx.record = record
         self._cost.charge(self._account, "tuple_read")
+        self.m_in.inc()
         where = self.analyzed.ast.where
         if where is not None:
             self._cost.charge(self._account, "predicate_eval")
             if not evaluate(where, self._ctx):
+                self.m_filtered.inc()
                 return []
         values = [evaluate(item.expr, self._ctx) for item in self.analyzed.ast.select]
+        self.m_rows_out.inc()
         return [Record(self.output_schema, values)]
 
 
@@ -88,6 +94,8 @@ class StatefulSelectionOperator(Operator):
     in a selection query), mirroring a UDF-with-static-state inside the
     Gigascope selection operator.
     """
+
+    kind_label = "stateful_selection"
 
     def __init__(
         self,
@@ -105,16 +113,20 @@ class StatefulSelectionOperator(Operator):
         self._stateful = stateful
         self.states = stateful.instantiate_states(analyzed.state_names)
         self._ctx = _SelectionContext(scalars, stateful, self.states, cost_model, account)
+        self._default_obs(account)
 
     def process(self, record: Record) -> List[Record]:
         self._ctx.record = record
         self._cost.charge(self._account, "tuple_read")
+        self.m_in.inc()
         where = self.analyzed.ast.where
         if where is not None:
             self._cost.charge(self._account, "predicate_eval")
             if not evaluate(where, self._ctx):
+                self.m_filtered.inc()
                 return []
         values = [evaluate(item.expr, self._ctx) for item in self.analyzed.ast.select]
+        self.m_rows_out.inc()
         return [Record(self.output_schema, values)]
 
     def checkpoint(self) -> Any:

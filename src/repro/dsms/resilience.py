@@ -170,8 +170,27 @@ class ShardSupervisor:
         self._restarts = [0] * shards
         #: error text a worker reported before exiting (better than exitcode)
         self._pending_error: Dict[int, str] = {}
-        self._results: Dict[int, Tuple[Dict[str, List[Record]], dict, dict]] = {}
+        #: per shard: (results, cost accounts, run report, metrics snapshot,
+        #: trace events)
+        self._results: Dict[int, tuple] = {}
         self._finishing = False
+        #: monotonic time of the outstanding checkpoint request, per shard
+        self._ckpt_request_time: Dict[int, float] = {}
+
+    # -- observability ---------------------------------------------------------------
+
+    def _count(self, name: str, shard: int, by: int = 1, help: str = "") -> None:
+        """Bump a supervisor counter in the owner's registry.
+
+        The ``supervisor_`` prefix matters: these series describe the
+        *recovery machinery*, not the data, so determinism tests exclude
+        them when comparing a faulted run against an unfaulted one.
+        """
+        self.owner.metrics.counter(name, help=help or None, shard=shard).inc(by)
+
+    def _trace(self, kind: str, **fields: Any) -> None:
+        if self.owner.trace.enabled:
+            self.owner.trace.emit(kind, **fields)
 
     # -- main loop -------------------------------------------------------------------
 
@@ -266,6 +285,16 @@ class ShardSupervisor:
                 )
             self._restarts[shard] += 1
             _bump(self.report.restarts, shard)
+            self._count(
+                "supervisor_restarts_total", shard,
+                help="shard worker restarts",
+            )
+            self._trace(
+                "shard_restart",
+                shard=shard,
+                epoch=self._epoch[shard] + 1,
+                reason=reason,
+            )
             old = self._workers[shard]
             if old.is_alive():
                 old.terminate()
@@ -288,10 +317,24 @@ class ShardSupervisor:
                     self._put_or_die(shard, ("restore", ckpt_seq, blob))
                     start_seq = ckpt_seq
                     _bump(self.report.recoveries_from_checkpoint, shard)
+                replayed = 0
                 for seq, bucket in self._journal[shard]:
                     if seq > start_seq:
                         self._put_or_die(shard, ("batch", seq, bucket))
                         _bump(self.report.replayed_batches, shard)
+                        replayed += 1
+                self._count(
+                    "supervisor_replayed_batches_total", shard, by=replayed,
+                    help="journalled batches replayed into restarted workers",
+                )
+                self._trace(
+                    "shard_replay",
+                    shard=shard,
+                    epoch=self._epoch[shard],
+                    from_seq=start_seq,
+                    batches=replayed,
+                    from_checkpoint=checkpoint is not None,
+                )
                 if self._finishing:
                     self._put_or_die(shard, ("finish",))
                 return
@@ -393,6 +436,7 @@ class ShardSupervisor:
         if self._seq[shard] - outstanding >= self.policy.checkpoint_interval:
             if self._send_control(shard, ("checkpoint", self._seq[shard])):
                 self._last_ckpt_request[shard] = self._seq[shard]
+                self._ckpt_request_time[shard] = time.monotonic()
 
     def _enforce_journal_bound(self, shard: int) -> None:
         """Backpressure until an in-flight checkpoint trims the journal."""
@@ -401,6 +445,7 @@ class ShardSupervisor:
             if self._last_ckpt_request[shard] <= covered:
                 if self._send_control(shard, ("checkpoint", self._seq[shard])):
                     self._last_ckpt_request[shard] = self._seq[shard]
+                    self._ckpt_request_time[shard] = time.monotonic()
                 continue
             if not self._pump_once(0.05):
                 self._check_health(shard)
@@ -414,6 +459,16 @@ class ShardSupervisor:
 
     def _shed(self, shard: int, bucket: List[Record]) -> None:
         _bump(self.report.shed_records, shard, len(bucket))
+        self._count(
+            "supervisor_shed_records_total", shard, by=len(bucket),
+            help="records dropped at a saturated shard input queue",
+        )
+        self._trace(
+            "shard_shed",
+            shard=shard,
+            epoch=self._epoch[shard],
+            records=len(bucket),
+        )
         per_stream: Dict[str, int] = {}
         for record in bucket:
             name = record.schema.name
@@ -460,11 +515,36 @@ class ShardSupervisor:
             seq, blob = message[3], message[4]
             self._ckpt[shard] = (seq, blob)
             _bump(self.report.checkpoints, shard)
+            self._count(
+                "supervisor_checkpoints_total", shard,
+                help="shard checkpoints received",
+            )
+            self.owner.metrics.histogram(
+                "supervisor_checkpoint_bytes",
+                help="pickled size of shard checkpoints",
+                shard=shard,
+            ).observe(len(blob))
+            requested = self._ckpt_request_time.pop(shard, None)
+            if requested is not None:
+                self.owner.metrics.histogram(
+                    "supervisor_checkpoint_seconds",
+                    help="request-to-arrival latency of shard checkpoints",
+                    shard=shard,
+                ).observe(time.monotonic() - requested)
+            self._trace(
+                "shard_checkpoint",
+                shard=shard,
+                epoch=epoch,
+                seq=seq,
+                bytes=len(blob),
+            )
             self._journal[shard] = [
                 entry for entry in self._journal[shard] if entry[0] > seq
             ]
         elif kind == "result":
-            self._results[shard] = (message[3], message[4], message[5])
+            self._results[shard] = (
+                message[3], message[4], message[5], message[6], message[7]
+            )
         elif kind == "error":
             self._pending_error[shard] = message[3]
         return True
@@ -511,8 +591,9 @@ class ShardSupervisor:
         shard_results: Dict[int, Dict[str, List[Record]]] = {}
         reports: List[dict] = []
         for shard in range(self.owner.shards):
-            results, accounts, report = self._results[shard]
+            results, accounts, report, metrics_snap, trace_events = self._results[shard]
             shard_results[shard] = results
             self.owner.cost.absorb(accounts)
             reports.append(report)
+            self.owner._absorb_shard_obs(shard, metrics_snap, trace_events)
         return shard_results, reports

@@ -21,6 +21,7 @@ of Figure 1) and also forwarded to any downstream queries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.errors import ExecutionError, PlanningError
@@ -32,6 +33,8 @@ from repro.dsms.operators.base import Operator
 from repro.dsms.parser import Registries, compile_query
 from repro.dsms.ring_buffer import RingBuffer
 from repro.dsms.stateful import StatefulLibrary
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACE, TraceSink
 from repro.streams.records import Record
 from repro.streams.schema import StreamSchema
 from repro.core.superaggregates import default_superaggregate_registry
@@ -64,6 +67,9 @@ class Gigascope:
         ring_capacity: int = 65536,
         strict: bool = False,
         shed_threshold: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceSink] = None,
+        profile: bool = False,
     ) -> None:
         """``strict`` makes every :meth:`add_query` refuse queries with
         any static-analysis diagnostic (see ``repro.analysis``).
@@ -77,10 +83,19 @@ class Gigascope:
         instead of silently overwriting the ring.  ``None`` disables
         shedding (the default; the ring then drops oldest records under
         overload exactly as before).
+
+        ``metrics`` / ``trace`` attach an instance-wide metrics registry
+        and trace sink; every operator registered afterwards is bound to
+        them (docs/OBSERVABILITY.md).  Defaults: a private registry and
+        the no-op trace sink.  ``profile`` additionally charges wall time
+        per operator call into ``operator_seconds{query,phase}``.
         """
         self.cost = cost_model or NULL_COST_MODEL
         self.strict = strict
         self.shed_threshold = shed_threshold
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace = trace if trace is not None else NULL_TRACE
+        self.profile = profile
         self.registries = Registries(
             schemas={},
             scalars=default_function_registry(),
@@ -201,6 +216,7 @@ class Gigascope:
             )
 
         operator = build_operator(plan, self.cost, account=name)
+        operator.bind_obs(self.metrics, self.trace, name)
         handle = QueryHandle(
             name=name,
             text=text,
@@ -240,6 +256,7 @@ class Gigascope:
             raise PlanningError("merge sources must share one schema")
 
         operator = MergeOperator(first, sources)
+        operator.bind_obs(self.metrics, self.trace, name)
         handle = QueryHandle(
             name=name,
             text=f"MERGE {':'.join(sources)}",
@@ -386,10 +403,20 @@ class Gigascope:
                 raise ExecutionError(
                     f"record for unregistered stream {stream!r}"
                 )
+            self.metrics.counter(
+                "stream_records_total",
+                help="records offered to the stream (before admission)",
+                stream=stream,
+            ).inc(len(stream_records))
             if self.shed_threshold is not None:
                 stream_records = self._admit(
                     stream, stream_records, ring, subscribers
                 )
+            self.metrics.counter(
+                "stream_ingested_total",
+                help="records admitted into the ring buffer",
+                stream=stream,
+            ).inc(len(stream_records))
             for record in stream_records:
                 ring.push(record)
         for name, sid in subscribers.items():
@@ -429,6 +456,15 @@ class Gigascope:
         shed = len(records) - allowed
         self._shed[stream] = self._shed.get(stream, 0) + shed
         self.cost.charge(stream, "tuple_shed", shed)
+        self.metrics.counter(
+            "stream_shed_total",
+            help="records refused at admission under overload",
+            stream=stream,
+        ).inc(shed)
+        if self.trace.enabled:
+            self.trace.emit(
+                "shed", stream=stream, count=shed, backlog=backlog
+            )
         self._notify_shed(stream, shed)
         return records[:allowed]
 
@@ -454,10 +490,19 @@ class Gigascope:
         self, handle: QueryHandle, record: Record, from_source: Optional[str] = None
     ) -> None:
         operator = handle.operator
+        if self.profile:
+            started = perf_counter()
         if hasattr(operator, "process_from"):
             outputs = operator.process_from(from_source, record)
         else:
             outputs = operator.process(record)
+        if self.profile:
+            self.metrics.histogram(
+                "operator_seconds",
+                help="wall time per operator call",
+                query=handle.name,
+                phase="process",
+            ).observe(perf_counter() - started)
         if outputs:
             self._propagate(handle, outputs)
 
@@ -470,6 +515,11 @@ class Gigascope:
         # Forwarding to another query is the copy the paper charges for.
         handle.forwarded += len(outputs)
         self.cost.charge(handle.name, "tuple_copy", len(outputs))
+        self.metrics.counter(
+            "query_forwarded_total",
+            help="tuples pushed to downstream queries",
+            query=handle.name,
+        ).inc(len(outputs))
         for child_name in downstream:
             child = self._queries[child_name]
             for record in outputs:
@@ -478,7 +528,16 @@ class Gigascope:
     def _flush_all(self) -> None:
         for name in self._order:
             handle = self._queries[name]
+            if self.profile:
+                started = perf_counter()
             outputs = handle.operator.flush()
+            if self.profile:
+                self.metrics.histogram(
+                    "operator_seconds",
+                    help="wall time per operator call",
+                    query=name,
+                    phase="flush",
+                ).observe(perf_counter() - started)
             if outputs:
                 self._propagate(handle, outputs)
             # A flushed node is exhausted: release any downstream merge
@@ -513,10 +572,14 @@ class Gigascope:
                 "forwarded": handle.forwarded,
             }
         return {
-            "version": 1,
+            "version": 2,
             "queries": queries,
             "shed": dict(self._shed),
             "cost_accounts": self.cost.accounts() if self.cost.enabled else {},
+            # v2: metric/trace state rides along so a supervised restart
+            # resumes counting exactly where the checkpoint left off.
+            "metrics": self.metrics.checkpoint(),
+            "trace": self.trace.checkpoint(),
         }
 
     def restore(self, snapshot: Dict[str, Any], restore_cost: bool = False) -> None:
@@ -543,6 +606,12 @@ class Gigascope:
         if restore_cost and self.cost.enabled:
             self.cost.reset()
             self.cost.absorb(snapshot["cost_accounts"])
+        # v1 snapshots predate the observability layer; leave counters as
+        # they are (zero on a fresh worker) rather than guessing.
+        if "metrics" in snapshot:
+            self.metrics.restore(snapshot["metrics"])
+        if "trace" in snapshot and self.trace.enabled:
+            self.trace.restore(snapshot["trace"])
 
     # -- reporting ------------------------------------------------------------------
 
@@ -559,25 +628,60 @@ class Gigascope:
         silently does *not* include — the report makes degradation
         visible instead of silent.
         """
+        self._sync_ring_metrics()
         streams: Dict[str, Dict[str, int]] = {}
+        for stream in self._rings:
+            streams[stream] = {
+                "drops": int(self.metrics.value("ring_dropped", stream=stream)),
+                "backlog": int(self.metrics.value("ring_backlog", stream=stream)),
+                "shed": int(
+                    self.metrics.value("stream_shed_total", stream=stream)
+                ),
+            }
+        queries: Dict[str, Dict[str, int]] = {}
+        for name in self._order:
+            operator = self._queries[name].operator
+            if getattr(operator, "overload_counters", None) is None:
+                continue
+            value = self.metrics.value
+            queries[name] = {
+                "late_tuples": int(
+                    value("operator_late_tuples_total", query=name,
+                          operator=operator.kind_label)
+                ),
+                "incomparable_tuples": int(
+                    value("operator_incomparable_tuples_total", query=name,
+                          operator=operator.kind_label)
+                ),
+                "shed_tuples": int(
+                    value("operator_shed_tuples_total", query=name,
+                          operator=operator.kind_label)
+                ),
+            }
+        return {"streams": streams, "queries": queries}
+
+    def _sync_ring_metrics(self) -> None:
+        """Mirror ring-buffer drop/backlog counts into gauges.
+
+        Rings are polled state, not events, so the registry mirrors them
+        on demand (report/export time) rather than per push.
+        """
         for stream, ring in self._rings.items():
             sids = [
                 sid
                 for name, sid in self._last_subscribers.items()
                 if self._queries[name].source == stream
             ]
-            streams[stream] = {
-                "drops": max((ring.drops(sid) for sid in sids), default=0),
-                "backlog": max((ring.backlog(sid) for sid in sids), default=0),
-                "shed": self._shed.get(stream, 0),
-            }
-        queries: Dict[str, Dict[str, int]] = {}
-        for name in self._order:
-            operator = self._queries[name].operator
-            counters = getattr(operator, "overload_counters", None)
-            if counters is not None:
-                queries[name] = counters()
-        return {"streams": streams, "queries": queries}
+            self.metrics.gauge(
+                "ring_dropped",
+                help="records overwritten unread (slowest subscriber)",
+                stream=stream,
+            ).set(max((ring.drops(sid) for sid in sids), default=0))
+            self.metrics.gauge(
+                "ring_backlog",
+                help="records admitted but not yet consumed",
+                stream=stream,
+            ).set(max((ring.backlog(sid) for sid in sids), default=0))
 
     def explain(self) -> str:
         """Render the query DAG (levels, sources, operators, cost)."""

@@ -68,6 +68,8 @@ from repro.dsms.parser.planner import partition_info
 from repro.dsms.resilience import ShardSupervisor, SupervisionPolicy, SupervisionReport
 from repro.dsms.runtime import Gigascope, QueryHandle
 from repro.dsms.stateful import StatefulLibrary
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACE, TraceSink
 from repro.streams.records import Record
 from repro.streams.schema import StreamSchema
 
@@ -187,6 +189,8 @@ class ShardedGigascope:
         supervision: Optional[SupervisionPolicy] = None,
         shed_threshold: Optional[int] = None,
         fault_plan: Any = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceSink] = None,
     ) -> None:
         """Beyond the PR-2 parameters:
 
@@ -204,6 +208,14 @@ class ShardedGigascope:
         that depth.  ``fault_plan`` (a
         :class:`repro.testing.faults.FaultPlan`) injects deterministic
         worker failures for tests; ignored by the in-process mode.
+
+        ``metrics`` / ``trace`` attach the parent-side metrics registry
+        and trace sink.  Each shard instance keeps its *own* registry
+        (and, when tracing is on, its own sink); after a run the parent
+        absorbs every shard's series stamped with a ``shard`` label, so
+        ``metrics.total(name, query=...)`` aggregates across shards while
+        the per-shard series stay distinguishable.  In process modes the
+        snapshots cross the fork boundary with the results.
         """
         if shards < 1:
             raise PlanningError("shards must be >= 1")
@@ -222,6 +234,8 @@ class ShardedGigascope:
         #: SupervisionReport of the most recent supervised run (else None)
         self.last_supervision: Optional[SupervisionReport] = None
         self._last_report: Optional[dict] = None
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace = trace if trace is not None else NULL_TRACE
         # Strictness is enforced once, centrally, in add_query; the shard
         # instances receive pre-vetted text and never re-lint it.
         self._instances = [
@@ -229,6 +243,7 @@ class ShardedGigascope:
                 cost_model=self.cost,
                 ring_capacity=ring_capacity,
                 shed_threshold=shed_threshold,
+                trace=TraceSink() if self.trace.enabled else None,
             )
             for _ in range(shards)
         ]
@@ -468,6 +483,16 @@ class ShardedGigascope:
             buckets[stable_hash(record.values[index]) % self.shards].append(record)
         return buckets
 
+    def _absorb_shard_obs(
+        self, shard: int, metrics_snapshot: Optional[dict], trace_events: list
+    ) -> None:
+        """Fold one shard's metric/trace state into the parent, stamped
+        with the ``shard`` label so per-shard series stay separable."""
+        if metrics_snapshot:
+            self.metrics.absorb(metrics_snapshot, extra_labels={"shard": shard})
+        if self.trace.enabled and trace_events:
+            self.trace.absorb(trace_events, shard=shard)
+
     def _run_inline(
         self,
         records: Iterable[Record],
@@ -504,6 +529,23 @@ class ShardedGigascope:
                 for sink in sinks:
                     sink.drain(shard, sink.handle.shard_handles[shard])
                     sink.end_source(shard)
+            # Snapshot the per-shard reports before the registries are
+            # zeroed below (run_report reads the registry).
+            self._last_report = _merge_reports(
+                [instance.run_report() for instance in self._instances]
+            )
+            for shard, instance in enumerate(self._instances):
+                self._absorb_shard_obs(
+                    shard,
+                    instance.metrics.checkpoint(),
+                    list(instance.trace.events) if instance.trace.enabled else [],
+                )
+                # Zero the shard registry (in place, so bound operator
+                # series survive): a second run() must not re-fold this
+                # run's counts into the parent.
+                instance.metrics.reset()
+                if instance.trace.enabled:
+                    instance.trace.events.clear()
         except BaseException:
             for instance in self._instances:
                 instance._session = None
@@ -634,7 +676,7 @@ class ShardedGigascope:
                 )
                 message = None
             if message is not None:
-                shard, results, accounts, error, report = message
+                shard, results, accounts, error, report, metrics_snap, trace_events = message
                 if shard in pending:
                     pending.discard(shard)
                     dead_since.pop(shard, None)
@@ -644,6 +686,7 @@ class ShardedGigascope:
                         shard_results[shard] = results
                         self.cost.absorb(accounts)
                         reports.append(report)
+                        self._absorb_shard_obs(shard, metrics_snap, trace_events)
                 continue
             now = time.monotonic()
             for shard in sorted(pending):
@@ -785,9 +828,13 @@ def _shard_worker(
         instance.finish()
         results = {name: instance.query(name).results for name in query_names}
         accounts = instance.cost.accounts() if instance.cost.enabled else {}
-        out_queue.put((shard, results, accounts, None, instance.run_report()))
+        trace_events = list(instance.trace.events) if instance.trace.enabled else []
+        out_queue.put(
+            (shard, results, accounts, None, instance.run_report(),
+             instance.metrics.checkpoint(), trace_events)
+        )
     except BaseException as exc:  # pragma: no cover - exercised via parent
-        out_queue.put((shard, {}, {}, repr(exc), {}))
+        out_queue.put((shard, {}, {}, repr(exc), {}, None, []))
 
 
 def _supervised_worker(
@@ -840,8 +887,13 @@ def _supervised_worker(
                 instance.finish()
                 results = {name: instance.query(name).results for name in query_names}
                 accounts = instance.cost.accounts() if instance.cost.enabled else {}
+                trace_events = (
+                    list(instance.trace.events) if instance.trace.enabled else []
+                )
                 out_queue.put(
-                    ("result", shard, epoch, results, accounts, instance.run_report())
+                    ("result", shard, epoch, results, accounts,
+                     instance.run_report(), instance.metrics.checkpoint(),
+                     trace_events)
                 )
                 return
             else:  # pragma: no cover - protocol guard

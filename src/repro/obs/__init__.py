@@ -1,0 +1,46 @@
+"""Observability layer: metrics registry, tracing, exporters.
+
+The paper's evaluation (§7, Figures 2–6) is entirely observational —
+CPU per sampling phase, cleaning-phase counts, samples per period, drop
+rates under overload.  This package makes those quantities inspectable
+on *any* query instead of only inside the benchmark scripts:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of labelled
+  counters, gauges and histograms, plus a :class:`Timer` for wall-time
+  profiling.  Registries snapshot/restore with operator state (so
+  supervised restarts keep counts exact) and fold across the sharded
+  runtime's fork boundary.
+* :mod:`repro.obs.tracing` — a :class:`TraceSink` of typed, determinstic
+  events (window open/close, cleaning trigger, group eviction, emit /
+  HAVING rejection, supergroup carryover, shard restart/checkpoint/
+  replay, shed decisions) serialisable as JSONL.
+* :mod:`repro.obs.export` — Prometheus-style text rendering and JSON
+  dumping of a registry.
+
+See docs/OBSERVABILITY.md for the metric catalogue and event schema.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.tracing import NULL_TRACE, NullTraceSink, TraceEvent, TraceSink
+from repro.obs.export import render_prometheus, write_metrics, write_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "TraceEvent",
+    "TraceSink",
+    "NullTraceSink",
+    "NULL_TRACE",
+    "render_prometheus",
+    "write_metrics",
+    "write_trace",
+]

@@ -1,0 +1,86 @@
+"""Exporters: Prometheus text format and JSON files.
+
+``render_prometheus`` follows the text exposition format (the subset a
+Prometheus scraper needs): one ``# HELP``/``# TYPE`` pair per metric
+name, label escaping, and cumulative ``_bucket``/``_sum``/``_count``
+series for histograms.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(items, extra: str = "") -> str:
+    parts = [f'{k}="{_escape(v)}"' for k, v in items]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_number(value: Any) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every series in the Prometheus text exposition format."""
+    lines = []
+    last_name = None
+    for series in registry.series():
+        if series.name != last_name:
+            help_text = registry.help_text(series.name)
+            if help_text:
+                lines.append(f"# HELP {series.name} {_escape(help_text)}")
+            lines.append(f"# TYPE {series.name} {series.kind}")
+            last_name = series.name
+        if series.kind == "histogram":
+            cumulative = 0
+            for bound, count in zip(series.bounds, series.bucket_counts):
+                cumulative += count
+                le = 'le="' + _format_number(bound) + '"'
+                lines.append(
+                    f"{series.name}_bucket{_labels(series.labels, le)} {cumulative}"
+                )
+            cumulative += series.bucket_counts[-1]
+            inf = 'le="+Inf"'
+            lines.append(
+                f"{series.name}_bucket{_labels(series.labels, inf)} {cumulative}"
+            )
+            lines.append(
+                f"{series.name}_sum{_labels(series.labels)} {series.total!r}"
+            )
+            lines.append(
+                f"{series.name}_count{_labels(series.labels)} {series.count}"
+            )
+        else:
+            lines.append(
+                f"{series.name}{_labels(series.labels)}"
+                f" {_format_number(series.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> int:
+    """Write a registry to ``path``: Prometheus text for ``.prom`` /
+    ``.txt`` extensions, JSON otherwise.  Returns series written."""
+    if path.endswith((".prom", ".txt")):
+        content = render_prometheus(registry)
+    else:
+        content = json.dumps(registry.as_dict(), indent=2, sort_keys=True) + "\n"
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content)
+    return sum(1 for _ in registry.series())
+
+
+def write_trace(sink, path: str) -> int:
+    """Write a trace sink's events to ``path`` as JSONL; returns count."""
+    return sink.write_jsonl(path)

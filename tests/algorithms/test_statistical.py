@@ -1,0 +1,154 @@
+"""Statistical invariants of the sampling algorithms (fixed seeds).
+
+Three properties the paper's algorithms promise, checked empirically:
+
+* Reservoir variants draw *uniform* samples: over many seeded trials the
+  per-item inclusion counts pass a chi-squared uniformity test.  With 20
+  items there are 19 degrees of freedom; the alpha = 0.001 critical
+  value is 43.82 (hardcoded — no scipy dependency).  Trials are seeded
+  0..T-1, so the statistic is deterministic and the test cannot flake.
+* Priority sampling includes each item with probability min(1, w/tau)
+  and its estimator Sum max(w, tau) is unbiased for the total.
+* The fixed-threshold subset-sum sampler's credit counter gives a
+  deterministic one-sided error: actual - z <= estimate <= actual.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms.priority import PrioritySampler
+from repro.algorithms.reservoir import (
+    ConstantTimeSkipReservoirSampler,
+    ReservoirSampler,
+    SkipReservoirSampler,
+)
+from repro.algorithms.subset_sum import ThresholdSampler
+
+# Chi-squared critical value, df = 19, alpha = 0.001.
+CHI2_CRIT_DF19 = 43.82
+
+ITEMS = 20
+RESERVOIR = 4
+TRIALS = 3000
+
+
+class TestReservoirUniformity:
+    @pytest.mark.parametrize(
+        "cls",
+        [ReservoirSampler, SkipReservoirSampler, ConstantTimeSkipReservoirSampler],
+        ids=lambda c: c.__name__,
+    )
+    def test_chi_squared_uniform_inclusion(self, cls):
+        counts = [0] * ITEMS
+        for trial in range(TRIALS):
+            sampler = cls(RESERVOIR, rng=random.Random(trial))
+            for item in range(ITEMS):
+                sampler.offer(item)
+            for item in sampler.sample():
+                counts[item] += 1
+        assert sum(counts) == TRIALS * RESERVOIR
+        expected = TRIALS * RESERVOIR / ITEMS
+        chi2 = sum((c - expected) ** 2 / expected for c in counts)
+        assert chi2 < CHI2_CRIT_DF19, (chi2, counts)
+
+    def test_skip_variants_agree_with_algorithm_r_statistically(self):
+        # Same uniformity target, so the three variants' count vectors
+        # must all be close to flat; compare their chi-squareds too.
+        stats = []
+        for cls in (ReservoirSampler, SkipReservoirSampler):
+            counts = [0] * ITEMS
+            for trial in range(TRIALS):
+                sampler = cls(RESERVOIR, rng=random.Random(10_000 + trial))
+                for item in range(ITEMS):
+                    sampler.offer(item)
+                for item in sampler.sample():
+                    counts[item] += 1
+            expected = TRIALS * RESERVOIR / ITEMS
+            stats.append(sum((c - expected) ** 2 / expected for c in counts))
+        assert all(s < CHI2_CRIT_DF19 for s in stats), stats
+
+
+class TestPriorityInclusion:
+    WEIGHTS = [1.0] * 10 + [10.0] * 10 + [100.0] * 5 + [1000.0] * 5
+    K = 10
+    TRIALS = 1500
+
+    def run_trials(self):
+        included = [0] * len(self.WEIGHTS)
+        expected = [0.0] * len(self.WEIGHTS)
+        estimates = []
+        for trial in range(self.TRIALS):
+            sampler = PrioritySampler(self.K, rng=random.Random(trial))
+            for key, weight in enumerate(self.WEIGHTS):
+                sampler.offer(weight, key=key)
+            tau = sampler.tau
+            for item in sampler.sample():
+                included[item.key] += 1
+            for key, weight in enumerate(self.WEIGHTS):
+                expected[key] += min(1.0, weight / tau)
+            estimates.append(sampler.estimate_sum())
+        return included, expected, estimates
+
+    def test_inclusion_probability_is_min_one_w_over_tau(self):
+        included, expected, _ = self.run_trials()
+        for key in range(len(self.WEIGHTS)):
+            empirical = included[key] / self.TRIALS
+            predicted = expected[key] / self.TRIALS
+            # ~5 binomial standard errors at T=1500 is under 0.065.
+            assert abs(empirical - predicted) < 0.07, (
+                key,
+                self.WEIGHTS[key],
+                empirical,
+                predicted,
+            )
+
+    def test_estimator_is_unbiased_for_the_total(self):
+        _, _, estimates = self.run_trials()
+        actual = sum(self.WEIGHTS)
+        mean = sum(estimates) / len(estimates)
+        assert abs(mean - actual) / actual < 0.03, (mean, actual)
+
+    def test_heaviest_items_are_always_included(self):
+        included, _, _ = self.run_trials()
+        # w = 1000 >> tau in every trial: inclusion probability 1.
+        for key in range(len(self.WEIGHTS) - 5, len(self.WEIGHTS)):
+            assert included[key] == self.TRIALS
+
+
+class TestSubsetSumOneSidedError:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("z", [40.0, 500.0, 1500.0])
+    def test_credit_counter_error_bound(self, seed, z):
+        rng = random.Random(seed)
+        weights = [rng.uniform(40, 1500) for _ in range(2000)]
+        sampler = ThresholdSampler(z)
+        estimate = 0.0
+        for w in weights:
+            if sampler.offer(w):
+                estimate += sampler.adjusted_weight(w)
+        actual = sum(weights)
+        # Deterministic one-sided error: the unemitted credit is the only
+        # shortfall, and it never exceeds z.
+        assert actual - z <= estimate <= actual, (estimate, actual, z)
+
+    def test_big_tuples_are_always_sampled_exactly(self):
+        sampler = ThresholdSampler(100.0)
+        weights = [500.0, 900.0, 101.0]
+        estimate = sum(
+            sampler.adjusted_weight(w) for w in weights if sampler.offer(w)
+        )
+        assert estimate == sum(weights)
+        assert sampler.sampled == len(weights)
+
+    def test_all_small_stream_underestimates_by_less_than_z(self):
+        z = 250.0
+        sampler = ThresholdSampler(z)
+        weights = [10.0] * 1000
+        estimate = sum(
+            sampler.adjusted_weight(w) for w in weights if sampler.offer(w)
+        )
+        actual = sum(weights)
+        assert actual - z <= estimate <= actual
+        # Every emitted sample carries weight exactly z here.
+        assert estimate == sampler.sampled * z

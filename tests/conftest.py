@@ -15,6 +15,16 @@ import pytest
 
 _DEFAULT_TEST_TIMEOUT = 120.0
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite trace-event golden files (tests/obs/goldens/) from"
+        " the current run instead of comparing against them",
+    )
+
 try:
     import pytest_timeout  # noqa: F401
 

@@ -1,0 +1,193 @@
+"""Conservation identities over the metrics registry.
+
+Every tuple a stream offers must be accounted for exactly once at every
+layer (docs/OBSERVABILITY.md lists the identities):
+
+* stream:    records == ingested + shed
+* selection: in == filtered + rows_out
+* sampling:  in == filtered + admitted + late + incomparable
+* groups:    created == rows_out + evicted + having_rejected
+
+These are checked for every shipped example query, for a shedding run,
+for serial-vs-sharded agreement on partition-invariant totals, and for
+a supervised run with an injected shard kill (the counters must come
+out byte-identical to an unfaulted supervised run).
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.cli import _standard_instance
+from repro.dsms.runtime import Gigascope
+from repro.dsms.sharded import ShardedGigascope, canonical_rows
+from repro.streams.schema import TCP_SCHEMA
+from repro.streams.traces import TraceConfig, research_center_feed
+from repro.testing.faults import Fault, FaultPlan
+from repro.algorithms.bindings import SUBSET_SUM_QUERY, subset_sum_library
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "..", "examples", "queries"
+)
+EXAMPLES = sorted(glob.glob(os.path.join(EXAMPLES_DIR, "*.gsql")))
+
+# Keyed supergroups make SFUN state shard-local (see tests/dsms/test_sharded).
+SS_TEXT = SUBSET_SUM_QUERY.format(window=5, target=500).replace(
+    "GROUP BY time/5 as tb, srcIP, destIP, uts",
+    "GROUP BY time/5 as tb, srcIP, destIP, uts SUPERGROUP BY tb, srcIP",
+)
+BATCH = 128
+
+
+def feed(seconds=20, seed=7):
+    config = TraceConfig(duration_seconds=seconds, rate_scale=0.01, seed=seed)
+    return research_center_feed(config)
+
+
+def run_example(path, **instance_kwargs):
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    gs = _standard_instance(relax_factor=1.0, **instance_kwargs)
+    handle = gs.add_query(text, name="q")
+    gs.run(feed())
+    return gs, handle
+
+
+def val(gs, name, **labels):
+    # total() filters on the named labels and sums over the rest (here
+    # the ``operator`` kind label), unlike exact-match value().
+    return gs.metrics.total(name, **labels)
+
+
+class TestExampleQueries:
+    @pytest.mark.parametrize(
+        "path", EXAMPLES, ids=[os.path.basename(p) for p in EXAMPLES]
+    )
+    def test_tuple_conservation(self, path):
+        gs, handle = run_example(path)
+        m = gs.metrics
+
+        # Stream layer: everything offered is either ingested or shed.
+        records = m.total("stream_records_total")
+        assert records > 0
+        assert records == m.total("stream_ingested_total") + m.total(
+            "stream_shed_total"
+        )
+
+        # Low-level feeder (auto-inserted pass-through selection): every
+        # ingested tuple goes in, and comes out or is filtered.
+        feeder_in = val(gs, "operator_tuples_in_total", query="q__lowsel")
+        assert feeder_in == m.total("stream_ingested_total")
+        assert feeder_in == val(
+            gs, "operator_tuples_filtered_total", query="q__lowsel"
+        ) + val(gs, "operator_rows_out_total", query="q__lowsel")
+
+        # Main operator: in == filtered + admitted + late + incomparable
+        # (late/incomparable are zero for plain aggregation queries).
+        q_in = val(gs, "operator_tuples_in_total", query="q")
+        assert q_in == val(gs, "operator_rows_out_total", query="q__lowsel")
+        assert q_in == (
+            val(gs, "operator_tuples_filtered_total", query="q")
+            + val(gs, "operator_tuples_admitted_total", query="q")
+            + val(gs, "operator_late_tuples_total", query="q")
+            + val(gs, "operator_incomparable_tuples_total", query="q")
+        )
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLES, ids=[os.path.basename(p) for p in EXAMPLES]
+    )
+    def test_group_conservation(self, path):
+        gs, handle = run_example(path)
+
+        created = val(gs, "operator_groups_created_total", query="q")
+        rows_out = val(gs, "operator_rows_out_total", query="q")
+        assert created > 0
+        assert created == (
+            rows_out
+            + val(gs, "operator_groups_evicted_total", query="q")
+            + val(gs, "operator_having_rejected_total", query="q")
+        )
+        # The rows_out counter is the ground-truth result count.
+        assert rows_out == len(handle.results)
+        assert val(gs, "query_forwarded_total", query="q__lowsel") > 0
+
+
+class TestShedding:
+    def test_offered_equals_ingested_plus_shed(self):
+        gs = Gigascope(shed_threshold=8)
+        gs.register_stream(TCP_SCHEMA)
+        gs.use_stateful_library(subset_sum_library(relax_factor=10.0))
+        gs.add_query(SS_TEXT, name="q")
+        gs.run(feed(), batch_size=256)
+        m = gs.metrics
+        shed = m.total("stream_shed_total")
+        assert shed > 0
+        assert m.total("stream_records_total") == (
+            m.total("stream_ingested_total") + shed
+        )
+
+
+class TestSerialVsSharded:
+    # Counters whose totals are invariant under hash partitioning: every
+    # tuple lands in exactly one shard, and keyed supergroups keep the
+    # SFUN admission decisions identical to the serial run.  (Window and
+    # cleaning counters are *not* invariant: each shard closes its own
+    # copy of every window.)
+    INVARIANT = [
+        "stream_ingested_total",
+        "operator_tuples_in_total",
+        "operator_tuples_filtered_total",
+        "operator_tuples_admitted_total",
+        "operator_rows_out_total",
+        "operator_groups_created_total",
+        "operator_groups_evicted_total",
+        "operator_having_rejected_total",
+    ]
+
+    def test_partition_invariant_totals_agree(self):
+        serial = Gigascope()
+        serial.register_stream(TCP_SCHEMA)
+        serial.use_stateful_library(subset_sum_library(relax_factor=10.0))
+        s_handle = serial.add_query(SS_TEXT, name="q")
+        serial.run(feed())
+
+        sharded = ShardedGigascope(shards=2)
+        sharded.register_stream(TCP_SCHEMA)
+        sharded.use_stateful_library(subset_sum_library(relax_factor=10.0))
+        h_handle = sharded.add_query(SS_TEXT, name="q")
+        sharded.run(feed(), batch_size=BATCH)
+
+        assert canonical_rows(h_handle.results) == canonical_rows(s_handle.results)
+        for name in self.INVARIANT:
+            assert sharded.metrics.total(name) == serial.metrics.total(name), name
+        # Sanity check the non-invariant counter really is per-shard.
+        assert sharded.metrics.total("operator_windows_total") >= serial.metrics.total(
+            "operator_windows_total"
+        )
+
+
+class TestSupervisedFault:
+    def run_supervised(self, fault_plan=None):
+        sh = ShardedGigascope(shards=2, supervise=True, fault_plan=fault_plan)
+        sh.register_stream(TCP_SCHEMA)
+        sh.use_stateful_library(subset_sum_library(relax_factor=10.0))
+        handle = sh.add_query(SS_TEXT, name="q")
+        sh.run(feed(seconds=12), batch_size=BATCH)
+        return canonical_rows(handle.results), sh
+
+    def test_kill_fault_keeps_counters_byte_identical(self):
+        clean_rows, clean = self.run_supervised()
+        plan = FaultPlan([Fault(shard=1, action="kill", at_batch=4)])
+        fault_rows, faulted = self.run_supervised(fault_plan=plan)
+
+        assert faulted.metrics.total("supervisor_restarts_total") >= 1
+        assert clean.metrics.total("supervisor_restarts_total") == 0
+        assert fault_rows == clean_rows
+
+        # Checkpoint + journal replay must reconstruct every counter
+        # exactly: only the supervisor's own accounting may differ.
+        exclude = ("supervisor_",)
+        assert list(faulted.metrics.comparable_items(exclude_prefixes=exclude)) == (
+            list(clean.metrics.comparable_items(exclude_prefixes=exclude))
+        )

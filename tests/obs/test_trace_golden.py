@@ -1,0 +1,79 @@
+"""Golden tests for the structured trace stream.
+
+Trace events deliberately carry no wall-clock timestamps, so a fixed
+query over a fixed seeded feed produces a byte-identical event stream.
+These tests pin that stream against checked-in goldens; regenerate with
+
+    pytest tests/obs/test_trace_golden.py --update-goldens
+
+after an intentional change to event kinds or fields.
+"""
+
+import os
+
+import pytest
+
+from repro.dsms.runtime import Gigascope
+from repro.obs import TraceSink
+from repro.streams.schema import TCP_SCHEMA
+from repro.streams.traces import TraceConfig, research_center_feed
+from repro.algorithms.bindings import SUBSET_SUM_QUERY, subset_sum_library
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+AGG_TEXT = (
+    "SELECT tb, srcIP, sum(len), count(*) FROM TCP GROUP BY time/5 as tb, srcIP"
+)
+SS_TEXT = SUBSET_SUM_QUERY.format(window=5, target=50)
+
+
+def run_traced(text, library=None, shed_threshold=None):
+    sink = TraceSink()
+    gs = Gigascope(trace=sink, shed_threshold=shed_threshold)
+    gs.register_stream(TCP_SCHEMA)
+    if library is not None:
+        gs.use_stateful_library(library)
+    gs.add_query(text, name="q")
+    config = TraceConfig(duration_seconds=15, rate_scale=0.005, seed=31)
+    gs.run(research_center_feed(config), batch_size=64)
+    return sink
+
+
+def check_golden(request, name, sink):
+    path = os.path.join(GOLDEN_DIR, name)
+    lines = list(sink.lines())
+    if request.config.getoption("--update-goldens"):
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        pytest.skip(f"rewrote {name} ({len(lines)} events)")
+    if not os.path.exists(path):
+        pytest.fail(
+            f"golden {name} missing; run pytest --update-goldens to create it"
+        )
+    with open(path, "r", encoding="utf-8") as fh:
+        expected = fh.read().splitlines()
+    assert lines == expected
+
+
+def test_aggregation_trace_matches_golden(request):
+    sink = run_traced(AGG_TEXT)
+    kinds = sink.kinds()
+    assert kinds.get("window_open", 0) > 0
+    assert kinds["window_open"] == kinds["window_close"]
+    check_golden(request, "aggregation.jsonl", sink)
+
+
+def test_sampling_trace_matches_golden(request):
+    sink = run_traced(SS_TEXT, library=subset_sum_library(relax_factor=2.0))
+    kinds = sink.kinds()
+    assert kinds.get("window_open", 0) > 0
+    assert kinds.get("cleaning_trigger", 0) > 0
+    assert kinds.get("group_evicted", 0) > 0
+    check_golden(request, "sampling.jsonl", sink)
+
+
+def test_trace_is_deterministic_across_runs():
+    first = run_traced(SS_TEXT, library=subset_sum_library(relax_factor=2.0))
+    second = run_traced(SS_TEXT, library=subset_sum_library(relax_factor=2.0))
+    assert list(first.lines()) == list(second.lines())
