@@ -1,0 +1,116 @@
+"""Overhead of the hardened ingest edge (docs/RESILIENCE.md).
+
+Measures the same serial sampling query three ways:
+
+* **bare** — records fed straight into ``Gigascope.run``;
+* **resilient** — records delivered through ``ResilientSource`` with a
+  read-timeout watchdog and admission validation into a quarantine;
+* **durable** — run under ``DurableRunner`` with the fsync'd
+  write-ahead result journal.
+
+The design target is < 10% throughput cost for each hardening layer
+over bare ingest; the hard gate here is deliberately loose (fsync cost
+varies wildly across CI filesystems) — the measured numbers land in
+``BENCH_durability.json`` at the repo root for trend tracking.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.dsms.durability import DurableRunner
+from repro.dsms.runtime import Gigascope
+from repro.streams.schema import TCP_SCHEMA
+from repro.streams.sources import QuarantineStream, ResilientSource, RetryPolicy, replayable
+from repro.streams.traces import TraceConfig, research_center_feed
+from repro.algorithms.bindings import SUBSET_SUM_QUERY, subset_sum_library
+
+ROUNDS = 3
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_durability.json")
+
+
+@pytest.fixture(scope="module")
+def packets():
+    # Dense enough that each 5s window holds thousands of records: the
+    # journal commits per window, so records-per-window sets how far
+    # the fixed commit cost (checkpoint pickle + fsync) amortises.
+    config = TraceConfig(duration_seconds=30, rate_scale=0.05, seed=11)
+    return list(research_center_feed(config))
+
+
+def build():
+    gs = Gigascope()
+    gs.register_stream(TCP_SCHEMA)
+    gs.use_stateful_library(subset_sum_library(relax_factor=10.0))
+    gs.add_query(SUBSET_SUM_QUERY.format(window=5, target=200), name="q")
+    return gs
+
+
+def best_of(fn):
+    elapsed = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        fn()
+        elapsed.append(time.perf_counter() - start)
+    return min(elapsed)
+
+
+def test_hardening_overhead(benchmark, packets, tmp_path):
+    def run_bare():
+        gs = build()
+        return gs.run(iter(packets), batch_size=1024)
+
+    def run_resilient():
+        gs = build()
+        quarantine = QuarantineStream()
+        src = ResilientSource(
+            replayable(packets),
+            RetryPolicy(read_timeout=5.0),
+            schema=packets[0].schema,
+            quarantine=quarantine,
+            name="bench",
+        )
+        return gs.run(iter(src))
+
+    journal_counter = [0]
+
+    def run_durable():
+        journal_counter[0] += 1
+        gs = build()
+        journal = str(tmp_path / f"bench-{journal_counter[0]}.journal")
+        runner = DurableRunner(gs, journal, batch_size=1024, commit_interval=8)
+        return runner.run(iter(packets))
+
+    # All three variants must process every record.
+    assert run_bare() == len(packets)
+    assert run_resilient() == len(packets)
+    assert run_durable() == len(packets)
+
+    bare = best_of(run_bare)
+    resilient = best_of(run_resilient)
+    durable = best_of(run_durable)
+    result = {
+        "records": len(packets),
+        "rounds": ROUNDS,
+        "bare_seconds": round(bare, 4),
+        "resilient_seconds": round(resilient, 4),
+        "durable_seconds": round(durable, 4),
+        "resilient_overhead_pct": round(100.0 * (resilient / bare - 1.0), 1),
+        "durable_overhead_pct": round(100.0 * (durable / bare - 1.0), 1),
+        "target_overhead_pct": 10.0,
+        "bare_records_per_second": round(len(packets) / bare),
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("\nBENCH_durability:", json.dumps(result, indent=2, sort_keys=True))
+
+    # Loose gates: the target is 10%, the gate only catches pathology
+    # (e.g. an accidental per-record fsync or per-record reconnect).
+    assert resilient < bare * 2.0, result
+    assert durable < bare * 2.0, result
+
+    # pytest-benchmark regression signal on the hardened path.
+    benchmark.pedantic(run_durable, rounds=1, iterations=1)

@@ -5,10 +5,22 @@
 # ruff and mypy are optional (install with `pip install -e .[dev]`);
 # when absent they are skipped with a notice so the gate still works in
 # minimal containers.  Query lint and pytest always run.
+#
+# --chaos additionally runs the chaos suite (tests/chaos, marker
+# `chaos`): real process kills plus durable resume, torn trace tails,
+# stalled sources.  It is excluded from the default pytest run.
 set -u
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+with_chaos=0
+for arg in "$@"; do
+    case "$arg" in
+        --chaos) with_chaos=1 ;;
+        *) echo "unknown option: $arg (supported: --chaos)" >&2; exit 2 ;;
+    esac
+done
 
 failures=0
 
@@ -66,6 +78,17 @@ fi
 
 # (the guarded expansion keeps `set -u` happy when the array is empty)
 run python -m pytest tests/ ${pytest_args[@]+"${pytest_args[@]}"}
+
+if [ "$with_chaos" -eq 1 ]; then
+    # A trailing -m overrides the `-m 'not chaos'` baked into addopts.
+    # Coverage flags are reused when present, but the floor is a tier-1
+    # property — don't let the chaos subset fail on it.
+    chaos_args=()
+    if python -c "import pytest_timeout" >/dev/null 2>&1; then
+        chaos_args+=(--timeout=180)
+    fi
+    run python -m pytest tests/chaos ${chaos_args[@]+"${chaos_args[@]}"} -m chaos
+fi
 
 if [ "$failures" -ne 0 ]; then
     echo "$failures check(s) failed" >&2

@@ -43,14 +43,21 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.dsms.durability import DurableRunner
 from repro.dsms.explain import explain
 from repro.dsms.parser import compile_query
 from repro.dsms.resilience import SupervisionPolicy
 from repro.dsms.runtime import Gigascope
 from repro.dsms.sharded import ShardedGigascope
+from repro.errors import ExecutionError, SourceError
 from repro.obs import TraceSink, write_metrics, write_trace
 from repro.streams.persistence import load_trace, save_trace
 from repro.streams.schema import TCP_SCHEMA
+from repro.streams.sources import (
+    QuarantineStream,
+    RetryPolicy,
+    resilient_trace_source,
+)
 from repro.streams.traces import (
     TraceConfig,
     data_center_feed,
@@ -81,6 +88,8 @@ def _standard_instance(
     shed_threshold: Optional[int] = None,
     trace_sink: Optional[TraceSink] = None,
     profile: bool = False,
+    quarantine: Optional[QuarantineStream] = None,
+    validate_admission: bool = False,
 ):
     """A DSMS instance with the TCP stream and all SFUN packs loaded.
 
@@ -90,7 +99,9 @@ def _standard_instance(
     ``max_restarts`` restarts each; ``shed_threshold`` enables overload
     shedding (ring-backlog admission control, and — supervised — input
     queue shedding).  ``trace_sink`` / ``profile`` attach the
-    observability layer (docs/OBSERVABILITY.md).
+    observability layer (docs/OBSERVABILITY.md).  ``quarantine`` /
+    ``validate_admission`` route malformed records to a dead-letter
+    stream at admission instead of raising (docs/RESILIENCE.md).
     """
     if shards > 0:
         gs = ShardedGigascope(
@@ -102,10 +113,16 @@ def _standard_instance(
             else None,
             shed_threshold=shed_threshold,
             trace=trace_sink,
+            quarantine=quarantine,
+            validate_admission=validate_admission,
         )
     else:
         gs = Gigascope(
-            shed_threshold=shed_threshold, trace=trace_sink, profile=profile
+            shed_threshold=shed_threshold,
+            trace=trace_sink,
+            profile=profile,
+            quarantine=quarantine,
+            validate_admission=validate_admission,
         )
     gs.register_stream(TCP_SCHEMA)
     gs.use_stateful_library(subset_sum_library(relax_factor=relax_factor))
@@ -145,8 +162,31 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         sql = args.sql
 
+    if args.resume and not args.journal:
+        print("--resume needs --journal <path>", file=sys.stderr)
+        return 2
+
+    # The hardened ingest edge (docs/RESILIENCE.md): a dead-letter
+    # quarantine plus admission validation whenever the caller asked for
+    # any of its knobs, and a retrying torn-tail-tolerant trace source
+    # when --source-retries is given.
+    harden = args.quarantine_out is not None or args.source_retries is not None
+    quarantine = QuarantineStream() if harden else None
+
     if args.trace is not None:
-        trace = load_trace(args.trace)
+        if args.source_retries is not None:
+            policy = RetryPolicy(max_retries=args.source_retries)
+            try:
+                trace = list(
+                    resilient_trace_source(
+                        args.trace, policy, quarantine=quarantine, name="cli"
+                    )
+                )
+            except SourceError as exc:
+                print(f"cannot read {args.trace}: {exc}", file=sys.stderr)
+                return 1
+        else:
+            trace = load_trace(args.trace)
     else:
         # No trace given: synthesise the default research-center feed
         # (same parameters as `generate` defaults) in memory.
@@ -172,6 +212,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         shed_threshold=args.shed_threshold,
         trace_sink=trace_sink,
         profile=args.profile,
+        quarantine=quarantine,
+        validate_admission=harden,
     )
     # Re-register the trace's own schema if it is not the stock TCP one.
     if trace[0].schema != TCP_SCHEMA:
@@ -185,12 +227,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 else None,
                 shed_threshold=args.shed_threshold,
                 trace=trace_sink,
+                quarantine=quarantine,
+                validate_admission=harden,
             )
         else:
             gs = Gigascope(
                 shed_threshold=args.shed_threshold,
                 trace=trace_sink,
                 profile=args.profile,
+                quarantine=quarantine,
+                validate_admission=harden,
             )
         gs.register_stream(trace[0].schema)
     if args.lint:
@@ -200,7 +246,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
         if result.errors or (args.strict and result.diagnostics):
             return 1
     handle = gs.add_query(sql, name="cli")
-    gs.run(iter(trace))
+    if args.journal is not None:
+        try:
+            runner = DurableRunner(gs, args.journal)
+        except ExecutionError as exc:
+            print(f"cannot journal this run: {exc}", file=sys.stderr)
+            return 2
+        if args.resume:
+            consumed = runner.resume(iter(trace))
+            print(
+                f"-- resumed from {args.journal}; {consumed:,} records total",
+                file=sys.stderr,
+            )
+        else:
+            consumed = runner.run(iter(trace))
+            print(
+                f"-- journalled {consumed:,} records to {args.journal}",
+                file=sys.stderr,
+            )
+    else:
+        gs.run(iter(trace))
     rows = handle.results
     limit = args.limit if args.limit is not None else len(rows)
     print("\t".join(handle.output_schema.names))
@@ -216,6 +281,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.trace_out:
         count = write_trace(trace_sink, args.trace_out)
         print(f"-- wrote {count} trace events to {args.trace_out}", file=sys.stderr)
+    if args.quarantine_out:
+        count = quarantine.write_jsonl(args.quarantine_out)
+        print(
+            f"-- wrote {count} quarantined record(s) to {args.quarantine_out}"
+            f" ({quarantine.total} total, {quarantine.evicted} evicted)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -230,7 +302,8 @@ def _print_run_report(gs, force: bool = False) -> None:
         if force or any(counters.values()):
             print(
                 f"-- stream {stream}: drops={counters['drops']}"
-                f" backlog={counters['backlog']} shed={counters['shed']}",
+                f" backlog={counters['backlog']} shed={counters['shed']}"
+                f" quarantined={counters['quarantined']}",
                 file=sys.stderr,
             )
     for name, counters in sorted(report["queries"].items()):
@@ -387,6 +460,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="charge per-operator wall time into the operator_seconds"
         " histogram (serial runs only)",
+    )
+    query.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="journal committed windows to this write-ahead file so a"
+        " killed run can be resumed with --resume (serial or"
+        " --supervise runs; incompatible with --shed-threshold)",
+    )
+    query.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --journal, replay committed state from the journal and"
+        " continue from the last committed window instead of starting"
+        " over; output is byte-identical to an uninterrupted run",
+    )
+    query.add_argument(
+        "--quarantine-out",
+        default=None,
+        metavar="PATH",
+        help="validate records at admission, divert malformed ones to a"
+        " dead-letter quarantine instead of failing the query, and write"
+        " the quarantined records to PATH as JSONL",
+    )
+    query.add_argument(
+        "--source-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="read --trace through a fault-tolerant source that survives"
+        " torn trace tails and retries transient read failures up to N"
+        " times with capped exponential backoff",
     )
     query.set_defaults(fn=_cmd_query)
 

@@ -81,6 +81,11 @@ class WindowStats:
     #: paper's drop-under-overload behavior, §1/§7, made deliberate and
     #: observable instead of arbitrary packet loss).
     shed_tuples: int = 0
+    #: Tuples the runtime dead-lettered at admission during this window
+    #: because they failed schema validation/coercion (malformed or
+    #: corrupt input routed to the quarantine stream instead of raising
+    #: mid-query).  Like shed tuples, they never reached the operator.
+    quarantined_tuples: int = 0
     #: High-water mark of the group table during the window — the memory
     #: figure the paper's §8 flow-sampling discussion is about.
     peak_groups: int = 0
@@ -220,6 +225,8 @@ class SamplingOperator:
         #: shed tuples reported before any window is open (folded into the
         #: next window's stats)
         self._pending_shed = 0
+        #: likewise for tuples dead-lettered at admission
+        self._pending_quarantined = 0
 
         self._tuple_ctx = _TupleContext(self)
         self._group_ctx = _GroupContext(self)
@@ -271,6 +278,11 @@ class SamplingOperator:
         self.m_shed = metrics.counter(
             "operator_shed_tuples_total",
             help="tuples shed upstream at admission (never reached process)",
+            **common,
+        )
+        self.m_quarantined = metrics.counter(
+            "operator_quarantined_tuples_total",
+            help="tuples dead-lettered upstream at admission (malformed)",
             **common,
         )
         self.m_rows_out = metrics.counter(
@@ -467,12 +479,22 @@ class SamplingOperator:
             self._pending_shed += count
         self.m_shed.inc(count)
 
+    def note_quarantined(self, count: int) -> None:
+        """Record ``count`` input tuples dead-lettered upstream at
+        admission (malformed input routed to the quarantine stream)."""
+        if self._active_stats is not None:
+            self._active_stats.quarantined_tuples += count
+        else:
+            self._pending_quarantined += count
+        self.m_quarantined.inc(count)
+
     def overload_counters(self) -> Dict[str, int]:
         """Degradation counters over all windows (closed and active).
 
         These are the "did the sample quietly degrade?" numbers: tuples
         dropped because they arrived late, tuples with unorderable window
-        ids, and tuples shed at admission under overload.
+        ids, tuples shed at admission under overload, and tuples
+        dead-lettered at admission as malformed.
         """
         stats = list(self._window_stats)
         if self._active_stats is not None:
@@ -481,6 +503,10 @@ class SamplingOperator:
             "late_tuples": sum(s.late_tuples for s in stats),
             "incomparable_tuples": sum(s.incomparable_tuples for s in stats),
             "shed_tuples": sum(s.shed_tuples for s in stats) + self._pending_shed,
+            "quarantined_tuples": (
+                sum(s.quarantined_tuples for s in stats)
+                + self._pending_quarantined
+            ),
         }
 
     # -- crash-recovery checkpoints -------------------------------------------------
@@ -512,6 +538,7 @@ class SamplingOperator:
             "window_stats": copy.deepcopy(self._window_stats),
             "active_stats": copy.deepcopy(self._active_stats),
             "pending_shed": self._pending_shed,
+            "pending_quarantined": self._pending_quarantined,
             "groups": [
                 (entry.key, copy.deepcopy(entry.aggregates), entry.supergroup_key)
                 for entry in self._tables.groups.values()
@@ -549,6 +576,8 @@ class SamplingOperator:
         self._window_stats = copy.deepcopy(snapshot["window_stats"])
         self._active_stats = copy.deepcopy(snapshot["active_stats"])
         self._pending_shed = snapshot["pending_shed"]
+        # Pre-quarantine snapshots lack the key.
+        self._pending_quarantined = snapshot.get("pending_quarantined", 0)
 
     # -- internals -----------------------------------------------------------------
 
@@ -561,6 +590,9 @@ class SamplingOperator:
         if self._pending_shed:
             self._active_stats.shed_tuples = self._pending_shed
             self._pending_shed = 0
+        if self._pending_quarantined:
+            self._active_stats.quarantined_tuples = self._pending_quarantined
+            self._pending_quarantined = 0
         if self.obs_trace.enabled:
             self.obs_trace.emit(
                 "window_open", query=self.obs_query, window=list(window)

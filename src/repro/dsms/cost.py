@@ -74,6 +74,10 @@ class CostBook:
     #: a tuple costs far less than processing it (paper §1: Gigascope
     #: degrades by dropping packets when the feed outruns the system).
     tuple_shed: int = 50
+    #: Dead-lettering one malformed tuple at admission.  Slightly above
+    #: shedding: the value vector is inspected (validation/coercion)
+    #: before the tuple is refused into the quarantine stream.
+    tuple_quarantined: int = 200
 
 
 class CostModel:

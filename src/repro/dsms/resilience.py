@@ -143,11 +143,20 @@ class ShardSupervisor:
         policy: Optional[SupervisionPolicy] = None,
         fault_plan: Any = None,
         shed_threshold: Optional[int] = None,
+        resume_state: Optional[Dict[int, Tuple[int, bytes]]] = None,
     ) -> None:
+        """``resume_state`` (per shard: ``(covered_seq, pickled snapshot)``,
+        as produced by :meth:`checkpoint_all`) seeds the run from a prior
+        process's committed checkpoints — the whole-pipeline durable
+        resume of :mod:`repro.dsms.durability`.  Each listed shard starts
+        by restoring its snapshot, and its sequence numbering continues
+        from ``covered_seq`` so later checkpoints and journal trims line
+        up; unlisted shards start fresh at seq 0."""
         self.owner = owner
         self.policy = policy or SupervisionPolicy()
         self.fault_plan = fault_plan
         self.shed_threshold = shed_threshold
+        self._resume_state = dict(resume_state) if resume_state else {}
         self.report = SupervisionReport()
         try:
             self._context = multiprocessing.get_context("fork")
@@ -199,11 +208,18 @@ class ShardSupervisor:
         records,
         batch_size: int,
         route: Dict[str, int],
+        on_round=None,
     ) -> Tuple[int, Dict[int, Dict[str, List[Record]]], List[dict]]:
         """Ship all records under supervision; returns
-        ``(total, shard_results, worker_run_reports)``."""
+        ``(total, shard_results, worker_run_reports)``.
+
+        ``on_round(supervisor, total)`` is called after every shipped
+        round — the durable runner's commit hook: at a commit point it
+        calls :meth:`checkpoint_all` and journals the result.
+        """
         for shard in range(self.owner.shards):
             self._spawn(shard)
+        self._apply_resume_state()
         total = 0
         batch: List[Record] = []
         try:
@@ -212,8 +228,12 @@ class ShardSupervisor:
                 if len(batch) >= batch_size:
                     total += self._ship_round(batch, route)
                     batch = []
+                    if on_round is not None:
+                        on_round(self, total)
             if batch:
                 total += self._ship_round(batch, route)
+                if on_round is not None:
+                    on_round(self, total)
             shard_results, reports = self._finish_and_collect()
             return total, shard_results, reports
         finally:
@@ -223,6 +243,65 @@ class ShardSupervisor:
             for worker in self._workers:
                 if worker is not None:
                     worker.join(timeout=5.0)
+
+    def _apply_resume_state(self) -> None:
+        """Restore shards from a prior process's committed checkpoints."""
+        for shard, (seq, blob) in self._resume_state.items():
+            self._ckpt[shard] = (seq, blob)
+            self._seq[shard] = seq
+            self._last_ckpt_request[shard] = seq
+            self._trace(
+                "shard_resume", shard=shard, seq=seq, bytes=len(blob)
+            )
+            try:
+                self._put_or_die(shard, ("restore", seq, blob))
+            except _WorkerDied as died:
+                # _recover re-sends the restore from self._ckpt.
+                self._recover(shard, str(died))
+
+    def checkpoint_all(self) -> Dict[int, Tuple[int, bytes]]:
+        """Synchronously checkpoint every shard at its current sequence.
+
+        Queue ordering guarantees the returned snapshots cover every
+        batch shipped so far: the checkpoint request is enqueued behind
+        them, so the worker processes them first.  Blocks (pumping events
+        and running recovery as needed) until every shard's snapshot has
+        arrived; a shard that recovers mid-request is re-asked, because
+        the replacement's restored state never saw the request.  Shards
+        that have received no batches are omitted — they have no state.
+        """
+        deadline = time.monotonic() + self.policy.result_timeout
+        while True:
+            pending = [
+                shard
+                for shard in range(self.owner.shards)
+                if (self._ckpt[shard][0] if self._ckpt[shard] else 0)
+                < self._seq[shard]
+            ]
+            if not pending:
+                break
+            for shard in pending:
+                covered = self._ckpt[shard][0] if self._ckpt[shard] else 0
+                if self._last_ckpt_request[shard] <= covered:
+                    if self._send_control(
+                        shard, ("checkpoint", self._seq[shard])
+                    ):
+                        self._last_ckpt_request[shard] = self._seq[shard]
+                        self._ckpt_request_time[shard] = time.monotonic()
+            if not self._pump_once(0.05):
+                for shard in pending:
+                    self._check_health(shard)
+            if time.monotonic() > deadline:
+                raise ExecutionError(
+                    "checkpoint_all timed out after"
+                    f" {self.policy.result_timeout}s waiting for shards"
+                    f" {pending}"
+                )
+        return {
+            shard: self._ckpt[shard]
+            for shard in range(self.owner.shards)
+            if self._ckpt[shard] is not None
+        }
 
     def _ship_round(self, batch: List[Record], route: Dict[str, int]) -> int:
         for shard, bucket in enumerate(self.owner._split(batch, route)):

@@ -36,8 +36,10 @@ from repro.dsms.stateful import StatefulLibrary
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACE, TraceSink
 from repro.streams.records import Record
-from repro.streams.schema import StreamSchema
+from repro.streams.schema import StreamSchema, coerce_record
+from repro.streams.sources import QuarantineStream
 from repro.core.superaggregates import default_superaggregate_registry
+from repro.errors import SchemaError
 
 
 @dataclass
@@ -70,6 +72,8 @@ class Gigascope:
         metrics: Optional[MetricsRegistry] = None,
         trace: Optional[TraceSink] = None,
         profile: bool = False,
+        quarantine: Optional[QuarantineStream] = None,
+        validate_admission: bool = False,
     ) -> None:
         """``strict`` makes every :meth:`add_query` refuse queries with
         any static-analysis diagnostic (see ``repro.analysis``).
@@ -89,10 +93,25 @@ class Gigascope:
         them (docs/OBSERVABILITY.md).  Defaults: a private registry and
         the no-op trace sink.  ``profile`` additionally charges wall time
         per operator call into ``operator_seconds{query,phase}``.
+
+        ``validate_admission`` hardens the ingest edge: every fed payload
+        is validated (and, where possible, coerced) against its stream
+        schema, and records that fail — NaN window ids, wrong types,
+        non-records — are routed to the dead-letter ``quarantine`` stream
+        instead of raising mid-query.  Quarantined records are counted
+        per stream and reported to downstream sampling operators, so the
+        conservation identity becomes
+        ``records == ingested + shed + quarantined``.  ``quarantine``
+        defaults to a private bounded :class:`QuarantineStream`; pass one
+        to share it with a resilient source or inspect it afterwards.
         """
         self.cost = cost_model or NULL_COST_MODEL
         self.strict = strict
         self.shed_threshold = shed_threshold
+        self.validate_admission = validate_admission
+        self.quarantine = (
+            quarantine if quarantine is not None else QuarantineStream()
+        )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace = trace if trace is not None else NULL_TRACE
         self.profile = profile
@@ -115,6 +134,8 @@ class Gigascope:
         self._last_subscribers: Dict[str, int] = {}
         #: records shed at admission, per source stream
         self._shed: Dict[str, int] = {}
+        #: records dead-lettered at admission, per source stream
+        self._quarantined: Dict[str, int] = {}
 
     # -- registration -----------------------------------------------------------
 
@@ -395,19 +416,20 @@ class Gigascope:
 
     def _run_batch(self, batch: List[Record], subscribers: Dict[str, int]) -> int:
         by_stream: Dict[str, List[Record]] = {}
-        for record in batch:
-            by_stream.setdefault(record.schema.name, []).append(record)
-        for stream, stream_records in by_stream.items():
-            ring = self._rings.get(stream)
-            if ring is None:
-                raise ExecutionError(
-                    f"record for unregistered stream {stream!r}"
-                )
+        offered: Dict[str, int] = {}
+        for payload in batch:
+            stream, record = self._admit_payload(payload)
+            offered[stream] = offered.get(stream, 0) + 1
+            if record is not None:
+                by_stream.setdefault(stream, []).append(record)
+        for stream, count in offered.items():
             self.metrics.counter(
                 "stream_records_total",
                 help="records offered to the stream (before admission)",
                 stream=stream,
-            ).inc(len(stream_records))
+            ).inc(count)
+        for stream, stream_records in by_stream.items():
+            ring = self._rings[stream]
             if self.shed_threshold is not None:
                 stream_records = self._admit(
                     stream, stream_records, ring, subscribers
@@ -425,6 +447,62 @@ class Gigascope:
             for record in pending:
                 self._dispatch(handle, record)
         return len(batch)
+
+    def _admit_payload(self, payload: Any) -> "tuple":
+        """Route one fed payload to its stream, validating when enabled.
+
+        Returns ``(stream_name, record_or_None)``; ``None`` means the
+        payload was dead-lettered.  Without ``validate_admission`` this
+        is the historical strict path: a non-record or a record for an
+        unregistered stream raises :class:`ExecutionError`.
+        """
+        schema = payload.schema if isinstance(payload, Record) else None
+        if schema is None and self.validate_admission and len(self._rings) == 1:
+            # Raw payloads (mappings, value tuples) are only routable
+            # when the instance hosts a single source stream.
+            stream = next(iter(self._rings))
+            schema = self.registries.schemas[stream]
+        if schema is None:
+            if self.validate_admission:
+                self._quarantine_one(
+                    "__unroutable__",
+                    f"cannot route a {type(payload).__name__} payload to a"
+                    " stream",
+                    payload,
+                )
+                return "__unroutable__", None
+            raise ExecutionError(
+                f"cannot ingest a {type(payload).__name__}: not a Record"
+            )
+        stream = schema.name
+        if stream not in self._rings:
+            if self.validate_admission:
+                self._quarantine_one(
+                    stream, f"record for unregistered stream {stream!r}", payload
+                )
+                return stream, None
+            raise ExecutionError(f"record for unregistered stream {stream!r}")
+        if not self.validate_admission:
+            return stream, payload
+        try:
+            return stream, coerce_record(schema, payload)
+        except SchemaError as exc:
+            self._quarantine_one(stream, str(exc), payload)
+            return stream, None
+
+    def _quarantine_one(self, stream: str, reason: str, payload: Any) -> None:
+        """Dead-letter one refused payload: count, charge, notify, retain."""
+        self._quarantined[stream] = self._quarantined.get(stream, 0) + 1
+        self.cost.charge(stream, "tuple_quarantined", 1)
+        self.metrics.counter(
+            "stream_quarantined_total",
+            help="records dead-lettered at admission (malformed input)",
+            stream=stream,
+        ).inc()
+        if self.trace.enabled:
+            self.trace.emit("quarantine", stream=stream, reason=reason)
+        self.quarantine.put(reason, payload, source=stream)
+        self._notify_quarantined(stream, 1)
 
     def _admit(
         self,
@@ -482,6 +560,24 @@ class Gigascope:
                 seen.add(child)
                 operator = self._queries[child].operator
                 note = getattr(operator, "note_shed", None)
+                if note is not None:
+                    note(count)
+                frontier.append(child)
+
+    def _notify_quarantined(self, stream: str, count: int) -> None:
+        """Tell every query downstream of ``stream`` (transitively) that
+        ``count`` of its input tuples were dead-lettered at admission, so
+        sampling operators can expose the loss in their window stats."""
+        seen = set()
+        frontier = [stream]
+        while frontier:
+            node = frontier.pop()
+            for child in self._downstream.get(node, ()):
+                if child in seen:
+                    continue
+                seen.add(child)
+                operator = self._queries[child].operator
+                note = getattr(operator, "note_quarantined", None)
                 if note is not None:
                     note(count)
                 frontier.append(child)
@@ -575,6 +671,7 @@ class Gigascope:
             "version": 2,
             "queries": queries,
             "shed": dict(self._shed),
+            "quarantined": dict(self._quarantined),
             "cost_accounts": self.cost.accounts() if self.cost.enabled else {},
             # v2: metric/trace state rides along so a supervised restart
             # resumes counting exactly where the checkpoint left off.
@@ -603,6 +700,8 @@ class Gigascope:
             handle.results[:] = entry["results"]
             handle.forwarded = entry["forwarded"]
         self._shed = dict(snapshot["shed"])
+        # Pre-quarantine snapshots lack the key; counters start at zero.
+        self._quarantined = dict(snapshot.get("quarantined", {}))
         if restore_cost and self.cost.enabled:
             self.cost.reset()
             self.cost.absorb(snapshot["cost_accounts"])
@@ -622,11 +721,12 @@ class Gigascope:
         """Overload/degradation counters for the most recent run.
 
         ``streams``: per source stream, ring-buffer ``drops`` (slowest
-        subscriber), remaining ``backlog``, and ``shed`` records.
-        ``queries``: per sampling query, late / incomparable / shed tuple
-        totals over all windows.  Everything here is a tuple the answer
-        silently does *not* include — the report makes degradation
-        visible instead of silent.
+        subscriber), remaining ``backlog``, ``shed`` records, and
+        ``quarantined`` (dead-lettered) records.
+        ``queries``: per sampling query, late / incomparable / shed /
+        quarantined tuple totals over all windows.  Everything here is a
+        tuple the answer silently does *not* include — the report makes
+        degradation visible instead of silent.
         """
         self._sync_ring_metrics()
         streams: Dict[str, Dict[str, int]] = {}
@@ -636,6 +736,9 @@ class Gigascope:
                 "backlog": int(self.metrics.value("ring_backlog", stream=stream)),
                 "shed": int(
                     self.metrics.value("stream_shed_total", stream=stream)
+                ),
+                "quarantined": int(
+                    self.metrics.value("stream_quarantined_total", stream=stream)
                 ),
             }
         queries: Dict[str, Dict[str, int]] = {}
@@ -655,6 +758,10 @@ class Gigascope:
                 ),
                 "shed_tuples": int(
                     value("operator_shed_tuples_total", query=name,
+                          operator=operator.kind_label)
+                ),
+                "quarantined_tuples": int(
+                    value("operator_quarantined_tuples_total", query=name,
                           operator=operator.kind_label)
                 ),
             }

@@ -71,7 +71,9 @@ from repro.dsms.stateful import StatefulLibrary
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACE, TraceSink
 from repro.streams.records import Record
-from repro.streams.schema import StreamSchema
+from repro.streams.schema import StreamSchema, coerce_record
+from repro.streams.sources import QuarantineStream
+from repro.errors import SchemaError
 
 
 def stable_hash(value: Any) -> int:
@@ -191,6 +193,8 @@ class ShardedGigascope:
         fault_plan: Any = None,
         metrics: Optional[MetricsRegistry] = None,
         trace: Optional[TraceSink] = None,
+        quarantine: Optional["QuarantineStream"] = None,
+        validate_admission: bool = False,
     ) -> None:
         """Beyond the PR-2 parameters:
 
@@ -216,6 +220,15 @@ class ShardedGigascope:
         ``metrics.total(name, query=...)`` aggregates across shards while
         the per-shard series stay distinguishable.  In process modes the
         snapshots cross the fork boundary with the results.
+
+        ``validate_admission`` validates every record at the SPLIT edge
+        — in the parent, uniformly across all three execution modes —
+        and routes uncoercible records to ``quarantine`` (a
+        :class:`repro.streams.sources.QuarantineStream`; a private
+        bounded one by default) instead of shipping them to a worker
+        where the failure would surface as a shard crash.  Quarantined
+        records are counted in the parent registry as
+        ``stream_quarantined_total{stream=...}``.
         """
         if shards < 1:
             raise PlanningError("shards must be >= 1")
@@ -236,6 +249,10 @@ class ShardedGigascope:
         self._last_report: Optional[dict] = None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace = trace if trace is not None else NULL_TRACE
+        self.validate_admission = validate_admission
+        self.quarantine = (
+            quarantine if quarantine is not None else QuarantineStream()
+        )
         # Strictness is enforced once, centrally, in add_query; the shard
         # instances receive pre-vetted text and never re-lint it.
         self._instances = [
@@ -454,20 +471,83 @@ class ShardedGigascope:
 
     # -- execution ----------------------------------------------------------------
 
-    def run(self, records: Iterable[Record], batch_size: int = 4096) -> int:
+    def run(
+        self,
+        records: Iterable[Record],
+        batch_size: int = 4096,
+        *,
+        on_round=None,
+        resume_state: Optional[Dict[int, Tuple[int, bytes]]] = None,
+    ) -> int:
         """SPLIT the record stream across the shards, MERGE their outputs.
 
         Returns the number of records read (like :meth:`Gigascope.run`).
+
+        ``on_round`` / ``resume_state`` are the durable-resume hooks
+        (supervised mode only — see :mod:`repro.dsms.durability`):
+        ``on_round(supervisor, total)`` fires after every shipped round,
+        and ``resume_state`` seeds the shards from a prior process's
+        committed checkpoints.
         """
+        if (on_round is not None or resume_state) and not self.supervise:
+            raise ExecutionError(
+                "on_round/resume_state need supervised mode"
+                " (ShardedGigascope(supervise=True)): durable commits are"
+                " built on the supervisor's checkpoint protocol"
+            )
         route = self._route_indices()
         sinks = [_MergeSink(self._handles[name], self.shards) for name in self._order]
         self._last_report = None
         self.last_supervision = None
+        if self.validate_admission:
+            records = self._validate_edge(records)
         if self.supervise:
-            return self._run_supervised(records, batch_size, route, sinks)
+            return self._run_supervised(
+                records, batch_size, route, sinks,
+                on_round=on_round, resume_state=resume_state,
+            )
         if self.processes:
             return self._run_processes(records, batch_size, route, sinks)
         return self._run_inline(records, batch_size, route, sinks)
+
+    def _validate_edge(self, records: Iterable[Record]) -> Iterable[Record]:
+        """Validate/coerce records at the SPLIT edge; dead-letter failures.
+
+        Runs in the parent so all three execution modes get identical
+        admission behavior, and a malformed record is refused *before*
+        it can crash a worker mid-query.
+        """
+        schemas = self.registries.schemas
+        single = self._streams[0] if len(self._streams) == 1 else None
+        for payload in records:
+            schema = payload.schema if isinstance(payload, Record) else None
+            if schema is None and single is not None:
+                schema = schemas[single]
+            if schema is None or schema.name not in self._nodes:
+                stream = schema.name if schema is not None else "__unroutable__"
+                self._quarantine_edge(
+                    stream,
+                    f"cannot route a {type(payload).__name__} payload to a"
+                    " stream" if schema is None
+                    else f"record for unregistered stream {stream!r}",
+                    payload,
+                )
+                continue
+            try:
+                yield coerce_record(schema, payload)
+            except SchemaError as exc:
+                self._quarantine_edge(schema.name, str(exc), payload)
+
+    def _quarantine_edge(self, stream: str, reason: str, payload: Any) -> None:
+        self.metrics.counter(
+            "stream_quarantined_total",
+            help="records dead-lettered at the split edge (malformed input)",
+            stream=stream,
+        ).inc()
+        self.cost.charge(stream, "tuple_quarantined", 1)
+        if self.trace.enabled:
+            self.trace.emit("quarantine", stream=stream, reason=reason)
+        self.quarantine.put(reason, payload, source=stream)
 
     def _split(
         self, batch: Sequence[Record], route: Dict[str, int]
@@ -558,6 +638,8 @@ class ShardedGigascope:
         batch_size: int,
         route: Dict[str, int],
         sinks: List[_MergeSink],
+        on_round=None,
+        resume_state: Optional[Dict[int, Tuple[int, bytes]]] = None,
     ) -> int:
         """Run the workers under a :class:`ShardSupervisor`: crashed or
         stalled shards restart and recover by checkpoint restore plus
@@ -567,9 +649,12 @@ class ShardedGigascope:
             policy=self.supervision,
             fault_plan=self.fault_plan,
             shed_threshold=self.shed_threshold,
+            resume_state=resume_state,
         )
         self.last_supervision = supervisor.report
-        total, shard_results, reports = supervisor.run(records, batch_size, route)
+        total, shard_results, reports = supervisor.run(
+            records, batch_size, route, on_round=on_round
+        )
         for sink in sinks:
             for shard in range(self.shards):
                 sink.feed(shard, shard_results[shard].get(sink.handle.name, []))

@@ -22,6 +22,32 @@ class StreamError(ReproError):
     """A stream source failed (exhausted ring buffer, bad generator config)."""
 
 
+class TraceCorruptError(StreamError):
+    """A persisted trace (or journal) file is truncated or garbled.
+
+    Carries the byte ``offset`` at which decoding failed and the
+    ``record_index`` of the first undecodable record (``-1`` when the
+    failure is in the header, before any record), so callers — the
+    resilient file-tail source in particular — can resync on the record
+    framing instead of giving up on the whole file.
+    """
+
+    def __init__(self, message: str, offset: int = 0, record_index: int = -1) -> None:
+        super().__init__(
+            f"{message} (byte offset {offset}, record index {record_index})"
+        )
+        self.offset = offset
+        self.record_index = record_index
+
+
+class SourceError(StreamError):
+    """A resilient source exhausted its retry budget (carries the history)."""
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
 class QueryError(ReproError):
     """Base class for errors in the query language front end."""
 

@@ -12,6 +12,9 @@ This package stands in for Gigascope's packet-capture layer.  It provides:
   paper's evaluation: the highly variable *research-center* feed and the
   steady high-rate *data-center* feed, plus a DDoS scenario used by the
   flow-sampling extension.
+* :mod:`repro.streams.sources` — the hardened ingest edge: reconnecting
+  :class:`ResilientSource` wrappers, the trace-file tail source that
+  survives torn writes, and the dead-letter :class:`QuarantineStream`.
 """
 
 from repro.streams.schema import Attribute, Ordering, StreamSchema, PKT_SCHEMA, TCP_SCHEMA
@@ -29,6 +32,17 @@ from repro.streams.traces import (
     data_center_feed,
     ddos_feed,
     replay,
+)
+from repro.streams.sources import (
+    EAGER_RETRY,
+    QuarantinedRecord,
+    QuarantineStream,
+    ResilientSource,
+    RetryPolicy,
+    SourceStats,
+    TraceTailSource,
+    replayable,
+    resilient_trace_source,
 )
 
 __all__ = [
@@ -48,4 +62,13 @@ __all__ = [
     "data_center_feed",
     "ddos_feed",
     "replay",
+    "EAGER_RETRY",
+    "QuarantinedRecord",
+    "QuarantineStream",
+    "ResilientSource",
+    "RetryPolicy",
+    "SourceStats",
+    "TraceTailSource",
+    "replayable",
+    "resilient_trace_source",
 ]

@@ -13,15 +13,21 @@ The format is a compact struct-packed binary:
 ``save_trace`` / ``load_trace`` round-trip any list of records over one
 numeric schema.  Loading reconstructs the schema from the header, so a
 trace file is self-describing.
+
+Decoding failures raise :class:`repro.errors.TraceCorruptError` carrying
+the byte offset and record index of the damage — never a bare
+``struct.error`` or ``UnicodeDecodeError`` — so ingest-edge code (the
+resilient tail source in :mod:`repro.streams.sources`) can resync on the
+fixed-width record framing instead of aborting the run.
 """
 
 from __future__ import annotations
 
 import io
 import struct
-from typing import BinaryIO, Iterable, Iterator, List, Union
+from typing import BinaryIO, Iterable, Iterator, List, Tuple, Union
 
-from repro.errors import StreamError
+from repro.errors import StreamError, TraceCorruptError
 from repro.streams.records import Record
 from repro.streams.schema import Attribute, Ordering, StreamSchema
 
@@ -40,9 +46,26 @@ def _write_string(fh: BinaryIO, text: str) -> None:
     fh.write(data)
 
 
-def _read_string(fh: BinaryIO) -> str:
-    (length,) = _NAME.unpack(fh.read(_NAME.size))
-    return fh.read(length).decode("utf-8")
+def _read_string(fh: BinaryIO, what: str) -> str:
+    offset = fh.tell()
+    prefix = fh.read(_NAME.size)
+    if len(prefix) < _NAME.size:
+        raise TraceCorruptError(
+            f"truncated trace file: incomplete {what} length", offset=offset
+        )
+    (length,) = _NAME.unpack(prefix)
+    data = fh.read(length)
+    if len(data) < length:
+        raise TraceCorruptError(
+            f"truncated trace file: incomplete {what}", offset=offset
+        )
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceCorruptError(
+            f"garbled trace file: {what} is not valid UTF-8 ({exc.reason})",
+            offset=offset,
+        ) from None
 
 
 def save_trace(records: Iterable[Record], target: Union[str, BinaryIO]) -> int:
@@ -91,38 +114,81 @@ def save_trace(records: Iterable[Record], target: Union[str, BinaryIO]) -> int:
 def _read_schema(fh: BinaryIO) -> StreamSchema:
     header = fh.read(_HEADER.size)
     if len(header) < _HEADER.size:
-        raise StreamError("truncated trace file: missing header")
+        raise TraceCorruptError("truncated trace file: missing header", offset=0)
     magic, attr_count = _HEADER.unpack(header)
     if magic != _MAGIC:
-        raise StreamError("not a repro trace file (bad magic)")
-    schema_name = _read_string(fh)
+        raise TraceCorruptError("not a repro trace file (bad magic)", offset=0)
+    schema_name = _read_string(fh, "schema name")
     attributes = []
     for _ in range(attr_count):
-        name = _read_string(fh)
-        type_tag = _read_string(fh)
-        ordering = Ordering(_read_string(fh))
-        attributes.append(Attribute(name, type_tag, ordering))
-    return StreamSchema(schema_name, attributes)
+        name = _read_string(fh, "attribute name")
+        type_tag = _read_string(fh, "attribute type tag")
+        ordering_offset = fh.tell()
+        ordering_text = _read_string(fh, "attribute ordering")
+        try:
+            ordering = Ordering(ordering_text)
+        except ValueError:
+            raise TraceCorruptError(
+                f"garbled trace file: unknown ordering {ordering_text!r}",
+                offset=ordering_offset,
+            ) from None
+        try:
+            attributes.append(Attribute(name, type_tag, ordering))
+        except Exception as exc:
+            raise TraceCorruptError(
+                f"garbled trace file: invalid attribute spec ({exc})",
+                offset=ordering_offset,
+            ) from None
+    try:
+        return StreamSchema(schema_name, attributes)
+    except Exception as exc:
+        raise TraceCorruptError(
+            f"garbled trace file: invalid schema ({exc})", offset=fh.tell()
+        ) from None
+
+
+def read_header(fh: BinaryIO) -> Tuple[StreamSchema, int]:
+    """Decode the header; returns ``(schema, body_offset)``.
+
+    ``body_offset`` is the byte offset of the first record, which —
+    combined with the fixed ``8 * len(schema)`` row width — lets a tail
+    reader compute the framing offset of any record without rescanning.
+    """
+    schema = _read_schema(fh)
+    return schema, fh.tell()
+
+
+def decode_row(schema: StreamSchema, row: bytes) -> Record:
+    """Decode one fixed-width body row (``8 * len(schema)`` bytes)."""
+    values = []
+    for index, attr in enumerate(schema):
+        chunk = row[index * 8:(index + 1) * 8]
+        if attr.type_tag == "float":
+            values.append(_FLOAT.unpack(chunk)[0])
+        elif attr.type_tag == "bool":
+            values.append(bool(_VALUE.unpack(chunk)[0]))
+        else:
+            values.append(_VALUE.unpack(chunk)[0])
+    return Record(schema, values)
 
 
 def _iter_rows(fh: BinaryIO, schema: StreamSchema) -> Iterator[Record]:
     row_size = 8 * len(schema)
+    index = 0
     while True:
+        offset = fh.tell()
         row = fh.read(row_size)
         if not row:
             return
         if len(row) < row_size:
-            raise StreamError("truncated trace file: partial record")
-        values = []
-        for index, attr in enumerate(schema):
-            chunk = row[index * 8:(index + 1) * 8]
-            if attr.type_tag == "float":
-                values.append(_FLOAT.unpack(chunk)[0])
-            elif attr.type_tag == "bool":
-                values.append(bool(_VALUE.unpack(chunk)[0]))
-            else:
-                values.append(_VALUE.unpack(chunk)[0])
-        yield Record(schema, values)
+            raise TraceCorruptError(
+                "truncated trace file: partial record"
+                f" ({len(row)} of {row_size} bytes)",
+                offset=offset,
+                record_index=index,
+            )
+        yield decode_row(schema, row)
+        index += 1
 
 
 def load_trace(source: Union[str, BinaryIO]) -> List[Record]:

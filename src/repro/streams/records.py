@@ -40,7 +40,11 @@ class Record:
         """Build a record from a name->value mapping.
 
         Missing attributes default to ``0`` for numeric types and ``""`` for
-        strings; unknown keys raise :class:`SchemaError`.
+        strings; unknown keys raise :class:`SchemaError`.  Key columns —
+        the schema's *ordered* attributes, which become window ids and
+        group keys — reject ``None`` and ``NaN`` here with a clear
+        diagnostic: letting them through produces incomparable groups
+        that fail silently, deep inside the sampling operator.
         """
         unknown = set(mapping) - set(schema.names)
         if unknown:
@@ -48,9 +52,23 @@ class Record:
                 f"unknown attributes for schema {schema.name!r}: {sorted(unknown)}"
             )
         defaults = {"int": 0, "uint": 0, "float": 0.0, "bool": False, "str": ""}
-        values = [
-            mapping.get(attr.name, defaults[attr.type_tag]) for attr in schema
-        ]
+        values = []
+        for attr in schema:
+            value = mapping.get(attr.name, defaults[attr.type_tag])
+            if attr.ordering.is_ordered:
+                if value is None:
+                    raise SchemaError(
+                        f"key column {attr.name!r} of schema {schema.name!r}"
+                        " is None; ordered attributes become window ids and"
+                        " must be concrete"
+                    )
+                if isinstance(value, float) and value != value:
+                    raise SchemaError(
+                        f"key column {attr.name!r} of schema {schema.name!r}"
+                        " is NaN; NaN window ids are incomparable and would"
+                        " poison group keys"
+                    )
+            values.append(value)
         return cls(schema, values)
 
     # -- access ---------------------------------------------------------------

@@ -1,0 +1,1 @@
+"""Chaos suite: real process kills, torn traces, stalled sources."""

@@ -1,0 +1,256 @@
+"""Durable resume: the write-ahead result journal and DurableRunner.
+
+The contract (docs/RESILIENCE.md, "durable resume"): a run that dies
+after N committed windows can be resumed *in a fresh process* from the
+journal alone and produce byte-identical results and comparable metrics
+to an uninterrupted run.  These tests simulate the crash in-process by
+raising from the ``on_commit`` hook (the journal entry is already
+fsync'd when the hook fires, exactly the state a killed process leaves
+behind); the chaos suite does it for real with ``os._exit``.
+"""
+
+import pytest
+
+from repro.dsms.durability import JOURNAL_VERSION, DurableRunner, ResultJournal
+from repro.dsms.resilience import SupervisionPolicy
+from repro.dsms.runtime import Gigascope
+from repro.dsms.sharded import ShardedGigascope
+from repro.errors import ExecutionError, TraceCorruptError
+from repro.streams.schema import TCP_SCHEMA
+from repro.streams.traces import TraceConfig, research_center_feed
+from repro.algorithms.bindings import SUBSET_SUM_QUERY, subset_sum_library
+
+SS_TEXT = SUBSET_SUM_QUERY.format(window=5, target=200)
+SS_SHARDED = SS_TEXT.replace(
+    "GROUP BY time/5 as tb, srcIP, destIP, uts",
+    "GROUP BY time/5 as tb, srcIP, destIP, uts SUPERGROUP BY tb, srcIP",
+)
+
+
+def feed(seconds=15, seed=3):
+    config = TraceConfig(duration_seconds=seconds, rate_scale=0.01, seed=seed)
+    return list(research_center_feed(config))
+
+
+def build(shards=0, supervise=False, shed_threshold=None):
+    if shards:
+        gs = ShardedGigascope(
+            shards=shards,
+            processes=supervise,
+            supervise=supervise,
+            supervision=SupervisionPolicy(max_restarts=2) if supervise else None,
+            shed_threshold=shed_threshold,
+        )
+    else:
+        gs = Gigascope(shed_threshold=shed_threshold)
+    gs.register_stream(TCP_SCHEMA)
+    gs.use_stateful_library(subset_sum_library(relax_factor=10.0))
+    gs.add_query(SS_SHARDED if shards else SS_TEXT, name="q")
+    return gs
+
+
+def rows_of(gs):
+    return [r.values for r in gs.query("q").results]
+
+
+def comparable(gs):
+    return gs.metrics.comparable_items(exclude_prefixes=("supervisor_",))
+
+
+class _Boom(Exception):
+    """Stands in for the process dying right after a commit fsync."""
+
+
+def crash_on_commit(n):
+    state = {"commits": 0}
+
+    def hook(consumed, kind):
+        state["commits"] += 1
+        if state["commits"] == n:
+            raise _Boom(f"crash after commit {n}")
+
+    return hook
+
+
+class TestResultJournal:
+    def test_append_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "j.bin")
+        with ResultJournal(path, fresh=True) as journal:
+            journal.append({"kind": "commit", "n": 1})
+            journal.append({"kind": "final", "n": 2})
+        entries = ResultJournal.read(path)
+        assert [e["n"] for e in entries] == [1, 2]
+        assert ResultJournal.last_entry(path)["kind"] == "final"
+
+    def test_torn_tail_is_dropped_then_truncated(self, tmp_path):
+        path = str(tmp_path / "j.bin")
+        with ResultJournal(path, fresh=True) as journal:
+            journal.append({"n": 1})
+            journal.append({"n": 2})
+        import os
+
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 7)
+        assert [e["n"] for e in ResultJournal.read(path)] == [1]
+        # Reopening for append truncates the torn frame and writes cleanly.
+        with ResultJournal(path) as journal:
+            journal.append({"n": 3})
+        assert [e["n"] for e in ResultJournal.read(path)] == [1, 3]
+
+    def test_bad_magic_is_a_typed_corruption_error(self, tmp_path):
+        path = tmp_path / "j.bin"
+        path.write_bytes(b"NOTAJRNL" + b"\x00" * 16)
+        with pytest.raises(TraceCorruptError):
+            ResultJournal.read(str(path))
+
+    def test_empty_file_is_a_fresh_journal(self, tmp_path):
+        path = tmp_path / "j.bin"
+        path.write_bytes(b"")
+        with ResultJournal(str(path)) as journal:
+            journal.append({"n": 1})
+        assert len(ResultJournal.read(str(path))) == 1
+
+
+class TestSerialDurability:
+    def test_fresh_durable_run_matches_plain_run(self, tmp_path):
+        ref = build()
+        ref.run(iter(feed()))
+        gs = build()
+        runner = DurableRunner(gs, str(tmp_path / "j.bin"), batch_size=64)
+        consumed = runner.run(iter(feed()))
+        assert consumed == len(feed())
+        assert rows_of(gs) == rows_of(ref)
+        assert comparable(gs) == comparable(ref)
+
+    def test_resume_after_final_restores_without_input(self, tmp_path):
+        path = str(tmp_path / "j.bin")
+        gs = build()
+        DurableRunner(gs, path, batch_size=64).run(iter(feed()))
+
+        def untouchable():
+            raise AssertionError("resume after final must not read input")
+            yield  # pragma: no cover
+
+        fresh = build()
+        consumed = DurableRunner(fresh, path).resume(untouchable())
+        assert consumed == len(feed())
+        assert rows_of(fresh) == rows_of(gs)
+
+    @pytest.mark.parametrize("crash_at", [1, 2, 3])
+    def test_crash_after_commit_resumes_byte_identically(self, tmp_path, crash_at):
+        ref = build()
+        ref.run(iter(feed()))
+        path = str(tmp_path / "j.bin")
+        gs = build()
+        runner = DurableRunner(
+            gs,
+            path,
+            batch_size=64,
+            commit_interval=2,
+            on_commit=crash_on_commit(crash_at),
+        )
+        with pytest.raises(_Boom):
+            runner.run(iter(feed()))
+        committed = ResultJournal.read(path)
+        assert len(committed) == crash_at
+        assert committed[-1]["journal_version"] == JOURNAL_VERSION
+
+        fresh = build()
+        consumed = DurableRunner(fresh, path, batch_size=64, commit_interval=2).resume(
+            iter(feed())
+        )
+        assert consumed == len(feed())
+        assert rows_of(fresh) == rows_of(ref)
+        assert comparable(fresh) == comparable(ref)
+
+    def test_crash_before_any_commit_degenerates_to_fresh_run(self, tmp_path):
+        ref = build()
+        ref.run(iter(feed()))
+        path = str(tmp_path / "j.bin")
+        # Journal exists but holds no commits (the process died early).
+        ResultJournal(path, fresh=True).close()
+        fresh = build()
+        DurableRunner(fresh, path, batch_size=64).resume(iter(feed()))
+        assert rows_of(fresh) == rows_of(ref)
+
+    def test_torn_journal_tail_resumes_from_last_whole_commit(self, tmp_path):
+        ref = build()
+        ref.run(iter(feed()))
+        path = str(tmp_path / "j.bin")
+        gs = build()
+        runner = DurableRunner(
+            gs, path, batch_size=64, commit_interval=2, on_commit=crash_on_commit(2)
+        )
+        with pytest.raises(_Boom):
+            runner.run(iter(feed()))
+        import os
+
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 7)
+        fresh = build()
+        DurableRunner(fresh, path, batch_size=64).resume(iter(feed()))
+        assert rows_of(fresh) == rows_of(ref)
+
+    def test_input_shorter_than_committed_prefix_is_refused(self, tmp_path):
+        path = str(tmp_path / "j.bin")
+        gs = build()
+        runner = DurableRunner(
+            gs, path, batch_size=64, commit_interval=2, on_commit=crash_on_commit(2)
+        )
+        with pytest.raises(_Boom):
+            runner.run(iter(feed()))
+        fresh = build()
+        with pytest.raises(ExecutionError):
+            DurableRunner(fresh, path).resume(iter(feed()[:10]))
+
+
+class TestSupervisedDurability:
+    def test_fresh_durable_run_matches_plain_supervised_run(self, tmp_path):
+        ref = build(shards=2, supervise=True)
+        ref.run(iter(feed()), batch_size=128)
+        sh = build(shards=2, supervise=True)
+        runner = DurableRunner(
+            sh, str(tmp_path / "j.bin"), batch_size=128, commit_interval=2
+        )
+        consumed = runner.run(iter(feed()))
+        assert consumed == len(feed())
+        assert sorted(rows_of(sh)) == sorted(rows_of(ref))
+        assert comparable(sh) == comparable(ref)
+
+    @pytest.mark.parametrize("crash_at", [1, 2])
+    def test_crash_after_commit_resumes_byte_identically(self, tmp_path, crash_at):
+        ref = build(shards=2, supervise=True)
+        ref.run(iter(feed()), batch_size=128)
+        path = str(tmp_path / "j.bin")
+        sh = build(shards=2, supervise=True)
+        runner = DurableRunner(
+            sh,
+            path,
+            batch_size=128,
+            commit_interval=2,
+            on_commit=crash_on_commit(crash_at),
+        )
+        with pytest.raises(_Boom):
+            runner.run(iter(feed()))
+        fresh = build(shards=2, supervise=True)
+        consumed = DurableRunner(
+            fresh, path, batch_size=128, commit_interval=2
+        ).resume(iter(feed()))
+        assert consumed == len(feed())
+        assert sorted(rows_of(fresh)) == sorted(rows_of(ref))
+        assert comparable(fresh) == comparable(ref)
+
+
+class TestRefusals:
+    def test_shedding_and_durability_do_not_mix(self, tmp_path):
+        gs = build(shed_threshold=8)
+        with pytest.raises(ExecutionError):
+            DurableRunner(gs, str(tmp_path / "j.bin"))
+
+    def test_unsupervised_process_shards_are_refused(self, tmp_path):
+        sh = ShardedGigascope(shards=2, processes=True)
+        sh.register_stream(TCP_SCHEMA)
+        with pytest.raises(ExecutionError):
+            DurableRunner(sh, str(tmp_path / "j.bin"))

@@ -3,13 +3,14 @@
 Every tuple a stream offers must be accounted for exactly once at every
 layer (docs/OBSERVABILITY.md lists the identities):
 
-* stream:    records == ingested + shed
+* stream:    records == ingested + shed + quarantined
 * selection: in == filtered + rows_out
 * sampling:  in == filtered + admitted + late + incomparable
 * groups:    created == rows_out + evicted + having_rejected
 
 These are checked for every shipped example query, for a shedding run,
-for serial-vs-sharded agreement on partition-invariant totals, and for
+for a run with malformed records quarantined at admission, for
+serial-vs-sharded agreement on partition-invariant totals, and for
 a supervised run with an injected shard kill (the counters must come
 out byte-identical to an unfaulted supervised run).
 """
@@ -68,11 +69,14 @@ class TestExampleQueries:
         gs, handle = run_example(path)
         m = gs.metrics
 
-        # Stream layer: everything offered is either ingested or shed.
+        # Stream layer: everything offered is either ingested, shed, or
+        # quarantined.
         records = m.total("stream_records_total")
         assert records > 0
-        assert records == m.total("stream_ingested_total") + m.total(
-            "stream_shed_total"
+        assert records == (
+            m.total("stream_ingested_total")
+            + m.total("stream_shed_total")
+            + m.total("stream_quarantined_total")
         )
 
         # Low-level feeder (auto-inserted pass-through selection): every
@@ -124,8 +128,39 @@ class TestShedding:
         shed = m.total("stream_shed_total")
         assert shed > 0
         assert m.total("stream_records_total") == (
-            m.total("stream_ingested_total") + shed
+            m.total("stream_ingested_total")
+            + shed
+            + m.total("stream_quarantined_total")
         )
+
+
+class TestQuarantine:
+    def test_offered_equals_ingested_plus_quarantined(self):
+        from repro.streams.sources import QuarantineStream
+        from repro.testing.faults import FaultySource, SourceFault
+
+        records = list(feed())
+        damaged = FaultySource(
+            records, [SourceFault("corrupt", 5), SourceFault("corrupt", 90)]
+        ).damaged
+        quarantine = QuarantineStream()
+        gs = Gigascope(quarantine=quarantine, validate_admission=True)
+        gs.register_stream(TCP_SCHEMA)
+        gs.use_stateful_library(subset_sum_library(relax_factor=10.0))
+        gs.add_query(SS_TEXT.replace(" SUPERGROUP BY tb, srcIP", ""), name="q")
+        gs.run(iter(damaged))
+        m = gs.metrics
+        quarantined = m.total("stream_quarantined_total")
+        assert quarantined == 2
+        assert quarantine.total == 2
+        assert m.total("stream_records_total") == (
+            m.total("stream_ingested_total")
+            + m.total("stream_shed_total")
+            + quarantined
+        )
+        # The operator-level mirror: quarantined tuples appear in the
+        # query's overload accounting without ever entering the window.
+        assert val(gs, "operator_quarantined_tuples_total", query="q") == 2
 
 
 class TestSerialVsSharded:

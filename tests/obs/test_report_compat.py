@@ -42,11 +42,17 @@ class TestReportShape:
         gs.run(feed())
         report = gs.run_report()
         assert set(report) == {"streams", "queries"}
-        assert set(report["streams"]["TCP"]) == {"drops", "backlog", "shed"}
+        assert set(report["streams"]["TCP"]) == {
+            "drops",
+            "backlog",
+            "shed",
+            "quarantined",
+        }
         assert set(report["queries"]["q"]) == {
             "late_tuples",
             "incomparable_tuples",
             "shed_tuples",
+            "quarantined_tuples",
         }
         for section in report.values():
             for entry in section.values():
@@ -82,6 +88,7 @@ class TestReportSourcing:
             ("late_tuples", "operator_late_tuples_total"),
             ("incomparable_tuples", "operator_incomparable_tuples_total"),
             ("shed_tuples", "operator_shed_tuples_total"),
+            ("quarantined_tuples", "operator_quarantined_tuples_total"),
         ]:
             assert report["queries"]["q"][key] == gs.metrics.total(
                 metric, query="q"
@@ -96,4 +103,5 @@ class TestReportSourcing:
             "late_tuples",
             "incomparable_tuples",
             "shed_tuples",
+            "quarantined_tuples",
         }

@@ -1,11 +1,21 @@
-"""Trace persistence: save / load / iter round trips."""
+"""Trace persistence: save / load / iter round trips.
+
+Corruption is surfaced as :class:`TraceCorruptError` carrying the byte
+offset (and, past the header, the record index) of the damage, so the
+resilient tail source can resync on the fixed-width framing.
+"""
 
 import io
 
 import pytest
 
-from repro.errors import StreamError
-from repro.streams.persistence import iter_trace, load_trace, save_trace
+from repro.errors import StreamError, TraceCorruptError
+from repro.streams.persistence import (
+    iter_trace,
+    load_trace,
+    read_header,
+    save_trace,
+)
 from repro.streams.records import Record
 from repro.streams.schema import Attribute, Ordering, StreamSchema
 from repro.streams.traces import TraceConfig, research_center_feed
@@ -99,3 +109,33 @@ class TestErrors:
         data = buffer.getvalue()[:-3]  # chop mid-record
         with pytest.raises(StreamError, match="partial record"):
             load_trace(io.BytesIO(data))
+
+
+class TestCorruptionDiagnostics:
+    """The typed error pinpoints the damage for framing resync."""
+
+    def test_bad_magic_is_a_trace_corrupt_error_at_offset_zero(self):
+        with pytest.raises(TraceCorruptError) as excinfo:
+            load_trace(io.BytesIO(b"NOTATRACEFILE___" * 4))
+        assert excinfo.value.offset == 0
+        assert "offset 0" in str(excinfo.value)
+
+    def test_partial_record_reports_offset_and_index(self, small_feed):
+        buffer = io.BytesIO()
+        save_trace(small_feed, buffer)
+        data = buffer.getvalue()[:-3]
+        with pytest.raises(TraceCorruptError) as excinfo:
+            load_trace(io.BytesIO(data))
+        err = excinfo.value
+        assert err.record_index == len(small_feed) - 1
+        # The reported offset is exactly where the torn record starts,
+        # computable from the header geometry — that is what lets the
+        # tail source seek straight to it.
+        fh = io.BytesIO(data)
+        schema, body_offset = read_header(fh)
+        row_size = 8 * len(schema.attributes)
+        assert err.offset == body_offset + err.record_index * row_size
+        assert f"record index {err.record_index}" in str(err)
+
+    def test_trace_corrupt_error_is_a_stream_error(self):
+        assert issubclass(TraceCorruptError, StreamError)

@@ -24,6 +24,29 @@ class TestConstruction:
         assert rec["b"] == 0
         assert rec["name"] == ""
 
+    def test_from_mapping_none_in_key_column_rejected(self):
+        from repro.streams.schema import Ordering
+
+        ordered = StreamSchema(
+            "O",
+            [Attribute("t", "uint", Ordering.INCREASING), Attribute("v")],
+        )
+        with pytest.raises(SchemaError, match="None"):
+            Record.from_mapping(ordered, {"t": None, "v": 1})
+        # Unordered columns may hold None — only window-id columns are keys.
+        rec = Record.from_mapping(ordered, {"t": 1, "v": None})
+        assert rec["v"] is None
+
+    def test_from_mapping_nan_in_key_column_rejected(self):
+        from repro.streams.schema import Ordering
+
+        ordered = StreamSchema(
+            "O",
+            [Attribute("t", "float", Ordering.INCREASING), Attribute("v")],
+        )
+        with pytest.raises(SchemaError, match="NaN"):
+            Record.from_mapping(ordered, {"t": float("nan"), "v": 1})
+
     def test_from_mapping_unknown_key_rejected(self):
         with pytest.raises(SchemaError, match="unknown attributes"):
             Record.from_mapping(SCHEMA, {"zzz": 1})
