@@ -45,13 +45,15 @@ else
     echo "==> mypy not installed; skipping type check (pip install -e .[dev])"
 fi
 
-echo "==> query lint over examples/queries/*.gsql"
-for query in examples/queries/*.gsql; do
-    if ! python -m repro.cli lint "$query"; then
-        failures=$((failures + 1))
-        echo "FAILED: lint $query" >&2
-    fi
-done
+# One multi-file invocation so the whole corpus lands in one SARIF
+# report (lint.sarif, uploaded by the CI workflow for code-scanning
+# annotations).  Exit 1 = an example has lint *errors*; the deliberately
+# unsound examples only warn under the default (serial) target.
+echo "==> query lint over examples/queries/*.gsql (SARIF report: lint.sarif)"
+if ! python -m repro.cli lint --format sarif --output lint.sarif examples/queries/*.gsql; then
+    failures=$((failures + 1))
+    echo "FAILED: query lint (see lint.sarif)" >&2
+fi
 echo
 
 # Per-test wall-clock ceiling: the resilience tests exercise deadlock

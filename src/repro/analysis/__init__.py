@@ -21,27 +21,40 @@ from repro.analysis.diagnostics import (
 )
 
 if TYPE_CHECKING:
+    from repro.analysis.execsafety import ExecTarget, parse_target
     from repro.analysis.linter import LintResult, lint_query, lint_source
+    from repro.analysis.sampling_algebra import SamplingFact
+    from repro.analysis.sarif import results_to_json, results_to_sarif
     from repro.analysis.signatures import GType
     from repro.analysis.types import TypeCheckResult, check_types
 
 __all__ = [
     "Diagnostic",
     "DiagnosticCollector",
+    "ExecTarget",
     "GType",
     "LintResult",
+    "SamplingFact",
     "Severity",
     "TypeCheckResult",
     "check_types",
     "lint_query",
     "lint_source",
+    "parse_target",
     "render_diagnostics",
+    "results_to_json",
+    "results_to_sarif",
 ]
 
 _LAZY = {
     "LintResult": "repro.analysis.linter",
     "lint_query": "repro.analysis.linter",
     "lint_source": "repro.analysis.linter",
+    "ExecTarget": "repro.analysis.execsafety",
+    "parse_target": "repro.analysis.execsafety",
+    "SamplingFact": "repro.analysis.sampling_algebra",
+    "results_to_json": "repro.analysis.sarif",
+    "results_to_sarif": "repro.analysis.sarif",
     "GType": "repro.analysis.signatures",
     "TypeCheckResult": "repro.analysis.types",
     "check_types": "repro.analysis.types",

@@ -7,12 +7,20 @@
 2. collect-mode semantic analysis (``SA020``–``SA030``),
 3. type inference (``SA005``/``SA008``/``SA010``/``SA011``),
 4. semantic lints (``SA001``–``SA009``),
-5. plan lints (``SA101``/``SA102``)
+5. plan lints (``SA101``/``SA102``),
+6. dataflow passes over the *compiled* plan (only when stages 1–5 found
+   no errors — the planner needs a well-formed query): sampling
+   soundness (``SA201``–``SA204``) and, when an
+   :class:`~repro.analysis.execsafety.ExecTarget` is given, execution
+   safety (``SA301``–``SA305``)
 
 — and returns every finding in one :class:`LintResult`.  Rules can be
 suppressed per query with a pragma comment anywhere in the text::
 
     -- lint: disable=SA001,SA102
+
+(the pragma filter runs after *all* stages collect, so it applies to
+plan-stage and dataflow rules exactly as to lexer/semantic ones).
 
 The CLI's ``repro lint`` subcommand and the runtime's pre-execution check
 (``Gigascope`` strict mode) both go through here.
@@ -29,13 +37,16 @@ from repro.analysis.diagnostics import (
     DiagnosticCollector,
     render_diagnostics,
 )
+from repro.analysis.execsafety import ExecTarget, check_execsafety
 from repro.analysis.plan_rules import check_plan
 from repro.analysis.rules import check_semantics
+from repro.analysis.sampling_algebra import check_sampling
 from repro.analysis.types import TypeCheckResult, check_types
 from repro.dsms.parser.analyzer import AnalyzedQuery, Registries, analyze
+from repro.dsms.parser.planner import QueryPlan, plan as plan_query
 from repro.dsms.parser.parser import parse_query
 from repro.dsms.span import Span
-from repro.errors import LexError, ParseError
+from repro.errors import LexError, ParseError, PlanningError
 
 #: ``-- lint: disable=SA001,SA102`` anywhere in the query text.
 _PRAGMA_RE = re.compile(r"--\s*lint:\s*disable=([A-Za-z0-9_, \t]*)")
@@ -62,6 +73,11 @@ class LintResult:
     disabled: FrozenSet[str] = frozenset()
     analyzed: Optional[AnalyzedQuery] = None
     types: Optional[TypeCheckResult] = None
+    #: the compiled plan the dataflow passes ran over (None when stages
+    #: 1–5 reported errors); carries the exported ``plan.annotations``
+    plan: Optional[QueryPlan] = None
+    #: the deployment configuration the SA3xx rules linted against
+    target: Optional[ExecTarget] = None
 
     @property
     def errors(self) -> List[Diagnostic]:
@@ -94,11 +110,17 @@ def lint_query(
     source: str,
     registries: Registries,
     filename: str = "<query>",
+    target: Optional[ExecTarget] = None,
 ) -> LintResult:
-    """Lint one query text against explicit registries."""
+    """Lint one query text against explicit registries.
+
+    ``target`` (an :class:`ExecTarget`) additionally runs the SA3xx
+    execution-safety rules against that deployment configuration.
+    """
     collector = DiagnosticCollector()
     analyzed: Optional[AnalyzedQuery] = None
     types_result: Optional[TypeCheckResult] = None
+    compiled: Optional[QueryPlan] = None
     try:
         ast = parse_query(source)
     except LexError as exc:
@@ -114,6 +136,19 @@ def lint_query(
             types_result = check_types(analyzed, registries, collector)
             check_semantics(analyzed, registries, collector)
             check_plan(analyzed, registries, collector)
+            if not collector.has_errors:
+                # The dataflow passes walk the *compiled* plan, which the
+                # planner only produces for well-formed queries; an
+                # erroneous query already has its diagnostics above.
+                try:
+                    compiled = plan_query(analyzed, registries)
+                except PlanningError:
+                    compiled = None
+                if compiled is not None:
+                    check_sampling(analyzed, compiled, registries, collector)
+                    check_execsafety(
+                        analyzed, compiled, registries, collector, target
+                    )
     disabled = parse_pragmas(source)
     diagnostics = [d for d in collector.sorted() if d.rule not in disabled]
     return LintResult(
@@ -123,6 +158,8 @@ def lint_query(
         disabled=disabled,
         analyzed=analyzed,
         types=types_result,
+        plan=compiled,
+        target=target,
     )
 
 
@@ -163,6 +200,9 @@ def lint_source(
     source: str,
     registries: Optional[Registries] = None,
     filename: str = "<query>",
+    target: Optional[ExecTarget] = None,
 ) -> LintResult:
     """Lint one query text (default registries when none are given)."""
-    return lint_query(source, registries or default_lint_registries(), filename)
+    return lint_query(
+        source, registries or default_lint_registries(), filename, target=target
+    )

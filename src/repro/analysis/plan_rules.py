@@ -27,6 +27,7 @@ from typing import List
 from repro.analysis.diagnostics import DiagnosticCollector
 from repro.dsms.cost import (
     DEFAULT_GROUP_TABLE_BUDGET,
+    CostBook,
     estimate_expr_cardinality,
 )
 from repro.dsms.expr import (
@@ -106,6 +107,7 @@ def _check_prefilterable_where(
     where = analyzed.ast.where
     if where is None:
         return
+    tuple_copy = CostBook().tuple_copy
     for conjunct in _conjuncts(where):
         if _is_prefilterable(conjunct, analyzed, registries):
             collector.warning(
@@ -113,7 +115,7 @@ def _check_prefilterable_where(
                 "this WHERE conjunct uses only raw stream columns and"
                 " deterministic scalars; evaluated here, every tuple it"
                 " drops was first copied to the high level"
-                " (~16,000 cycles each, the dominant Fig 5 cost)",
+                f" (~{tuple_copy:,} cycles each, the dominant Fig 5 cost)",
                 conjunct.span,
                 hint="move the conjunct into a low-level selection query"
                 " and point this query's FROM at it (paper Fig 6)",

@@ -1,0 +1,441 @@
+"""Sampling-soundness analysis: the SA2xx rule family.
+
+The paper's value proposition is that a sampled GSQL query computes a
+*statistically meaningful* answer — yet nothing in the pipeline used to
+check that a plan's composition of samplers and aggregates is actually
+unbiased.  This pass closes that gap with the GUS ("Generalized Uniform
+Sampling") formalism of *A Sampling Algebra for Aggregate Estimation*
+(Nirkhiwale–Dobra–Jermaine, PVLDB 2013): every plan edge is annotated
+with an abstract :class:`SamplingFact` (sampling scheme, independence /
+exchangeability, conditioning columns, available Horvitz–Thompson
+corrections) derived from the :data:`~repro.analysis.signatures.
+SAMPLER_PROFILES` of the SFUNs the WHERE clause calls, propagated by the
+generic dataflow engine (:mod:`repro.analysis.dataflow`).
+
+Rules (all warnings — the query runs, but its estimates are suspect):
+
+``SA201``
+    A non-linear aggregate (``avg``/``min``/``max``/``count_distinct``)
+    is computed over a sampled tuple stream.  Non-linear estimators are
+    biased under *any* sampling design without a dedicated estimator
+    (GUS §4: only linear aggregates compose with sampling operators).
+``SA202``
+    A linear aggregate (``sum``/``count``) is computed under a
+    weighted or keyed sampler but the SELECT list exports no correction
+    (threshold / sampling level), so the output cannot be
+    Horvitz–Thompson-corrected downstream.
+``SA203``
+    The admission predicate chains samplers from *different* families.
+    The composed inclusion probabilities are the product of
+    per-family probabilities only under independence the packs do not
+    guarantee — chaining breaks exchangeability and every downstream
+    estimate (GUS theorem 2 requires a single sampling design per
+    stream edge).
+``SA204``
+    A (non-window) GROUP BY variable is a column the sampler's
+    inclusion decision conditions on.  Group membership and inclusion
+    are then dependent: groups whose key correlates with high inclusion
+    probability are over-represented.  Keyed schemes (distinct
+    sampling, min-hash) are exempt — conditioning on the hashed group
+    key is exactly how they work.
+
+The computed annotations are also exported on the plan object
+(``plan.annotations["sampling"]``) so a later layer can attach
+confidence intervals to sampled aggregates (ROADMAP item 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analysis.dataflow import (
+    DataflowAnalysis,
+    DataflowResult,
+    PlanGraph,
+    PlanNode,
+    build_plan_graph,
+    run_dataflow,
+)
+from repro.analysis.diagnostics import DiagnosticCollector
+from repro.analysis.signatures import SamplerProfile, sampler_profile
+from repro.dsms.expr import (
+    AggregateCall,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    StatefulCall,
+    SuperAggregateCall,
+    column_names,
+    find_nodes,
+)
+from repro.dsms.parser.analyzer import AnalyzedQuery, Registries
+from repro.dsms.parser.planner import QueryPlan
+
+#: Group aggregates whose plain value is an unbiased estimator of the
+#: full-population value under uniform sampling *after linear scaling* —
+#: the only aggregates GUS composes with sampling operators.
+LINEAR_AGGREGATES = frozenset({"sum", "count"})
+
+#: Group aggregates with no unbiased sample-based estimator at all
+#: (order statistics and distinct counts need dedicated sketches).
+NONLINEAR_AGGREGATES = frozenset({"avg", "min", "max", "count_distinct"})
+
+
+@dataclass(frozen=True)
+class SamplingFact:
+    """The abstract sampling state of one plan edge (the GUS lattice).
+
+    ``scheme`` is the least upper bound of the admission schemes applied
+    upstream: ``"all"`` (no sampling) < {``"uniform"``, ``"weighted"``,
+    ``"keyed"``} < ``"composite"`` (mixed families — top, nothing is
+    known about inclusion probabilities any more).
+    """
+
+    scheme: str = "all"  # "all" | "uniform" | "weighted" | "keyed" | "composite"
+    families: Tuple[str, ...] = ()
+    exchangeable: bool = True
+    condition_columns: FrozenSet[str] = frozenset()
+    corrections: FrozenSet[str] = frozenset()
+
+    @property
+    def sampled(self) -> bool:
+        return self.scheme != "all"
+
+    def compose(self, profile: SamplerProfile, columns: FrozenSet[str]) -> "SamplingFact":
+        """Apply one more admission sampler to this edge (GUS ∘)."""
+        families = self.families
+        if profile.family not in families:
+            families = families + (profile.family,)
+        scheme = profile.scheme if self.scheme == "all" else (
+            self.scheme if self.scheme == profile.scheme else "composite"
+        )
+        return SamplingFact(
+            scheme=scheme,
+            families=families,
+            exchangeable=self.exchangeable and len(families) <= 1,
+            condition_columns=self.condition_columns | columns,
+            corrections=self.corrections | profile.corrections,
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "families": list(self.families),
+            "exchangeable": self.exchangeable,
+            "condition_columns": sorted(self.condition_columns),
+            "corrections": sorted(self.corrections),
+        }
+
+
+class SamplingAnalysis(DataflowAnalysis[SamplingFact]):
+    """Forward propagation of :class:`SamplingFact` over the plan DAG."""
+
+    def __init__(self, analyzed: AnalyzedQuery) -> None:
+        self._analyzed = analyzed
+        #: group-by variable name -> defining source columns
+        self._group_defs: Dict[str, FrozenSet[str]] = {
+            item.name: frozenset(column_names(item.expr))
+            for item in analyzed.group_by
+        }
+
+    # -- hooks -------------------------------------------------------------
+
+    def boundary(self, node: PlanNode) -> SamplingFact:
+        return SamplingFact()
+
+    def transfer(self, node: PlanNode, fact: SamplingFact) -> SamplingFact:
+        if node.kind != "where":
+            return fact
+        for _clause, expr in node.exprs:
+            for call, profile in admission_samplers(expr):
+                fact = fact.compose(profile, self._condition_columns(call, profile))
+            if superaggregate_admission(expr):
+                # min-hash style: WHERE v <= Kth_smallest$(v, k) keeps the
+                # k smallest (hashed) keys — a keyed threshold sampler.
+                fact = fact.compose(
+                    SamplerProfile("superagg_threshold", "keyed", True),
+                    frozenset(),
+                )
+        return fact
+
+    def join(self, facts: List[SamplingFact]) -> SamplingFact:
+        result = facts[0]
+        for other in facts[1:]:
+            for family in other.families:
+                if family not in result.families:
+                    result = replace(
+                        result, families=result.families + (family,)
+                    )
+            scheme = other.scheme if result.scheme == "all" else (
+                result.scheme
+                if result.scheme == other.scheme or other.scheme == "all"
+                else "composite"
+            )
+            result = replace(
+                result,
+                scheme=scheme,
+                exchangeable=result.exchangeable and other.exchangeable,
+                condition_columns=result.condition_columns
+                | other.condition_columns,
+                corrections=result.corrections | other.corrections,
+            )
+        return result
+
+    # -- helpers -----------------------------------------------------------
+
+    def _condition_columns(
+        self, call: StatefulCall, profile: SamplerProfile
+    ) -> FrozenSet[str]:
+        """Source columns the sampler's inclusion decision conditions on.
+
+        Group-by variables appearing in conditioned arguments are
+        resolved to their defining source columns, so ``dsample(HXU)``
+        with ``HU(srcIP) AS HXU`` conditions on ``srcIP`` (and ``HXU``).
+        """
+        columns: set[str] = set()
+        for index in profile.condition_args:
+            if index >= len(call.args):
+                continue
+            for name in column_names(call.args[index]):
+                columns.add(name)
+                columns.update(self._group_defs.get(name, frozenset()))
+        return frozenset(columns)
+
+
+def admission_samplers(expr: Expr) -> List[Tuple[StatefulCall, SamplerProfile]]:
+    """Sampling SFUN calls in ``expr`` that make the admission decision."""
+    pairs: List[Tuple[StatefulCall, SamplerProfile]] = []
+    for node in find_nodes(expr, StatefulCall):
+        assert isinstance(node, StatefulCall)
+        profile = sampler_profile(node.name)
+        if profile is not None and profile.admits:
+            pairs.append((node, profile))
+    return pairs
+
+
+def superaggregate_admission(expr: Expr) -> bool:
+    """True when ``expr`` admits tuples through a superaggregate
+    threshold comparison (``HX <= Kth_smallest_value$(HX, 50)``)."""
+    for node in find_nodes(expr, BinaryOp):
+        assert isinstance(node, BinaryOp)
+        if node.op in ("<", "<=", ">", ">="):
+            if find_nodes(node.left, SuperAggregateCall) or find_nodes(
+                node.right, SuperAggregateCall
+            ):
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Plan annotation (exported facts)
+# ---------------------------------------------------------------------------
+
+
+def analyze_sampling(
+    plan: QueryPlan, graph: Optional[PlanGraph] = None
+) -> DataflowResult[SamplingFact]:
+    """Run the sampling dataflow over ``plan`` and export annotations.
+
+    Stores a JSON-friendly summary under ``plan.annotations["sampling"]``:
+    the per-edge facts plus, for every SELECT item containing a group
+    aggregate, whether its estimator is unbiased / correctable under the
+    upstream sampling design.  A later layer reads these to emit
+    confidence intervals next to sampled aggregates (ROADMAP item 5).
+    """
+    if graph is None:
+        graph = build_plan_graph(plan)
+    result = run_dataflow(graph, SamplingAnalysis(plan.analyzed))
+
+    select_node = graph.first_of_kind("select")
+    fact = (
+        result.fact_into(select_node.node_id)
+        if select_node is not None
+        else None
+    ) or SamplingFact()
+
+    estimators: List[Dict[str, Any]] = []
+    for index, item in enumerate(plan.analyzed.ast.select):
+        if item.expr is None:
+            continue
+        for agg in find_nodes(item.expr, AggregateCall):
+            assert isinstance(agg, AggregateCall)
+            linear = agg.name in LINEAR_AGGREGATES
+            corrected = _item_corrected(plan.analyzed, item.expr, fact)
+            estimators.append(
+                {
+                    "item": index,
+                    "aggregate": agg.name,
+                    "linear": linear,
+                    "scheme": fact.scheme,
+                    "unbiased": (not fact.sampled)
+                    or (linear and (fact.scheme == "uniform" or corrected)),
+                    "corrected": corrected,
+                }
+            )
+    plan.annotations["sampling"] = {
+        "edges": {
+            f"{src}->{dst}": edge_fact.to_json()
+            for (src, dst), edge_fact in sorted(result.edge_facts.items())
+        },
+        "estimators": estimators,
+    }
+    return result
+
+
+def _item_corrected(
+    analyzed: AnalyzedQuery, expr: Expr, fact: SamplingFact
+) -> bool:
+    """True when the SELECT list exports a correction for ``fact``'s
+    sampling design (the correction may live in any SELECT item — the
+    distinct-sampling pattern exports ``dslevel()`` as its own column)."""
+    if not fact.corrections:
+        return False
+    for item in analyzed.ast.select:
+        if item.expr is None:
+            continue
+        for call in find_nodes(item.expr, StatefulCall):
+            assert isinstance(call, StatefulCall)
+            if call.name in fact.corrections:
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+def check_sampling(
+    analyzed: AnalyzedQuery,
+    plan: QueryPlan,
+    registries: Registries,
+    collector: DiagnosticCollector,
+) -> None:
+    """Run the SA2xx sampling-soundness rules over a compiled plan."""
+    graph = build_plan_graph(plan)
+    result = analyze_sampling(plan, graph)
+
+    select_node = graph.first_of_kind("select")
+    fact = (
+        result.fact_into(select_node.node_id)
+        if select_node is not None
+        else None
+    ) or SamplingFact()
+
+    _check_nonlinear_aggregates(analyzed, fact, collector)
+    _check_uncorrected_linear(analyzed, fact, collector)
+    _check_chained_samplers(analyzed, fact, collector)
+    _check_conditioned_grouping(analyzed, fact, collector)
+
+
+def _check_nonlinear_aggregates(
+    analyzed: AnalyzedQuery, fact: SamplingFact, collector: DiagnosticCollector
+) -> None:
+    if not fact.sampled:
+        return
+    for item in analyzed.ast.select:
+        if item.expr is None:
+            continue
+        for agg in find_nodes(item.expr, AggregateCall):
+            assert isinstance(agg, AggregateCall)
+            if agg.name not in NONLINEAR_AGGREGATES:
+                continue
+            collector.warning(
+                "SA201",
+                f"non-linear aggregate {agg.name}() is computed over a"
+                f" {fact.scheme} sample (WHERE samples via"
+                f" {', '.join(fact.families)}); its plain value is a biased"
+                " estimator of the full-stream value",
+                agg.span,
+                hint="only linear aggregates (sum, count) compose with"
+                " sampling; use a dedicated estimator or drop the sampler",
+            )
+
+
+def _check_uncorrected_linear(
+    analyzed: AnalyzedQuery, fact: SamplingFact, collector: DiagnosticCollector
+) -> None:
+    if fact.scheme not in ("weighted", "keyed", "composite"):
+        return
+    for item in analyzed.ast.select:
+        if item.expr is None:
+            continue
+        for agg in find_nodes(item.expr, AggregateCall):
+            assert isinstance(agg, AggregateCall)
+            if agg.name not in LINEAR_AGGREGATES:
+                continue
+            if _item_corrected(analyzed, item.expr, fact):
+                continue
+            available = sorted(fact.corrections)
+            hint = (
+                f"export the pack's correction ({', '.join(available)}) in"
+                " the SELECT list (compare examples/queries/subset_sum.gsql)"
+                if available
+                else "this sampler exports no correction function; use a"
+                " pack that does (e.g. ssample/ssthreshold) or a uniform"
+                " sampler"
+            )
+            collector.warning(
+                "SA202",
+                f"{agg.name}() is computed under {fact.scheme} sampling"
+                f" ({', '.join(fact.families)}) but the SELECT list exports"
+                " no inclusion-probability correction: the estimate cannot"
+                " be Horvitz-Thompson-corrected downstream",
+                agg.span,
+                hint=hint,
+            )
+
+
+def _check_chained_samplers(
+    analyzed: AnalyzedQuery, fact: SamplingFact, collector: DiagnosticCollector
+) -> None:
+    if fact.exchangeable or len(fact.families) < 2:
+        return
+    where = analyzed.ast.where
+    span = None
+    if where is not None:
+        calls = [
+            node
+            for node, profile in admission_samplers(where)
+        ]
+        if len(calls) >= 2:
+            span = calls[1].span
+    collector.warning(
+        "SA203",
+        "the admission predicate chains samplers from different families"
+        f" ({', '.join(fact.families)}); the composed inclusion"
+        " probabilities are unknown and exchangeability is broken, so no"
+        " downstream estimate is unbiased",
+        span or analyzed.ast.clause_span("WHERE"),
+        hint="sample once per query; derive secondary samples in a"
+        " downstream query reading this one's output",
+    )
+
+
+def _check_conditioned_grouping(
+    analyzed: AnalyzedQuery, fact: SamplingFact, collector: DiagnosticCollector
+) -> None:
+    if not fact.sampled or fact.scheme == "keyed":
+        return  # keyed schemes condition on the group key by design
+    if not fact.condition_columns:
+        return
+    for item in analyzed.group_by:
+        if item.name in analyzed.ordered_names:
+            continue  # window variables partition time, not the population
+        if not isinstance(item.expr, ColumnRef):
+            continue
+        if item.expr.name in fact.condition_columns:
+            collector.warning(
+                "SA204",
+                f"GROUP BY variable {item.name!r} is a column the"
+                f" {'/'.join(fact.families)} sampler conditions on"
+                " (inclusion probability is a function of"
+                f" {item.expr.name!r}): group membership and inclusion are"
+                " dependent, so per-group estimates are biased toward"
+                " high-inclusion keys",
+                item.expr.span,
+                hint="group on a column independent of the sampler's"
+                " measure, or switch to a keyed sampler (distinct"
+                " sampling) designed to condition on its group key",
+            )

@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 import inspect
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, FrozenSet, Optional, Sequence, Tuple
 
 from repro.dsms.functions import FunctionRegistry
 from repro.dsms.stateful import StatefulLibrary
@@ -235,3 +235,90 @@ def stateful_signature(library: StatefulLibrary, name: str) -> Signature:
         return _UNCHECKED
     fn = library.callable_of(name)
     return Signature(_callable_arity(fn, skip_first=True), _callable_return(fn))
+
+
+# ---------------------------------------------------------------------------
+# Sampling profiles (used by repro.analysis.sampling_algebra, rules SA2xx)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SamplerProfile:
+    """Statistical profile of one sampling SFUN family.
+
+    The sampling-algebra pass (GUS formalism of Nirkhiwale–Dobra–Jermaine)
+    propagates these through the plan:
+
+    ``family``
+        The sampler family; chaining two *different* families in one
+        admission predicate breaks exchangeability (rule SA203).
+    ``scheme``
+        How inclusion probabilities behave:
+
+        * ``"uniform"`` — every tuple has the same inclusion probability
+          (reservoir); linear estimators scale by a single known factor.
+        * ``"weighted"`` — inclusion probability depends on a tuple
+          *measure* (subset-sum priority sampling); unbiased linear
+          estimates need the Horvitz–Thompson correction the pack
+          exports (``corrections``).
+        * ``"keyed"`` — inclusion is a function of a (hashed) key column
+          (distinct sampling, min-hash); per-key membership is
+          all-or-nothing, so keyed grouping stays sound while
+          cross-key totals need the exported level/threshold.
+    ``admits``
+        True when calling the SFUN *is* the admission decision (WHERE
+        samplers); False for read-only companions (``ssthreshold``,
+        ``dslevel``) that report state without sampling.
+    ``condition_args``
+        Indices of call arguments whose value the inclusion decision
+        conditions on (``ssample(len, n)`` conditions on arg 0).  Rule
+        SA204 flags grouping on a conditioned column under a non-keyed
+        scheme.
+    ``corrections``
+        Names of companion functions that export the estimator
+        correction (threshold / sampling level); a SELECT list carrying
+        one of these is considered Horvitz–Thompson-corrected (SA202).
+    """
+
+    family: str
+    scheme: str  # "uniform" | "weighted" | "keyed"
+    admits: bool = True
+    condition_args: Tuple[int, ...] = ()
+    corrections: FrozenSet[str] = frozenset()
+
+
+#: Profiles for the SFUN packs this repository ships (paper §6.6).  An
+#: SFUN missing from this table is treated as non-sampling: user packs
+#: opt in by registering a profile with :func:`register_sampler_profile`.
+SAMPLER_PROFILES: Dict[str, SamplerProfile] = {
+    # Dynamic subset-sum sampling (paper §6.1): P[admit] ∝ measure/z.
+    "ssample": SamplerProfile(
+        "subset_sum", "weighted", True, (0,), frozenset({"ssthreshold"})
+    ),
+    "ssthreshold": SamplerProfile(
+        "subset_sum", "weighted", False, (), frozenset({"ssthreshold"})
+    ),
+    # Fixed-threshold subset-sum (basic): same weighting, no exported
+    # threshold reader — estimates cannot be corrected downstream.
+    "ssbasic": SamplerProfile("subset_sum_basic", "weighted", True, (0,)),
+    # Reservoir sampling: uniform over the window's tuples.
+    "rsample": SamplerProfile("reservoir", "uniform", True, ()),
+    # Distinct sampling (Gibbons): inclusion keyed on the unit hash of
+    # the group key; ``dslevel`` exports the scaling level.
+    "dsample": SamplerProfile(
+        "distinct", "keyed", True, (0,), frozenset({"dslevel"})
+    ),
+    "dslevel": SamplerProfile(
+        "distinct", "keyed", False, (), frozenset({"dslevel"})
+    ),
+}
+
+
+def register_sampler_profile(name: str, profile: SamplerProfile) -> None:
+    """Register the sampling profile of a user SFUN (idempotent update)."""
+    SAMPLER_PROFILES[name] = profile
+
+
+def sampler_profile(name: str) -> Optional[SamplerProfile]:
+    """The sampling profile of an SFUN, or None when it is not a sampler."""
+    return SAMPLER_PROFILES.get(name)

@@ -26,15 +26,22 @@ Subcommands (also reachable as ``python -m repro.cli``):
 
 * ``explain`` — compile a query and print its plan without running it.
 
-* ``lint`` — statically analyze a query without running it::
+* ``lint`` — statically analyze queries without running them::
 
       python -m repro.cli lint examples/queries/subset_sum.gsql
       python -m repro.cli lint --sql "SELECT srcIP FROM TCP GROUP BY srcIP"
+      python -m repro.cli lint --target shards=4,durable examples/queries/*.gsql
+      python -m repro.cli lint --format sarif --output lint.sarif examples/queries/*.gsql
 
   Prints every diagnostic with source carets; exits 1 on errors (or, with
-  ``--strict``, on any diagnostic).  ``query`` also lints before running
-  and prints warnings to stderr; disable with ``--no-lint`` or escalate
-  with ``--strict``.
+  ``--strict``, on any diagnostic).  ``--target shards=4,durable,...``
+  additionally runs the SA3xx execution-safety rules, reporting at
+  compile time every deployment the sharded/durable runtimes would
+  refuse.  ``--format json|sarif`` emits a machine-readable report
+  (SARIF 2.1.0 uploads straight to GitHub code scanning); ``--output``
+  writes it to a file while the human summary stays on stderr.
+  ``query`` also lints before running and prints warnings to stderr;
+  disable with ``--no-lint`` or escalate with ``--strict``.
 """
 
 from __future__ import annotations
@@ -49,7 +56,7 @@ from repro.dsms.parser import compile_query
 from repro.dsms.resilience import SupervisionPolicy
 from repro.dsms.runtime import Gigascope
 from repro.dsms.sharded import ShardedGigascope
-from repro.errors import ExecutionError, SourceError
+from repro.errors import ExecutionError, PlanningError, SourceError
 from repro.obs import TraceSink, write_metrics, write_trace
 from repro.streams.persistence import load_trace, save_trace
 from repro.streams.schema import TCP_SCHEMA
@@ -245,7 +252,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(result.render(), file=sys.stderr)
         if result.errors or (args.strict and result.diagnostics):
             return 1
-    handle = gs.add_query(sql, name="cli")
+    try:
+        handle = gs.add_query(sql, name="cli")
+    except PlanningError as exc:
+        print(f"cannot run this query under --shards: {exc}", file=sys.stderr)
+        print(
+            "-- `repro lint --target shards=N[,durable,...]` reports this"
+            " statically (rules SA301/SA302)",
+            file=sys.stderr,
+        )
+        return 2
     if args.journal is not None:
         try:
             runner = DurableRunner(gs, args.journal)
@@ -326,32 +342,61 @@ def _print_run_report(gs, force: bool = False) -> None:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    if args.file is None and args.sql is None:
-        print("lint needs a query file or --sql", file=sys.stderr)
+    from repro.analysis.execsafety import parse_target
+    from repro.analysis.linter import lint_query
+    from repro.analysis.sarif import render_report
+
+    if not args.files and args.sql is None:
+        print("lint needs one or more query files or --sql", file=sys.stderr)
         return 2
-    if args.file is not None and args.sql is not None:
-        print("lint takes a query file or --sql, not both", file=sys.stderr)
+    if args.files and args.sql is not None:
+        print("lint takes query files or --sql, not both", file=sys.stderr)
         return 2
-    if args.file is not None:
+    target = None
+    if args.target is not None:
         try:
-            with open(args.file, "r", encoding="utf-8") as fh:
-                source = fh.read()
-        except OSError as exc:
-            print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+            target = parse_target(args.target)
+        except ValueError as exc:
+            print(f"bad --target: {exc}", file=sys.stderr)
             return 2
-        filename = args.file
+
+    sources: List[tuple] = []
+    if args.sql is not None:
+        sources.append(("<sql>", args.sql))
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                sources.append((path, fh.read()))
+        except OSError as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+
+    registries = _standard_instance(args.relax_factor).registries
+    results = [
+        lint_query(text, registries, filename=filename, target=target)
+        for filename, text in sources
+    ]
+
+    if args.format == "text":
+        for result in results:
+            if result.diagnostics:
+                print(result.render())
+            else:
+                print(f"{result.filename}: ok")
     else:
-        source = args.sql
-        filename = "<sql>"
-    gs = _standard_instance(args.relax_factor)
-    result = gs.lint(source, name=filename)
-    if result.diagnostics:
-        print(result.render())
-        errors, warnings = len(result.errors), len(result.warnings)
+        report = render_report(results, args.format)
+        if args.output is not None:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(report + "\n")
+            print(f"-- wrote {args.format} report to {args.output}", file=sys.stderr)
+        else:
+            print(report)
+
+    errors = sum(len(r.errors) for r in results)
+    warnings = sum(len(r.warnings) for r in results)
+    if errors or warnings:
         print(f"-- {errors} error(s), {warnings} warning(s)", file=sys.stderr)
-    else:
-        print(f"{filename}: ok")
-    if result.errors or (args.strict and result.diagnostics):
+    if errors or (args.strict and any(r.diagnostics for r in results)):
         return 1
     return 0
 
@@ -496,14 +541,37 @@ def build_parser() -> argparse.ArgumentParser:
     query.set_defaults(fn=_cmd_query)
 
     lint_cmd = sub.add_parser(
-        "lint", help="statically analyze a query without running it"
+        "lint", help="statically analyze queries without running them"
     )
-    lint_cmd.add_argument("file", nargs="?", help="path to a .gsql query file")
-    lint_cmd.add_argument("--sql", help="lint this query text instead of a file")
+    lint_cmd.add_argument(
+        "files", nargs="*", help="paths to .gsql query files (one result each)"
+    )
+    lint_cmd.add_argument("--sql", help="lint this query text instead of files")
     lint_cmd.add_argument(
         "--strict", action="store_true", help="exit 1 on warnings too"
     )
     lint_cmd.add_argument("--relax-factor", type=float, default=10.0)
+    lint_cmd.add_argument(
+        "--target",
+        default=None,
+        metavar="SPEC",
+        help="deployment configuration for the SA3xx execution-safety"
+        " rules, e.g. 'shards=4,durable,supervise' (flags: durable,"
+        " supervise, processes; keyed: shards=N, shed=N)",
+    )
+    lint_cmd.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="diagnostic output format (default: text with source carets)",
+    )
+    lint_cmd.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="with --format json|sarif, write the report to PATH instead"
+        " of stdout",
+    )
     lint_cmd.set_defaults(fn=_cmd_lint)
 
     explain_cmd = sub.add_parser("explain", help="compile and explain a query")

@@ -211,6 +211,29 @@ class DurableRunner:
                 " depends on wall-clock queue depths, so a resumed run"
                 " could shed differently and silently diverge"
             )
+        bad_states = self._non_checkpointable_states()
+        if bad_states:
+            raise ExecutionError(
+                "durable resume needs checkpointable operator state, but"
+                f" SFUN state(s) {bad_states} declare checkpointable=False;"
+                " run without durable resume or make the state snapshottable"
+            )
+
+    def _non_checkpointable_states(self) -> List[str]:
+        """SFUN states of registered queries that opt out of checkpoints.
+
+        Static introspection: reads each operator's ``required_states``
+        capability record against the instance's stateful library, so an
+        unsafe deployment is refused at construction — the same verdict
+        ``repro lint --target durable`` reports as rule SA305.
+        """
+        library = self.instance.registries.stateful
+        bad: List[str] = []
+        for handle in self.instance.query_handles():
+            for state in getattr(handle.operator, "required_states", ()):
+                if state not in bad and not library.checkpointable(state):
+                    bad.append(state)
+        return sorted(bad)
 
     # -- public API --------------------------------------------------------
 

@@ -14,7 +14,7 @@ checkpoint instead of replaying the whole stream.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List
+from typing import Any, Iterable, Iterator, List, Tuple
 
 from repro.errors import ExecutionError
 from repro.obs.metrics import MetricsRegistry
@@ -31,6 +31,21 @@ class Operator:
 
     #: value of the ``operator`` label on this operator's metric series
     kind_label = "operator"
+
+    # -- static capabilities ----------------------------------------------
+    #
+    # Introspectable without running the operator: the durable runner and
+    # the execution-safety analyzer (rules SA3xx) read these to decide up
+    # front whether a deployment is safe, instead of finding out mid-run.
+
+    #: Whether :meth:`checkpoint`/:meth:`restore` capture *all* mutable
+    #: state (every shipped operator does; an operator holding state it
+    #: cannot snapshot overrides this to False).
+    supports_checkpoint: bool = True
+
+    #: SFUN state names this operator's plan requires (set by the
+    #: factory from the analyzed query; empty for stateless plans).
+    required_states: Tuple[str, ...] = ()
 
     # -- observability -----------------------------------------------------
     #

@@ -11,6 +11,25 @@ from repro.dsms.parser.planner import QueryPlan
 from repro.core.sampling_operator import SamplingOperator
 
 
+#: Static plan-kind -> operator-class mapping, introspectable without
+#: building anything (the execution-safety analyzer reads capability
+#: attributes like ``supports_checkpoint`` off the class).
+OPERATOR_CLASSES = {
+    "selection": SelectionOperator,
+    "stateful_selection": StatefulSelectionOperator,
+    "aggregation": AggregationOperator,
+    "sampling": SamplingOperator,
+}
+
+
+def operator_class(kind: str) -> type:
+    """The operator class a plan of ``kind`` would instantiate."""
+    try:
+        return OPERATOR_CLASSES[kind]
+    except KeyError:
+        raise PlanningError(f"unknown plan kind {kind!r}") from None
+
+
 def build_operator(
     plan: QueryPlan,
     cost_model: CostModel = NULL_COST_MODEL,
@@ -18,12 +37,13 @@ def build_operator(
 ) -> Operator:
     """Instantiate the executable operator for a planned query."""
     registries = plan.registries
+    operator: Operator
     if plan.kind == "selection":
-        return SelectionOperator(
+        operator = SelectionOperator(
             plan.analyzed, plan.output_schema, registries.scalars, cost_model, account
         )
-    if plan.kind == "stateful_selection":
-        return StatefulSelectionOperator(
+    elif plan.kind == "stateful_selection":
+        operator = StatefulSelectionOperator(
             plan.analyzed,
             plan.output_schema,
             registries.scalars,
@@ -31,8 +51,8 @@ def build_operator(
             cost_model,
             account,
         )
-    if plan.kind == "aggregation":
-        return AggregationOperator(
+    elif plan.kind == "aggregation":
+        operator = AggregationOperator(
             plan.analyzed,
             plan.output_schema,
             registries.scalars,
@@ -40,9 +60,9 @@ def build_operator(
             cost_model,
             account,
         )
-    if plan.kind == "sampling":
+    elif plan.kind == "sampling":
         assert plan.sampling is not None
-        return SamplingOperator(
+        operator = SamplingOperator(
             plan.sampling,
             registries.scalars,
             registries.stateful,
@@ -51,4 +71,9 @@ def build_operator(
             cost_model=cost_model,
             account=account,
         )
-    raise PlanningError(f"unknown plan kind {plan.kind!r}")
+    else:
+        raise PlanningError(f"unknown plan kind {plan.kind!r}")
+    # Instance-level capability record: which SFUN states this plan needs
+    # (the durable runner checks them against the library up front).
+    operator.required_states = tuple(plan.analyzed.state_names)
+    return operator

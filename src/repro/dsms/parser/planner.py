@@ -15,8 +15,8 @@ The planner's jobs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import PlanningError
 from repro.dsms.expr import (
@@ -71,13 +71,21 @@ class SamplingSpec:
 
 @dataclass
 class QueryPlan:
-    """A planned query, ready for operator construction."""
+    """A planned query, ready for operator construction.
+
+    ``annotations`` carries analysis results attached after planning —
+    the sampling-soundness pass stores its per-edge facts and estimator
+    verdicts under ``"sampling"`` (see
+    :func:`repro.analysis.sampling_algebra.analyze_sampling`) so later
+    layers can read them without re-running the analysis.
+    """
 
     kind: str  # "sampling" | "aggregation" | "selection" | "stateful_selection"
     analyzed: AnalyzedQuery
     sampling: Optional[SamplingSpec]
     output_schema: StreamSchema
     registries: Registries
+    annotations: Dict[str, Any] = field(default_factory=dict)
 
 
 _OUTPUT_NAME_FALLBACK = "col{index}"
@@ -327,6 +335,7 @@ def compile_query(
     registries: Registries,
     query_name: str = "Q",
     strict: bool = False,
+    annotate: bool = False,
 ) -> QueryPlan:
     """Parse, analyze and plan a query text in one call.
 
@@ -334,6 +343,10 @@ def compile_query(
     a query with *any* diagnostic — lint warnings included — so sampling
     mistakes (unbounded group tables, constant CLEANING predicates, ...)
     fail at submission instead of silently running wrong.
+
+    ``annotate`` additionally runs the sampling-soundness dataflow pass
+    and stores its facts on ``plan.annotations["sampling"]`` (imported
+    lazily so the base compile path has no analysis dependency).
     """
     if strict:
         from repro.analysis.linter import lint_query
@@ -349,4 +362,9 @@ def compile_query(
     ast = parse_query(text)
     analyzed = analyze(ast, registries)
     assert analyzed is not None  # raise mode always returns or raises
-    return plan(analyzed, registries, query_name=query_name)
+    planned = plan(analyzed, registries, query_name=query_name)
+    if annotate:
+        from repro.analysis.sampling_algebra import analyze_sampling
+
+        analyze_sampling(planned)
+    return planned

@@ -350,6 +350,10 @@ class Gigascope:
         except KeyError:
             raise ExecutionError(f"unknown query {name!r}") from None
 
+    def query_handles(self) -> List[QueryHandle]:
+        """Every registered query handle, in registration (topo) order."""
+        return [self._queries[name] for name in self._order]
+
     # -- execution ----------------------------------------------------------------
 
     def run(self, records: Iterable[Record], batch_size: int = 4096) -> int:

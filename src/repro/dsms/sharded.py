@@ -418,6 +418,13 @@ class ShardedGigascope:
         except KeyError:
             raise ExecutionError(f"unknown query {name!r}") from None
 
+    def query_handles(self) -> List[QueryHandle]:
+        """Shard 0's query handles, in registration order (all shards run
+        identical DAGs, so one shard's capability records speak for all)."""
+        return [
+            self._handles[name].shard_handles[0] for name in self._order
+        ]
+
     def results(self, name: str) -> List[Record]:
         return self.query(name).results
 

@@ -26,7 +26,7 @@ planner then knows which states each supergroup must allocate.
 from __future__ import annotations
 
 import copy
-from typing import Any, Callable, Dict, List, Optional, Sequence, Type
+from typing import Any, Callable, ClassVar, Dict, List, Optional, Sequence, Type
 
 from repro.errors import RegistryError, StatefulFunctionError
 
@@ -39,6 +39,13 @@ class StatefulState:
     of a window (paper §6.4 calls ``final_init()`` on every state at the
     window border, before HAVING runs).
     """
+
+    #: Whether instances can be snapshotted by :meth:`checkpoint` and
+    #: rebuilt by :meth:`restore`.  A state holding unsnapshottable
+    #: resources (live sockets, ffi handles, external cursors) sets this
+    #: to False; the durable runner then refuses the query up front, and
+    #: the static analyzer reports the same refusal at lint time (SA305).
+    checkpointable: ClassVar[bool] = True
 
     @classmethod
     def initial(cls, old: Optional["StatefulState"]) -> "StatefulState":
@@ -143,6 +150,16 @@ class StatefulLibrary:
             return self._callables[fn_name]
         except KeyError:
             raise RegistryError(f"unknown stateful function {fn_name!r}") from None
+
+    def checkpointable(self, state_name: str) -> bool:
+        """Static capability check: can this state ride a checkpoint?
+
+        Reads the state class's :attr:`StatefulState.checkpointable`
+        declaration without instantiating anything — the analyzer
+        (rule SA305) and :class:`~repro.dsms.durability.DurableRunner`
+        both decide from this before any tuple flows.
+        """
+        return bool(getattr(self.state_class(state_name), "checkpointable", True))
 
     def state_names(self) -> List[str]:
         return sorted(self._states)

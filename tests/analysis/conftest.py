@@ -1,0 +1,14 @@
+"""Shared fixtures for the plan-dataflow analysis tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.linter import default_lint_registries
+from repro.dsms.parser.analyzer import Registries
+
+
+@pytest.fixture(scope="module")
+def registries() -> Registries:
+    """The stock lint registries (streams, builtins, every SFUN pack)."""
+    return default_lint_registries()

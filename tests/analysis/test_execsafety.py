@@ -1,0 +1,313 @@
+"""The SA3xx execution-safety rules (``repro.analysis.execsafety``).
+
+The family's contract is a **one-to-one mapping** with the runtime
+refusal sites: ``repro lint --target <spec>`` must report an SA3xx error
+exactly when deploying the query under ``<spec>`` makes
+``ShardedGigascope.add_query`` or ``DurableRunner.__init__`` raise.
+These tests pin both directions over the whole shipped example corpus
+plus targeted single-rule cases.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.execsafety import ExecTarget, parse_target
+from repro.analysis.linter import default_lint_registries, lint_source
+from repro.dsms.durability import DurableRunner
+from repro.dsms.runtime import Gigascope
+from repro.dsms.sharded import ShardedGigascope
+from repro.dsms.stateful import StatefulLibrary, StatefulState
+from repro.errors import ExecutionError, PlanningError
+from repro.streams.schema import TCP_SCHEMA
+from repro.algorithms.bindings import (
+    basic_subset_sum_library,
+    distinct_sampling_library,
+    heavy_hitters_library,
+    reservoir_library,
+    subset_sum_library,
+)
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples/queries").glob("*.gsql")
+)
+
+
+def rules_of(result):
+    return {d.rule for d in result.diagnostics}
+
+
+def make_runtime(shards=0, supervise=False, shed_threshold=None):
+    """A fully-loaded runtime mirroring the lint registries."""
+    if shards > 0:
+        gs = ShardedGigascope(
+            shards=shards, supervise=supervise, shed_threshold=shed_threshold
+        )
+    else:
+        gs = Gigascope(shed_threshold=shed_threshold)
+    gs.register_stream(TCP_SCHEMA)
+    for pack in (
+        subset_sum_library(),
+        basic_subset_sum_library(),
+        reservoir_library(),
+        heavy_hitters_library(),
+        distinct_sampling_library(),
+    ):
+        gs.use_stateful_library(pack)
+    return gs
+
+
+class TestParseTarget:
+    def test_full_spec(self):
+        target = parse_target("shards=4,processes,supervise,durable,shed=100")
+        assert target == ExecTarget(
+            shards=4,
+            processes=True,
+            supervise=True,
+            durable=True,
+            shed_threshold=100,
+        )
+
+    def test_empty_means_serial(self):
+        target = parse_target("")
+        assert target == ExecTarget()
+        assert not target.sharded
+        assert target.describe() == "serial"
+
+    def test_describe_round_trips(self):
+        spec = "shards=4,supervise,durable"
+        assert parse_target(spec).describe() == spec
+
+    @pytest.mark.parametrize(
+        "spec, message",
+        [
+            ("shards=zero", "integer"),
+            ("shards=0", ">= 1"),
+            ("durable=1", "takes no value"),
+            ("bogus", "unknown target item"),
+            ("shed", "integer"),
+        ],
+    )
+    def test_rejects_bad_specs(self, spec, message):
+        with pytest.raises(ValueError, match=message):
+            parse_target(spec)
+
+    def test_whitespace_tolerated(self):
+        assert parse_target(" shards = 2 , durable ") == ExecTarget(
+            shards=2, durable=True
+        )
+
+
+class TestGating:
+    def test_no_target_no_sa3xx(self, registries):
+        # unsound_unshardable is the worst case: serial lint stays clean.
+        text = (EXAMPLES[0].parent / "unsound_unshardable.gsql").read_text()
+        result = lint_source(text, registries)
+        assert result.clean, result.render()
+
+    def test_all_sa3xx_are_errors(self, registries):
+        text = (EXAMPLES[0].parent / "unsound_unshardable.gsql").read_text()
+        result = lint_source(
+            text, registries, target=parse_target("shards=4,durable")
+        )
+        assert rules_of(result) == {"SA301", "SA302", "SA304"}
+        assert all(d.is_error for d in result.diagnostics)
+
+
+class TestSingleRules:
+    def test_sa301_no_ordered_output(self, registries):
+        result = lint_source(
+            "SELECT srcIP, destIP FROM TCP WHERE len > 100\n"
+            "-- lint: disable=SA102",
+            registries,
+            target=parse_target("shards=2"),
+        )
+        assert "SA301" in rules_of(result), result.render()
+
+    def test_sa301_silenced_by_ordered_column(self, registries):
+        result = lint_source(
+            "SELECT time, srcIP FROM TCP WHERE len > 100\n"
+            "-- lint: disable=SA102",
+            registries,
+            target=parse_target("shards=2"),
+        )
+        assert "SA301" not in rules_of(result), result.render()
+
+    def test_sa302_unpartitionable_state(self, registries):
+        result = lint_source(
+            "SELECT time, srcIP FROM TCP WHERE ssbasic(len, 25) = TRUE",
+            registries,
+            target=parse_target("shards=2"),
+        )
+        diags = [d for d in result.diagnostics if d.rule == "SA302"]
+        assert diags, result.render()
+        # Anchored on the SFUN call whose global state blocks sharding.
+        assert diags[0].span is not None and diags[0].span.line == 1
+
+    def test_sa303_durable_plus_shedding(self, registries):
+        result = lint_source(
+            "SELECT tb, sum(len) FROM TCP GROUP BY time/20 as tb",
+            registries,
+            target=parse_target("durable,shed=100"),
+        )
+        assert "SA303" in rules_of(result)
+
+    def test_sa304_durable_unsupervised_shards(self, registries):
+        result = lint_source(
+            "SELECT tb, srcIP, sum(len) FROM TCP GROUP BY time/20 as tb, srcIP",
+            registries,
+            target=parse_target("shards=4,durable"),
+        )
+        assert "SA304" in rules_of(result)
+
+    def test_sa304_supervision_silences_it(self, registries):
+        result = lint_source(
+            "SELECT tb, srcIP, sum(len) FROM TCP GROUP BY time/20 as tb, srcIP",
+            registries,
+            target=parse_target("shards=4,durable,supervise"),
+        )
+        assert "SA304" not in rules_of(result), result.render()
+
+    def test_pragma_applies_to_sa3xx(self, registries):
+        text = (EXAMPLES[0].parent / "unsound_unshardable.gsql").read_text()
+        result = lint_source(
+            "-- lint: disable=SA301,SA302,SA304\n" + text,
+            registries,
+            target=parse_target("shards=4,durable"),
+        )
+        assert result.clean, result.render()
+
+
+def flaky_library():
+    """A pack whose state opts out of checkpointing (SA305 fixture)."""
+    library = StatefulLibrary()
+
+    @library.state("flaky_state")
+    class FlakyState(StatefulState):
+        checkpointable = False  # models a live external resource
+
+    @library.sfun("flaky", state="flaky_state")
+    def flaky(state: FlakyState, measure: int) -> bool:
+        return True
+
+    return library
+
+
+FLAKY_QUERY = "SELECT time, srcIP FROM TCP WHERE flaky(len) = TRUE"
+
+
+class TestSA305:
+    def make_registries(self):
+        registries = default_lint_registries()
+        registries.stateful = registries.stateful.merge(flaky_library())
+        return registries
+
+    def test_non_checkpointable_state_under_durable(self):
+        result = lint_source(
+            FLAKY_QUERY, self.make_registries(), target=parse_target("durable")
+        )
+        diags = [d for d in result.diagnostics if d.rule == "SA305"]
+        assert diags, result.render()
+        assert "flaky_state" in diags[0].message
+
+    def test_checkpointable_states_are_fine(self, registries):
+        result = lint_source(
+            "SELECT time, srcIP FROM TCP WHERE rsample(100) = TRUE\n"
+            "GROUP BY time/20 as tb, srcIP, uts\n"
+            "HAVING rsfinal_clean() = TRUE\n"
+            "CLEANING WHEN rsdo_clean(count_distinct$(*)) = TRUE\n"
+            "CLEANING BY rsclean_with() = TRUE",
+            registries,
+            target=parse_target("durable"),
+        )
+        assert "SA305" not in rules_of(result), result.render()
+
+    def test_runtime_twin_refuses(self, tmp_path):
+        gs = Gigascope()
+        gs.register_stream(TCP_SCHEMA)
+        gs.use_stateful_library(flaky_library())
+        gs.add_query(FLAKY_QUERY, name="q")
+        with pytest.raises(ExecutionError, match="flaky_state"):
+            DurableRunner(gs, str(tmp_path / "journal.bin"))
+
+    def test_runtime_accepts_checkpointable_state(self, tmp_path):
+        gs = make_runtime()
+        gs.add_query(
+            "SELECT time, srcIP FROM TCP WHERE ssbasic(len, 25) = TRUE",
+            name="q",
+        )
+        runner = DurableRunner(gs, str(tmp_path / "journal.bin"))
+        assert runner is not None
+
+
+class TestOneToOneMapping:
+    """lint --target reports an error ⟺ the runtime refuses the deployment."""
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+    def test_sharding_verdict_matches_runtime(self, registries, path):
+        text = path.read_text()
+        result = lint_source(text, registries, target=parse_target("shards=4"))
+        lint_refuses = bool(
+            {"SA301", "SA302"} & {d.rule for d in result.errors}
+        )
+        gs = make_runtime(shards=4)
+        try:
+            gs.add_query(text, name="q")
+            runtime_refuses = False
+        except PlanningError:
+            runtime_refuses = True
+        assert lint_refuses == runtime_refuses, result.render()
+
+    @pytest.mark.parametrize(
+        "spec, shards, supervise, shed",
+        [
+            ("durable", 0, False, None),
+            ("durable,shed=100", 0, False, 100),
+            ("shards=4,durable", 4, False, None),
+            ("shards=4,durable,supervise", 4, True, None),
+        ],
+    )
+    def test_durability_verdict_matches_runtime(
+        self, registries, tmp_path, spec, shards, supervise, shed
+    ):
+        # top_talkers shards cleanly, so any refusal is durability's.
+        text = (EXAMPLES[0].parent / "top_talkers.gsql").read_text()
+        result = lint_source(text, registries, target=parse_target(spec))
+        lint_refuses = bool(
+            {"SA303", "SA304", "SA305"} & {d.rule for d in result.errors}
+        )
+        gs = make_runtime(shards=shards, supervise=supervise, shed_threshold=shed)
+        gs.add_query(text, name="q")
+        try:
+            DurableRunner(gs, str(tmp_path / "journal.bin"))
+            runtime_refuses = False
+        except ExecutionError:
+            runtime_refuses = True
+        assert lint_refuses == runtime_refuses, result.render()
+
+
+class TestAnnotations:
+    def test_execsafety_exported_without_target(self, registries):
+        result = lint_source(
+            "SELECT tb, srcIP, sum(len) FROM TCP GROUP BY time/20 as tb, srcIP",
+            registries,
+        )
+        facts = result.plan.annotations["execsafety"]
+        assert facts["target"] is None
+        assert facts["mergeable"] is True
+        assert facts["shardable"] is True
+        assert "srcIP" in facts["partition_candidates"]
+        assert facts["checkpointable"] is True
+
+    def test_states_and_verdicts_for_stateful_selection(self, registries):
+        result = lint_source(
+            "SELECT time, srcIP FROM TCP WHERE ssbasic(len, 25) = TRUE",
+            registries,
+            target=parse_target("durable"),
+        )
+        facts = result.plan.annotations["execsafety"]
+        assert facts["states"] and facts["partition_candidates"] == []
+        assert facts["shardable"] is False
+        assert facts["target"]["durable"] is True

@@ -1,0 +1,265 @@
+"""The SA2xx sampling-soundness rules (``repro.analysis.sampling_algebra``).
+
+Each rule gets a fire case and a don't-fire case; the fact lattice and
+the exported ``plan.annotations["sampling"]`` summary are covered
+directly.  The shipped example corpus (clean + deliberately-unsound) is
+pinned by ``tests/dsms/test_lint.py`` and the goldens.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.linter import lint_source
+from repro.analysis.sampling_algebra import SamplingFact
+from repro.analysis.signatures import SamplerProfile
+
+
+def rules_of(result):
+    return {d.rule for d in result.diagnostics}
+
+
+def sa2xx(result):
+    return {rule for rule in rules_of(result) if rule.startswith("SA2")}
+
+
+class TestSamplingFactLattice:
+    def test_unsampled_bottom(self):
+        fact = SamplingFact()
+        assert not fact.sampled
+        assert fact.scheme == "all" and fact.exchangeable
+
+    def test_single_sampler_keeps_its_scheme(self):
+        fact = SamplingFact().compose(
+            SamplerProfile("reservoir", "uniform", True), frozenset()
+        )
+        assert fact.sampled
+        assert fact.scheme == "uniform"
+        assert fact.exchangeable
+
+    def test_same_family_twice_stays_exchangeable(self):
+        profile = SamplerProfile("subset_sum", "weighted", True)
+        fact = SamplingFact().compose(profile, frozenset({"len"}))
+        fact = fact.compose(profile, frozenset())
+        assert fact.families == ("subset_sum",)
+        assert fact.exchangeable
+        assert fact.condition_columns == frozenset({"len"})
+
+    def test_mixed_families_go_composite(self):
+        fact = SamplingFact().compose(
+            SamplerProfile("reservoir", "uniform", True), frozenset()
+        )
+        fact = fact.compose(
+            SamplerProfile("subset_sum", "weighted", True), frozenset({"len"})
+        )
+        assert fact.scheme == "composite"
+        assert not fact.exchangeable
+        assert fact.families == ("reservoir", "subset_sum")
+
+    def test_corrections_accumulate(self):
+        fact = SamplingFact().compose(
+            SamplerProfile(
+                "subset_sum",
+                "weighted",
+                True,
+                corrections=frozenset({"ssthreshold"}),
+            ),
+            frozenset(),
+        )
+        assert fact.corrections == frozenset({"ssthreshold"})
+
+
+class TestSA201:
+    def test_nonlinear_aggregate_under_uniform_sampler(self, registries):
+        result = lint_source(
+            "SELECT tb, avg(len)\n"
+            "FROM TCP\n"
+            "WHERE rsample(100) = TRUE\n"
+            "GROUP BY time/20 as tb, srcIP",
+            registries,
+        )
+        diags = [d for d in result.diagnostics if d.rule == "SA201"]
+        assert diags, result.render()
+        # The caret lands on the aggregate call itself.
+        assert (diags[0].span.line, diags[0].span.col) == (1, 12)
+
+    def test_unsampled_aggregate_is_fine(self, registries):
+        result = lint_source(
+            "SELECT tb, avg(len) FROM TCP GROUP BY time/20 as tb", registries
+        )
+        assert "SA201" not in rules_of(result)
+
+    def test_linear_aggregate_under_uniform_is_fine(self, registries):
+        result = lint_source(
+            "SELECT tb, sum(len)\n"
+            "FROM TCP\n"
+            "WHERE rsample(100) = TRUE\n"
+            "GROUP BY time/20 as tb, srcIP",
+            registries,
+        )
+        assert sa2xx(result) == set(), result.render()
+
+
+class TestSA202:
+    UNCORRECTED = (
+        "SELECT tb, sum(len)\n"
+        "FROM TCP\n"
+        "WHERE ssample(len, 500) = TRUE\n"
+        "GROUP BY time/20 as tb, srcIP"
+    )
+
+    def test_weighted_sum_without_correction(self, registries):
+        result = lint_source(self.UNCORRECTED, registries)
+        assert "SA202" in rules_of(result), result.render()
+
+    def test_exported_correction_silences_it(self, registries):
+        corrected = self.UNCORRECTED.replace(
+            "sum(len)", "UMAX(sum(len), ssthreshold())"
+        )
+        result = lint_source(corrected, registries)
+        assert "SA202" not in rules_of(result), result.render()
+
+    def test_uniform_scheme_never_fires(self, registries):
+        result = lint_source(
+            "SELECT tb, count(*)\n"
+            "FROM TCP\n"
+            "WHERE rsample(100) = TRUE\n"
+            "GROUP BY time/20 as tb, srcIP",
+            registries,
+        )
+        assert "SA202" not in rules_of(result)
+
+
+class TestSA203:
+    def test_chained_families(self, registries):
+        result = lint_source(
+            "SELECT tb, srcIP\n"
+            "FROM TCP\n"
+            "WHERE rsample(100) = TRUE AND ssample(len, 500) = TRUE\n"
+            "GROUP BY time/20 as tb, srcIP, uts",
+            registries,
+        )
+        diags = [d for d in result.diagnostics if d.rule == "SA203"]
+        assert diags, result.render()
+        # Anchored on the second admission sampler in the WHERE clause.
+        assert diags[0].span.line == 3
+        assert diags[0].span.col > len("WHERE rsample(100) = TRUE AND ")
+
+    def test_single_family_repeated_is_fine(self, registries):
+        result = lint_source(
+            "SELECT tb, srcIP\n"
+            "FROM TCP\n"
+            "WHERE ssample(len, 500) = TRUE\n"
+            "GROUP BY time/20 as tb, srcIP, uts",
+            registries,
+        )
+        assert "SA203" not in rules_of(result)
+
+
+class TestSA204:
+    def test_grouping_on_conditioned_column(self, registries):
+        result = lint_source(
+            "SELECT tb, len, count(*)\n"
+            "FROM TCP\n"
+            "WHERE ssample(len, 500) = TRUE\n"
+            "GROUP BY time/20 as tb, len",
+            registries,
+        )
+        diags = [d for d in result.diagnostics if d.rule == "SA204"]
+        assert diags, result.render()
+        assert diags[0].span.line == 4  # the GROUP BY column reference
+
+    def test_independent_group_key_is_fine(self, registries):
+        result = lint_source(
+            "SELECT tb, srcIP, count(*)\n"
+            "FROM TCP\n"
+            "WHERE ssample(len, 500) = TRUE\n"
+            "GROUP BY time/20 as tb, srcIP",
+            registries,
+        )
+        assert "SA204" not in rules_of(result)
+
+    def test_keyed_scheme_exempt(self, registries):
+        # Distinct sampling *must* condition on its hashed group key —
+        # the shipped example groups by the key it samples on and is clean.
+        from pathlib import Path
+
+        text = (
+            Path(__file__).resolve().parents[2]
+            / "examples/queries/distinct_sample.gsql"
+        ).read_text()
+        result = lint_source(text, registries)
+        assert "SA204" not in rules_of(result), result.render()
+
+    def test_window_variables_exempt(self, registries):
+        # tb is ordered (time-derived): it partitions time, not the
+        # population, so conditioning on time never fires SA204.
+        result = lint_source(
+            "SELECT tb, count(*)\n"
+            "FROM TCP\n"
+            "WHERE ssample(len, 500) = TRUE\n"
+            "GROUP BY time/20 as tb, srcIP",
+            registries,
+        )
+        assert "SA204" not in rules_of(result)
+
+
+class TestPragmaOnDataflowRules:
+    def test_sa2xx_suppressed_by_pragma(self, registries):
+        result = lint_source(
+            "-- lint: disable=SA201,SA202,SA203,SA204\n"
+            "SELECT tb, len, avg(len), sum(len)\n"
+            "FROM TCP\n"
+            "WHERE rsample(100) = TRUE AND ssample(len, 500) = TRUE\n"
+            "GROUP BY time/20 as tb, len",
+            registries,
+        )
+        assert sa2xx(result) == set(), result.render()
+        assert {"SA201", "SA202", "SA203", "SA204"} <= result.disabled
+
+
+class TestAnnotations:
+    def test_estimator_summary_on_the_plan(self, registries):
+        result = lint_source(
+            "SELECT tb, UMAX(sum(len), ssthreshold())\n"
+            "FROM TCP\n"
+            "WHERE ssample(len, 500) = TRUE\n"
+            "GROUP BY time/20 as tb, srcIP, uts",
+            registries,
+        )
+        assert result.plan is not None
+        sampling = result.plan.annotations["sampling"]
+        (estimator,) = [
+            e for e in sampling["estimators"] if e["aggregate"] == "sum"
+        ]
+        assert estimator["linear"] is True
+        assert estimator["scheme"] == "weighted"
+        assert estimator["corrected"] is True
+        assert estimator["unbiased"] is True
+
+    def test_biased_estimator_flagged_in_annotations(self, registries):
+        result = lint_source(
+            "SELECT tb, avg(len)\n"
+            "FROM TCP\n"
+            "WHERE rsample(100) = TRUE\n"
+            "GROUP BY time/20 as tb, srcIP",
+            registries,
+        )
+        sampling = result.plan.annotations["sampling"]
+        (estimator,) = sampling["estimators"]
+        assert estimator["aggregate"] == "avg"
+        assert estimator["unbiased"] is False
+
+    def test_edge_facts_exported(self, registries):
+        result = lint_source(
+            "SELECT tb, sum(len)\n"
+            "FROM TCP\n"
+            "WHERE rsample(100) = TRUE\n"
+            "GROUP BY time/20 as tb, srcIP",
+            registries,
+        )
+        edges = result.plan.annotations["sampling"]["edges"]
+        # Before the WHERE the stream is unsampled; after it, uniform.
+        assert edges["q.source->q.where"]["scheme"] == "all"
+        assert edges["q.where->q.group"]["scheme"] == "uniform"
+        assert edges["q.where->q.group"]["families"] == ["reservoir"]

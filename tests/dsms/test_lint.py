@@ -427,6 +427,10 @@ class TestCorpusClean:
         result = lint_source(module.STICKY_QUERY, registries)
         assert result.clean, result.render()
 
+    #: Shipped counterexamples for the SA2xx/SA3xx rule docs: expected to
+    #: warn (never error) under the default lint.
+    UNSOUND = {"unsound_biased_avg.gsql", "unsound_unshardable.gsql"}
+
     def test_example_query_files(self, registries):
         from pathlib import Path
 
@@ -438,7 +442,38 @@ class TestCorpusClean:
         assert files, "examples/queries/*.gsql missing"
         for path in files:
             result = lint_source(path.read_text(), registries, str(path))
-            assert result.clean, result.render()
+            assert result.ok, result.render()
+            if path.name not in self.UNSOUND:
+                assert result.clean, result.render()
+
+    def test_unsound_examples_warn_as_documented(self, registries):
+        from pathlib import Path
+
+        from repro.analysis.execsafety import parse_target
+
+        base = Path(__file__).resolve().parents[2] / "examples/queries"
+        biased = lint_source(
+            (base / "unsound_biased_avg.gsql").read_text(), registries
+        )
+        assert {d.rule for d in biased.diagnostics} == {
+            "SA201",
+            "SA202",
+            "SA203",
+            "SA204",
+        }, biased.render()
+        assert biased.ok  # warnings only: the query still runs serially
+
+        text = (base / "unsound_unshardable.gsql").read_text()
+        assert lint_source(text, registries).clean  # sound as a serial query
+        deployed = lint_source(
+            text, registries, target=parse_target("shards=4,durable")
+        )
+        assert {d.rule for d in deployed.diagnostics} == {
+            "SA301",
+            "SA302",
+            "SA304",
+        }, deployed.render()
+        assert not deployed.ok  # the runtimes refuse this deployment
 
 
 class TestCollector:

@@ -31,7 +31,14 @@ from repro.algorithms.bindings import SUBSET_SUM_QUERY, subset_sum_library
 EXAMPLES_DIR = os.path.join(
     os.path.dirname(__file__), "..", "..", "examples", "queries"
 )
-EXAMPLES = sorted(glob.glob(os.path.join(EXAMPLES_DIR, "*.gsql")))
+# The unsound_* files are lint counterexamples (docs/LINT_RULES.md), not
+# runtime examples; one is a low-level selection the high-level feeder
+# identities below don't model.  tests/analysis/ pins their diagnostics.
+EXAMPLES = sorted(
+    path
+    for path in glob.glob(os.path.join(EXAMPLES_DIR, "*.gsql"))
+    if not os.path.basename(path).startswith("unsound_")
+)
 
 # Keyed supergroups make SFUN state shard-local (see tests/dsms/test_sharded).
 SS_TEXT = SUBSET_SUM_QUERY.format(window=5, target=500).replace(

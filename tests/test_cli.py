@@ -122,15 +122,16 @@ class TestQuery:
         assert "shed=" in err
 
     def test_unshardeable_query_errors_clearly(self, trace_file, capsys):
-        from repro.errors import PlanningError
-
-        with pytest.raises(PlanningError, match="cannot shard"):
-            main([
-                "query", "--trace", trace_file, "--shards", "2",
-                "--sql",
-                "SELECT tb, b, count(*) FROM TCP"
-                " GROUP BY time/5 as tb, srcIP/2 as b",
-            ])
+        rc = main([
+            "query", "--trace", trace_file, "--shards", "2",
+            "--sql",
+            "SELECT tb, b, count(*) FROM TCP"
+            " GROUP BY time/5 as tb, srcIP/2 as b",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "cannot shard" in err
+        assert "lint --target" in err  # points at the static check
 
 
 class TestLint:
@@ -181,12 +182,22 @@ class TestLint:
 
     def test_example_queries_are_clean(self, capsys):
         import glob
+        import os
 
         files = sorted(glob.glob("examples/queries/*.gsql"))
         assert files, "example queries missing"
         for path in files:
+            # Exit 0 for the whole corpus: the unsound_* counterexamples
+            # only *warn* under the default (serial) target.
             assert main(["lint", path]) == 0, path
-            assert "ok" in capsys.readouterr().out, path
+            out = capsys.readouterr().out
+            if os.path.basename(path) == "unsound_biased_avg.gsql":
+                # SA2xx counterexample: warns under the default target.
+                assert "warning" in out, path
+            else:
+                # unsound_unshardable only errs under --target; it is
+                # clean as a serial query, like every sound example.
+                assert "ok" in out, path
 
 
 class TestQueryLintIntegration:
