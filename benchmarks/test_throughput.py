@@ -3,12 +3,24 @@
 The paper's line-rate numbers come from compiled C; these benchmarks
 measure what this pure-Python reproduction actually sustains, so readers
 can relate the cost-model figures to wall-clock reality.  Reported as
-records/second via pytest-benchmark's ops/sec.
+records/second via pytest-benchmark's ops/sec, and every benchmark also
+lands its measured numbers in ``BENCH_throughput.json`` at the repo root
+(one key per benchmark) for trend tracking and the CI throughput gate.
+
+The vectorized benchmarks carry the hard gates for the columnar batch
+engine (DESIGN.md §11): the operator-level selection and windowed
+aggregation hot paths must beat the tuple path by >= 10x locally (CI
+enforces a looser 5x floor for noisy runners via the recorded JSON).
 """
+
+import json
+import os
+import time
 
 import pytest
 
 from repro.dsms.runtime import Gigascope
+from repro.dsms.vectorized import RecordBatch
 from repro.streams.schema import TCP_SCHEMA
 from repro.streams.traces import TraceConfig, data_center_feed
 from repro.algorithms.bindings import (
@@ -18,11 +30,67 @@ from repro.algorithms.bindings import (
     subset_sum_library,
 )
 
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_throughput.json")
+ROUNDS = 3
+BATCH_SIZE = 4096
+
+#: CI floor for the vectorized selection hot path; loose relative to the
+#: in-test gates because shared CI runners are noisy.
+CI_MIN_SELECTION_SPEEDUP = 5.0
+
+#: Hot-path gate used by the asserts below.  Defaults to the 10x claim;
+#: CI exports REPRO_MIN_HOT_PATH_SPEEDUP=5 so a noisy runner can't flake
+#: the job (the recorded JSON keeps the honest number either way).
+MIN_HOT_PATH_SPEEDUP = float(os.environ.get("REPRO_MIN_HOT_PATH_SPEEDUP", "10"))
+
+
+def record_bench(name, payload):
+    """Merge one benchmark's numbers into BENCH_throughput.json.
+
+    The file accumulates a flat ``{benchmark_name: payload}`` object so
+    all throughput benchmarks share one tracked artifact; rewriting the
+    whole document keeps it valid JSON regardless of which subset ran.
+    """
+    data = {}
+    if os.path.exists(OUT_PATH):
+        try:
+            with open(OUT_PATH, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+    data[name] = payload
+    with open(OUT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nBENCH_throughput[{name}]:", json.dumps(payload, sort_keys=True))
+
+
+def best_of(fn, rounds=ROUNDS):
+    elapsed = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        elapsed.append(time.perf_counter() - start)
+    return min(elapsed)
+
 
 @pytest.fixture(scope="module")
 def packets():
     config = TraceConfig(duration_seconds=10, rate_scale=0.01, seed=1)
     return list(data_center_feed(config))
+
+
+@pytest.fixture(scope="module")
+def batches(packets):
+    return [
+        RecordBatch.from_records(TCP_SCHEMA, packets[i : i + BATCH_SIZE])
+        for i in range(0, len(packets), BATCH_SIZE)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# End-to-end engine throughput (ring buffers, runtime, sinks included)
+# ---------------------------------------------------------------------------
 
 
 def test_throughput_selection(benchmark, packets):
@@ -35,6 +103,13 @@ def test_throughput_selection(benchmark, packets):
 
     processed = benchmark(run)
     assert processed == len(packets)
+    seconds = best_of(run)
+    record_bench("selection_end_to_end", {
+        "records": len(packets),
+        "rounds": ROUNDS,
+        "seconds": round(seconds, 4),
+        "records_per_second": round(len(packets) / seconds),
+    })
 
 
 def test_throughput_basic_subset_sum(benchmark, packets):
@@ -48,6 +123,13 @@ def test_throughput_basic_subset_sum(benchmark, packets):
 
     processed = benchmark(run)
     assert processed == len(packets)
+    seconds = best_of(run)
+    record_bench("basic_subset_sum_end_to_end", {
+        "records": len(packets),
+        "rounds": ROUNDS,
+        "seconds": round(seconds, 4),
+        "records_per_second": round(len(packets) / seconds),
+    })
 
 
 def test_throughput_sampling_operator(benchmark, packets):
@@ -61,6 +143,13 @@ def test_throughput_sampling_operator(benchmark, packets):
 
     processed = benchmark(run)
     assert processed == len(packets)
+    seconds = best_of(run)
+    record_bench("sampling_operator_end_to_end", {
+        "records": len(packets),
+        "rounds": ROUNDS,
+        "seconds": round(seconds, 4),
+        "records_per_second": round(len(packets) / seconds),
+    })
 
 
 def test_throughput_sharded_vs_serial(benchmark, packets):
@@ -70,8 +159,6 @@ def test_throughput_sharded_vs_serial(benchmark, packets):
     a speedup claim but a recorded comparison — plus the hard assertion
     that the sharded runtime's output is identical to the serial one.
     """
-    import time
-
     from repro.dsms.sharded import ShardedGigascope, canonical_rows
 
     text = (
@@ -100,10 +187,147 @@ def test_throughput_sharded_vs_serial(benchmark, packets):
     sharded_results = benchmark(sharded)
 
     assert canonical_rows(sharded_results) == canonical_rows(serial_results)
-    sharded_seconds = benchmark.stats.stats.mean
+    # benchmark.stats is unset under --benchmark-disable, and a mean of
+    # zero (clock granularity on a degenerate run) would divide by zero:
+    # fall back to an explicit timing rather than crash the comparison.
+    stats = getattr(benchmark, "stats", None)
+    sharded_seconds = stats.stats.mean if stats is not None else 0.0
+    if not sharded_seconds > 0.0:
+        sharded_seconds = best_of(sharded, rounds=1)
     print(
         f"\nserial {serial_seconds:.3f}s vs sharded(2) {sharded_seconds:.3f}s"
         f" ({serial_seconds / sharded_seconds:.2f}x)"
     )
     benchmark.extra_info["serial_seconds"] = serial_seconds
     benchmark.extra_info["sharded_shards"] = 2
+    record_bench("sharded_vs_serial", {
+        "records": len(packets),
+        "serial_seconds": round(serial_seconds, 4),
+        "sharded_seconds": round(sharded_seconds, 4),
+        "shards": 2,
+        "serial_over_sharded": round(serial_seconds / sharded_seconds, 2),
+    })
+
+
+# ---------------------------------------------------------------------------
+# Vectorized engine: operator-level hot paths (the >= 10x claims)
+# ---------------------------------------------------------------------------
+
+
+def _operator_pair(sql):
+    """(tuple_operator, vectorized_operator) for one query text."""
+    operators = []
+    for vectorize in (False, True):
+        gs = Gigascope(vectorize=vectorize)
+        gs.register_stream(TCP_SCHEMA)
+        operators.append(gs.add_query(sql, name="bench").operator)
+    return operators
+
+
+def _hot_path_seconds(sql, packets, batches):
+    tup, vec = _operator_pair(sql)
+    assert vec.execution_mode == "vectorized", vec.vectorize_fallback
+
+    def run_tuple():
+        for record in packets:
+            tup.process(record)
+        tup.flush()
+
+    def run_vec():
+        for batch in batches:
+            vec.process_batch(batch)
+        vec.flush()
+
+    return best_of(run_tuple), best_of(run_vec), run_vec
+
+
+def test_throughput_vectorized_selection_hot_path(benchmark, packets, batches):
+    """Operator-level selection: the batch engine's headline number."""
+    sql = "SELECT time, srcIP, len FROM TCP WHERE len > 200"
+    tuple_seconds, vec_seconds, run_vec = _hot_path_seconds(sql, packets, batches)
+    speedup = tuple_seconds / vec_seconds
+    n = len(packets)
+    record_bench("vectorized_selection_hot_path", {
+        "records": n,
+        "batch_size": BATCH_SIZE,
+        "rounds": ROUNDS,
+        "tuple_us_per_record": round(tuple_seconds / n * 1e6, 3),
+        "vectorized_us_per_record": round(vec_seconds / n * 1e6, 3),
+        "speedup": round(speedup, 1),
+        "target_speedup": 10.0,
+        "ci_min_speedup": CI_MIN_SELECTION_SPEEDUP,
+    })
+    assert speedup >= MIN_HOT_PATH_SPEEDUP, (tuple_seconds, vec_seconds)
+    benchmark.pedantic(run_vec, rounds=1, iterations=1)
+
+
+def test_throughput_vectorized_aggregation_hot_path(benchmark, packets, batches):
+    """Operator-level windowed aggregation (the paper's per-time-bucket
+    ``sum(len)`` shape): batched folds plus the columnar window close."""
+    sql = "SELECT tb, sum(len), count(*) FROM TCP GROUP BY time/2 AS tb"
+    tuple_seconds, vec_seconds, run_vec = _hot_path_seconds(sql, packets, batches)
+    speedup = tuple_seconds / vec_seconds
+    n = len(packets)
+    record_bench("vectorized_aggregation_hot_path", {
+        "records": n,
+        "batch_size": BATCH_SIZE,
+        "rounds": ROUNDS,
+        "tuple_us_per_record": round(tuple_seconds / n * 1e6, 3),
+        "vectorized_us_per_record": round(vec_seconds / n * 1e6, 3),
+        "speedup": round(speedup, 1),
+        "target_speedup": 10.0,
+    })
+    assert speedup >= MIN_HOT_PATH_SPEEDUP, (tuple_seconds, vec_seconds)
+    benchmark.pedantic(run_vec, rounds=1, iterations=1)
+
+
+def test_throughput_vectorized_grouped_aggregation(packets, batches):
+    """High-cardinality GROUP BY (a group per handful of rows): the
+    per-group work both engines share — aggregate instances, output
+    records — bounds the win, so this records the honest number with a
+    pathology-only gate rather than the 10x hot-path claim."""
+    sql = (
+        "SELECT tb, srcIP, sum(len), count(*)"
+        " FROM TCP WHERE len > 100 GROUP BY time/2 AS tb, srcIP"
+    )
+    tuple_seconds, vec_seconds, _ = _hot_path_seconds(sql, packets, batches)
+    speedup = tuple_seconds / vec_seconds
+    n = len(packets)
+    record_bench("vectorized_grouped_aggregation", {
+        "records": n,
+        "batch_size": BATCH_SIZE,
+        "rounds": ROUNDS,
+        "tuple_us_per_record": round(tuple_seconds / n * 1e6, 3),
+        "vectorized_us_per_record": round(vec_seconds / n * 1e6, 3),
+        "speedup": round(speedup, 1),
+    })
+    assert speedup >= 2.0, (tuple_seconds, vec_seconds)
+
+
+def test_throughput_vectorized_end_to_end(packets):
+    """Whole-engine comparison: ring buffers, runtime batching, and the
+    record/batch conversion edges included."""
+
+    def run(vectorize):
+        gs = Gigascope(vectorize=vectorize)
+        gs.register_stream(TCP_SCHEMA)
+        gs.add_query("SELECT time, srcIP, len FROM TCP WHERE len > 200",
+                     name="sel", keep_results=False)
+        return gs.run(iter(packets))
+
+    assert run(False) == len(packets)
+    assert run(True) == len(packets)
+    tuple_seconds = best_of(lambda: run(False))
+    vec_seconds = best_of(lambda: run(True))
+    speedup = tuple_seconds / vec_seconds
+    n = len(packets)
+    record_bench("vectorized_selection_end_to_end", {
+        "records": n,
+        "rounds": ROUNDS,
+        "tuple_seconds": round(tuple_seconds, 4),
+        "vectorized_seconds": round(vec_seconds, 4),
+        "tuple_records_per_second": round(n / tuple_seconds),
+        "vectorized_records_per_second": round(n / vec_seconds),
+        "speedup": round(speedup, 1),
+    })
+    assert speedup >= 2.0, (tuple_seconds, vec_seconds)

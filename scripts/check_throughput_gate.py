@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_throughput.json.
+
+Run after ``pytest benchmarks/test_throughput.py`` has regenerated the
+JSON: fails if the vectorized selection hot path dropped below its
+recorded ``ci_min_speedup`` floor (5x) — the columnar engine's reason
+to exist.  The floor lives in the JSON so the benchmark and the gate
+can't drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_throughput.json")
+
+
+def main() -> int:
+    try:
+        with open(OUT_PATH, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {OUT_PATH}: {exc}", file=sys.stderr)
+        return 1
+    entry = data.get("vectorized_selection_hot_path")
+    if entry is None:
+        print("BENCH_throughput.json has no vectorized_selection_hot_path "
+              "entry — did the benchmark run?", file=sys.stderr)
+        return 1
+    speedup = entry["speedup"]
+    floor = entry.get("ci_min_speedup", 5.0)
+    print(f"vectorized selection hot path: {speedup}x (floor {floor}x)")
+    if speedup < floor:
+        print("throughput gate FAILED: vectorized selection regressed below "
+              f"{floor}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -97,11 +97,14 @@ def _standard_instance(
     profile: bool = False,
     quarantine: Optional[QuarantineStream] = None,
     validate_admission: bool = False,
+    vectorize: bool = False,
 ):
     """A DSMS instance with the TCP stream and all SFUN packs loaded.
 
     ``shards > 0`` returns a :class:`ShardedGigascope` running the query
     hash-partitioned across that many shards instead of serially.
+    ``vectorize`` enables the columnar batch engine (serial instances
+    only; eligible operators fall back per plan, see DESIGN.md §11).
     ``supervise`` runs shard workers under crash supervision with up to
     ``max_restarts`` restarts each; ``shed_threshold`` enables overload
     shedding (ring-backlog admission control, and — supervised — input
@@ -130,6 +133,7 @@ def _standard_instance(
             profile=profile,
             quarantine=quarantine,
             validate_admission=validate_admission,
+            vectorize=vectorize,
         )
     gs.register_stream(TCP_SCHEMA)
     gs.use_stateful_library(subset_sum_library(relax_factor=relax_factor))
@@ -210,6 +214,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     trace_sink = TraceSink() if args.trace_out else None
     if args.profile and args.shards > 0:
         print("-- --profile is serial-only; ignored with --shards", file=sys.stderr)
+    if args.vectorize and args.shards > 0:
+        print("--vectorize is not yet supported with --shards", file=sys.stderr)
+        return 2
     gs = _standard_instance(
         args.relax_factor,
         shards=args.shards,
@@ -221,6 +228,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         profile=args.profile,
         quarantine=quarantine,
         validate_admission=harden,
+        vectorize=args.vectorize,
     )
     # Re-register the trace's own schema if it is not the stock TCP one.
     if trace[0].schema != TCP_SCHEMA:
@@ -244,6 +252,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 profile=args.profile,
                 quarantine=quarantine,
                 validate_admission=harden,
+                vectorize=args.vectorize,
             )
         gs.register_stream(trace[0].schema)
     if args.lint:
@@ -262,6 +271,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.vectorize and getattr(handle.operator, "execution_mode", "tuple") != "vectorized":
+        reason = (
+            getattr(handle.operator, "vectorize_fallback", None)
+            or "this plan kind runs per-tuple"
+        )
+        print(f"-- --vectorize: tuple-path fallback ({reason})", file=sys.stderr)
     if args.journal is not None:
         try:
             runner = DurableRunner(gs, args.journal)
@@ -452,6 +467,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="run the query hash-partitioned across N parallel shards"
         " (0 = serial)",
+    )
+    query.add_argument(
+        "--vectorize",
+        action="store_true",
+        help="execute eligible operators on the columnar batch engine"
+        " (byte-identical results; plans needing per-tuple state fall"
+        " back automatically)",
     )
     query.add_argument(
         "--shard-processes",

@@ -277,6 +277,17 @@ def evaluate(expr: Expr, ctx: EvalContext) -> Any:
     raise ExecutionError(f"unknown expression node {type(expr).__name__}")
 
 
+def _is_integer(value: Any) -> bool:
+    """True for values that take SQL/C integer-division semantics.
+
+    ``bool`` is excluded deliberately: it subclasses ``int`` in Python,
+    but ``TRUE / 2`` floor-dividing to ``0`` is a silent wrong answer —
+    booleans divide as ordinary numbers (``0.5``), matching the numpy
+    batch engine, which promotes bool columns to float on division.
+    """
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
 def _evaluate_binary(expr: BinaryOp, ctx: EvalContext) -> Any:
     op = expr.op
     if op == "AND":
@@ -286,18 +297,41 @@ def _evaluate_binary(expr: BinaryOp, ctx: EvalContext) -> Any:
     left = evaluate(expr.left, ctx)
     right = evaluate(expr.right, ctx)
     if op == "/":
-        if isinstance(left, int) and isinstance(right, int):
+        if _is_integer(left) and _is_integer(right):
             if right == 0:
-                raise ExecutionError("integer division by zero")
+                raise ExecutionError("integer division by zero", span=expr.span)
             return left // right
         if right == 0:
-            raise ExecutionError("division by zero")
-        return left / right
+            raise ExecutionError("division by zero", span=expr.span)
+        try:
+            return left / right
+        except TypeError:
+            raise _type_error(op, left, right, expr) from None
     if op in _ARITHMETIC:
-        return _ARITHMETIC[op](left, right)
+        try:
+            return _ARITHMETIC[op](left, right)
+        except TypeError:
+            raise _type_error(op, left, right, expr) from None
     if op in _COMPARISON:
-        return _COMPARISON[op](left, right)
+        try:
+            return _COMPARISON[op](left, right)
+        except TypeError:
+            raise _type_error(op, left, right, expr) from None
     raise ExecutionError(f"unknown binary operator {op!r}")
+
+
+def _type_error(op: str, left: Any, right: Any, expr: BinaryOp) -> ExecutionError:
+    """A mixed-type operand failure as a span-carrying ExecutionError.
+
+    Without this, ``srcIP > 100`` on a string column escapes as a raw
+    ``TypeError`` traceback from deep inside the operator instead of a
+    diagnostic that names the expression and its source position.
+    """
+    return ExecutionError(
+        f"cannot evaluate {expr}: unsupported operand types for {op!r}"
+        f" ({type(left).__name__} and {type(right).__name__})",
+        span=expr.span,
+    )
 
 
 # ---------------------------------------------------------------------------

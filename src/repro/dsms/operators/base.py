@@ -47,6 +47,15 @@ class Operator:
     #: factory from the analyzed query; empty for stateless plans).
     required_states: Tuple[str, ...] = ()
 
+    #: "tuple" or "vectorized" — which engine executes this operator's
+    #: hot path (the vectorized subclasses override it).
+    execution_mode: str = "tuple"
+
+    #: Set by the factory when ``vectorize=True`` was requested but this
+    #: plan had to fall back to the tuple path: the human-readable reason
+    #: (SFUN, superaggregate, custom aggregate, ...).
+    vectorize_fallback: "str | None" = None
+
     # -- observability -----------------------------------------------------
     #
     # Every operator carries metric series for the tuple-conservation

@@ -34,10 +34,27 @@ def build_operator(
     plan: QueryPlan,
     cost_model: CostModel = NULL_COST_MODEL,
     account: str = "query",
+    vectorize: bool = False,
 ) -> Operator:
-    """Instantiate the executable operator for a planned query."""
+    """Instantiate the executable operator for a planned query.
+
+    With ``vectorize``, selection and plain-aggregation plans get the
+    columnar batch operators (``repro.dsms.vectorized``); a plan the
+    batch compiler cannot express falls back to the tuple operator and
+    records why in ``operator.vectorize_fallback``.  Sampling and
+    stateful-selection plans always take the tuple path — SFUN state is
+    inherently per-tuple.
+    """
     registries = plan.registries
     operator: Operator
+    if vectorize and plan.kind in ("selection", "aggregation"):
+        vectorized = _try_vectorized(plan, cost_model, account)
+        if isinstance(vectorized, Operator):
+            vectorized.required_states = tuple(plan.analyzed.state_names)
+            return vectorized
+        fallback_reason = vectorized
+    else:
+        fallback_reason = None
     if plan.kind == "selection":
         operator = SelectionOperator(
             plan.analyzed, plan.output_schema, registries.scalars, cost_model, account
@@ -76,4 +93,36 @@ def build_operator(
     # Instance-level capability record: which SFUN states this plan needs
     # (the durable runner checks them against the library up front).
     operator.required_states = tuple(plan.analyzed.state_names)
+    if fallback_reason is not None:
+        operator.vectorize_fallback = fallback_reason
     return operator
+
+
+def _try_vectorized(plan: QueryPlan, cost_model: CostModel, account: str):
+    """A vectorized operator for the plan, or the fallback reason string."""
+    from repro.dsms.vectorized import (
+        UnsupportedExpression,
+        VectorizedAggregationOperator,
+        VectorizedSelectionOperator,
+    )
+
+    registries = plan.registries
+    try:
+        if plan.kind == "selection":
+            return VectorizedSelectionOperator(
+                plan.analyzed,
+                plan.output_schema,
+                registries.scalars,
+                cost_model,
+                account,
+            )
+        return VectorizedAggregationOperator(
+            plan.analyzed,
+            plan.output_schema,
+            registries.scalars,
+            registries.aggregates,
+            cost_model,
+            account,
+        )
+    except UnsupportedExpression as exc:
+        return str(exc)

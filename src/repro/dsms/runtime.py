@@ -74,6 +74,7 @@ class Gigascope:
         profile: bool = False,
         quarantine: Optional[QuarantineStream] = None,
         validate_admission: bool = False,
+        vectorize: bool = False,
     ) -> None:
         """``strict`` makes every :meth:`add_query` refuse queries with
         any static-analysis diagnostic (see ``repro.analysis``).
@@ -104,11 +105,21 @@ class Gigascope:
         ``records == ingested + shed + quarantined``.  ``quarantine``
         defaults to a private bounded :class:`QuarantineStream`; pass one
         to share it with a resilient source or inspect it afterwards.
+
+        ``vectorize`` executes selection and plain-aggregation operators
+        on the columnar batch engine (DESIGN.md §11): ring-buffer output
+        is wrapped into a :class:`RecordBatch` and whole batches flow
+        through compiled numpy closures, with records rebuilt only at
+        output edges.  Plans the batch engine cannot express (SFUNs,
+        superaggregates, nondeterministic scalars, custom aggregates)
+        fall back per operator to the tuple path; results are
+        byte-identical either way.
         """
         self.cost = cost_model or NULL_COST_MODEL
         self.strict = strict
         self.shed_threshold = shed_threshold
         self.validate_admission = validate_admission
+        self.vectorize = vectorize
         self.quarantine = (
             quarantine if quarantine is not None else QuarantineStream()
         )
@@ -236,7 +247,9 @@ class Gigascope:
                 " source stream nor a registered query"
             )
 
-        operator = build_operator(plan, self.cost, account=name)
+        operator = build_operator(
+            plan, self.cost, account=name, vectorize=self.vectorize
+        )
         operator.bind_obs(self.metrics, self.trace, name)
         handle = QueryHandle(
             name=name,
@@ -448,8 +461,18 @@ class Gigascope:
         for name, sid in subscribers.items():
             handle = self._queries[name]
             pending = self._rings[handle.source].poll(sid)
-            for record in pending:
-                self._dispatch(handle, record)
+            if not pending:
+                continue
+            if hasattr(handle.operator, "process_batch"):
+                from repro.dsms.vectorized import RecordBatch
+
+                schema = self.registries.schemas[handle.source]
+                self._dispatch_batch(
+                    handle, RecordBatch.from_records(schema, list(pending))
+                )
+            else:
+                for record in pending:
+                    self._dispatch(handle, record)
         return len(batch)
 
     def _admit_payload(self, payload: Any) -> "tuple":
@@ -605,6 +628,51 @@ class Gigascope:
             ).observe(perf_counter() - started)
         if outputs:
             self._propagate(handle, outputs)
+
+    def _dispatch_batch(self, handle: QueryHandle, batch: Any) -> None:
+        """Feed one column batch to a vectorized operator (and onward)."""
+        operator = handle.operator
+        if self.profile:
+            started = perf_counter()
+        outputs = operator.process_batch(batch)
+        if self.profile:
+            self.metrics.histogram(
+                "operator_seconds",
+                help="wall time per operator call",
+                query=handle.name,
+                phase="process",
+            ).observe(perf_counter() - started)
+        if outputs is not None and len(outputs):
+            self._propagate_batch(handle, outputs)
+
+    def _propagate_batch(self, handle: QueryHandle, outputs: Any) -> None:
+        """Batch analogue of :meth:`_propagate`: records are rebuilt only
+        where a row-wise consumer (the results sink, a tuple-path child)
+        actually needs them; vectorized children receive the batch."""
+        records: Optional[List[Record]] = None
+        if handle.keep_results:
+            records = outputs.to_records()
+            handle.results.extend(records)
+        downstream = self._downstream.get(handle.name)
+        if not downstream:
+            return
+        count = len(outputs)
+        handle.forwarded += count
+        self.cost.charge(handle.name, "tuple_copy", count)
+        self.metrics.counter(
+            "query_forwarded_total",
+            help="tuples pushed to downstream queries",
+            query=handle.name,
+        ).inc(count)
+        for child_name in downstream:
+            child = self._queries[child_name]
+            if hasattr(child.operator, "process_batch"):
+                self._dispatch_batch(child, outputs)
+            else:
+                if records is None:
+                    records = outputs.to_records()
+                for record in records:
+                    self._dispatch(child, record, from_source=handle.name)
 
     def _propagate(self, handle: QueryHandle, outputs: List[Record]) -> None:
         if handle.keep_results:

@@ -1,0 +1,632 @@
+"""Vectorized selection and aggregation operators.
+
+Both subclass their tuple-path counterparts and override only the
+per-tuple hot path with a ``process_batch`` method; everything that is
+*not* per-tuple — window close, flush, checkpoint/restore, metric
+binding — is inherited, so the two engines share one group table format
+(checkpoints are interchangeable) and a single-record ``process`` call
+still works when a vectorized operator sits downstream of a
+non-vectorized one.
+
+Accounting parity is a hard invariant: every cost-model charge and
+metric increment the tuple path makes per record, these operators make
+as a batch delta — the conservation identities
+(``in == filtered + rows_out``, ``in == filtered + admitted``) and the
+cost-account totals come out byte-identical for the same input.
+
+Group state stays as ordinary :class:`Aggregate` instances; each batch
+is factorized into group codes (iterated pairwise ``np.unique`` packing)
+and per-group *folds* write batched deltas into those instances.  Folds
+preserve exactness: integer folds use int64 partials converted back to
+Python ints, and anything where batching could change the answer —
+float sums (addition order), NaN extremes, object columns — drops to a
+sequential per-row loop over the same ``update`` calls the tuple path
+makes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.dsms.aggregates import (
+    Aggregate,
+    AggregateRegistry,
+    AvgAggregate,
+    CountAggregate,
+    CountDistinctAggregate,
+    FirstAggregate,
+    LastAggregate,
+    MaxAggregate,
+    MinAggregate,
+    SumAggregate,
+)
+from repro.dsms.cost import CostModel, NULL_COST_MODEL
+from repro.dsms.expr import column_names
+from repro.dsms.functions import FunctionRegistry
+from repro.dsms.operators.aggregation import AggregationOperator
+from repro.dsms.operators.selection import SelectionOperator
+from repro.dsms.parser.analyzer import AnalyzedQuery
+from repro.dsms.vectorized.batch import RecordBatch
+from repro.dsms.vectorized.compiler import (
+    BatchCompiler,
+    Env,
+    UnsupportedExpression,
+    as_column,
+)
+from repro.streams.records import Record
+from repro.streams.schema import StreamSchema
+
+
+def _py(value: Any) -> Any:
+    """Unbox a numpy scalar to the Python value the tuple path carries."""
+    return value.item() if isinstance(value, np.generic) else value
+
+
+class VectorizedSelectionOperator(SelectionOperator):
+    """WHERE + SELECT evaluated one batch at a time."""
+
+    execution_mode = "vectorized"
+
+    def __init__(
+        self,
+        analyzed: AnalyzedQuery,
+        output_schema: StreamSchema,
+        scalars: FunctionRegistry,
+        cost_model: CostModel = NULL_COST_MODEL,
+        account: str = "selection",
+    ) -> None:
+        super().__init__(analyzed, output_schema, scalars, cost_model, account)
+        compiler = BatchCompiler(scalars)
+        where = analyzed.ast.where
+        self._where_fn = compiler.compile_predicate(where) if where is not None else None
+        self._select_fns = [compiler.compile(item.expr) for item in analyzed.ast.select]
+        self._charge = lambda op, count: self._cost.charge(self._account, op, count)
+
+    def process_batch(self, batch: RecordBatch) -> RecordBatch:
+        n = len(batch)
+        if n == 0:
+            return RecordBatch.empty(self.output_schema)
+        self._cost.charge(self._account, "tuple_read", n)
+        self.m_in.inc(n)
+        if self._where_fn is not None:
+            self._cost.charge(self._account, "predicate_eval", n)
+            mask = self._where_fn(Env(batch.column, n, self._charge))
+            kept = int(np.count_nonzero(mask))
+            if kept < n:
+                self.m_filtered.inc(n - kept)
+            if kept == 0:
+                return RecordBatch.empty(self.output_schema)
+            filtered = batch if kept == n else batch.take(mask)
+        else:
+            filtered = batch
+            kept = n
+        env = Env(filtered.column, kept, self._charge)
+        columns = {
+            attr.name: as_column(fn(env), kept)
+            for attr, fn in zip(self.output_schema, self._select_fns)
+        }
+        self.m_rows_out.inc(kept)
+        return RecordBatch(self.output_schema, columns=columns, length=kept)
+
+
+# ---------------------------------------------------------------------------
+# Group factorization
+# ---------------------------------------------------------------------------
+
+
+def _factorize(key_arrays: Sequence[Any], n: int) -> Tuple[Any, List[Tuple[Any, ...]]]:
+    """Map each row to a dense group code, groups in first-seen order.
+
+    Returns ``(codes, keys)`` where ``codes[i]`` indexes ``keys`` and
+    ``keys`` holds Python-scalar tuples identical to the tuple path's
+    group-table keys.  Multi-column keys are packed pairwise with
+    ``np.unique`` recompression, which keeps intermediate codes below
+    ``n**2`` (no overflow) regardless of column count.
+    """
+    if not key_arrays:
+        return np.zeros(n, dtype=np.int64), [()]
+    for col in key_arrays:
+        if not isinstance(col, np.ndarray) or col.dtype == object:
+            return _factorize_sequential(key_arrays, n)
+        if col.dtype.kind == "f" and np.isnan(col).any():
+            # np.unique collapses NaNs; dict keys do not.  Keep the
+            # tuple path's (degenerate) semantics via the dict.
+            return _factorize_sequential(key_arrays, n)
+    combined: Optional[Any] = None
+    for col in key_arrays:
+        uniques, inverse = np.unique(col, return_inverse=True)
+        inverse = inverse.reshape(-1)
+        if combined is None:
+            combined = inverse
+        else:
+            combined = combined * len(uniques) + inverse
+            _, combined = np.unique(combined, return_inverse=True)
+            combined = combined.reshape(-1)
+    assert combined is not None
+    _, first_idx, inverse = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty(len(first_idx), dtype=np.int64)
+    rank[order] = np.arange(len(first_idx), dtype=np.int64)
+    codes = rank[inverse]
+    first_rows = first_idx[order]
+    key_lists = [col[first_rows].tolist() for col in key_arrays]
+    keys = list(zip(*key_lists))
+    return codes, keys
+
+
+def _factorize_sequential(
+    key_arrays: Sequence[Any], n: int
+) -> Tuple[Any, List[Tuple[Any, ...]]]:
+    columns = [
+        col.tolist() if isinstance(col, np.ndarray) else list(col)
+        for col in key_arrays
+    ]
+    table: Dict[Tuple[Any, ...], int] = {}
+    keys: List[Tuple[Any, ...]] = []
+    codes = np.empty(n, dtype=np.int64)
+    for i, key in enumerate(zip(*columns)):
+        code = table.get(key)
+        if code is None:
+            code = len(keys)
+            table[key] = code
+            keys.append(key)
+        codes[i] = code
+    return codes, keys
+
+
+# ---------------------------------------------------------------------------
+# Per-group aggregate folds
+# ---------------------------------------------------------------------------
+#
+# Each fold applies one batch of (code, value) updates to the per-group
+# Aggregate instances.  Values handed to an Aggregate are always Python
+# scalars, so finalized values (and checkpoints) are indistinguishable
+# from the tuple path's.  Count and Avg reach into the accumulator
+# fields directly — their update() signatures cannot express a batched
+# delta — which is safe here because the instances are the sibling
+# classes defined in repro.dsms.aggregates.
+
+
+def _sequential(groups: List[List[Aggregate]], slot: int, codes: Any, values: Any) -> None:
+    code_list = codes.tolist()
+    if isinstance(values, np.ndarray):
+        value_list = values.tolist()
+    elif isinstance(values, (list, tuple)):
+        value_list = list(values)
+    else:
+        value_list = [values] * len(code_list)
+    for code, value in zip(code_list, value_list):
+        groups[code][slot].update(value)
+
+
+def _int_values(values: Any) -> Optional[Any]:
+    """values as an exact int64 array, or None if that could lie."""
+    if not isinstance(values, np.ndarray):
+        return None
+    if values.dtype.kind in "iu":
+        return values
+    if values.dtype == np.bool_:
+        return values.astype(np.int64)
+    return None
+
+
+def _fold_sum(groups, slot, codes, values, n_groups):
+    ints = _int_values(values)
+    if ints is None:
+        if isinstance(values, (int,)) and not isinstance(values, bool):
+            counts = np.bincount(codes, minlength=n_groups)
+            for g, count in enumerate(counts.tolist()):
+                groups[g][slot].update(values * count)
+            return
+        _sequential(groups, slot, codes, values)  # float order / objects
+        return
+    part = np.zeros(n_groups, dtype=np.int64)
+    np.add.at(part, codes, ints)
+    for g, delta in enumerate(part.tolist()):
+        groups[g][slot].update(delta)
+
+
+def _fold_count(groups, slot, codes, values, n_groups):
+    counts = np.bincount(codes, minlength=n_groups)
+    for g, count in enumerate(counts.tolist()):
+        groups[g][slot]._count += int(count)
+
+
+def _fold_avg(groups, slot, codes, values, n_groups):
+    counts = np.bincount(codes, minlength=n_groups)
+    ints = _int_values(values)
+    if ints is None:
+        _sequential(groups, slot, codes, values)
+        return
+    part = np.zeros(n_groups, dtype=np.int64)
+    np.add.at(part, codes, ints)
+    for g, (delta, count) in enumerate(zip(part.tolist(), counts.tolist())):
+        agg = groups[g][slot]
+        agg._total += delta
+        agg._count += int(count)
+
+
+def _fold_extreme(ufunc_at, sentinel_for):
+    def fold(groups, slot, codes, values, n_groups):
+        if not isinstance(values, np.ndarray):
+            for g in range(n_groups):
+                groups[g][slot].update(values)
+            return
+        if values.dtype.kind not in "iuf" or (
+            values.dtype.kind == "f" and np.isnan(values).any()
+        ):
+            # Python's comparison chain keeps the first NaN it saw;
+            # numpy's min/max propagate NaN differently.  Stay exact.
+            _sequential(groups, slot, codes, values)
+            return
+        part = np.full(n_groups, sentinel_for(values.dtype), dtype=values.dtype)
+        ufunc_at(part, codes, values)
+        for g, extreme in enumerate(part.tolist()):
+            groups[g][slot].update(extreme)
+
+    return fold
+
+
+def _min_sentinel(dtype):
+    return np.inf if dtype.kind == "f" else np.iinfo(dtype).max
+
+
+def _max_sentinel(dtype):
+    return -np.inf if dtype.kind == "f" else np.iinfo(dtype).min
+
+
+_fold_min = _fold_extreme(np.minimum.at, _min_sentinel)
+_fold_max = _fold_extreme(np.maximum.at, _max_sentinel)
+
+
+def _fold_first(groups, slot, codes, values, n_groups):
+    present, first_idx = np.unique(codes, return_index=True)
+    if isinstance(values, np.ndarray):
+        for g, idx in zip(present.tolist(), first_idx.tolist()):
+            groups[g][slot].update(_py(values[idx]))
+    else:
+        for g in present.tolist():
+            groups[g][slot].update(values)
+
+
+def _fold_last(groups, slot, codes, values, n_groups):
+    present, rev_idx = np.unique(codes[::-1], return_index=True)
+    last_idx = len(codes) - 1 - rev_idx
+    if isinstance(values, np.ndarray):
+        for g, idx in zip(present.tolist(), last_idx.tolist()):
+            groups[g][slot].update(_py(values[idx]))
+    else:
+        for g in present.tolist():
+            groups[g][slot].update(values)
+
+
+def _fold_count_distinct(groups, slot, codes, values, n_groups):
+    if not isinstance(values, np.ndarray):
+        for g in np.unique(codes).tolist():
+            groups[g][slot].update(values)
+        return
+    if values.dtype == object or (
+        values.dtype.kind == "f" and np.isnan(values).any()
+    ):
+        # Sets distinguish NaN objects; np.unique would merge them.
+        _sequential(groups, slot, codes, values)
+        return
+    uniques, value_codes = np.unique(values, return_inverse=True)
+    value_codes = value_codes.reshape(-1)
+    pairs = np.unique(codes * len(uniques) + value_codes)
+    unique_values = uniques.tolist()
+    width = len(uniques)
+    for pair in pairs.tolist():
+        groups[pair // width][slot].update(unique_values[pair % width])
+
+
+#: Aggregate classes with a batched fold.  Registrations resolving to
+#: any other class force the whole operator back to the tuple path.
+FOLDS: Dict[type, Callable[..., None]] = {
+    SumAggregate: _fold_sum,
+    CountAggregate: _fold_count,
+    AvgAggregate: _fold_avg,
+    MinAggregate: _fold_min,
+    MaxAggregate: _fold_max,
+    FirstAggregate: _fold_first,
+    LastAggregate: _fold_last,
+    CountDistinctAggregate: _fold_count_distinct,
+}
+
+
+def _group_column(values: List[Any]) -> Any:
+    """A column over the group table, typed only when provably exact.
+
+    Strict ``type(v) is`` checks (bool subclasses int, so ``isinstance``
+    would lie) guarantee ``tolist`` round-trips every value unchanged;
+    anything mixed, int64-overflowing or non-numeric stays an object
+    array and takes the compiler's element-wise exact path.
+    """
+    if values:
+        t = type(values[0])
+        if t is int and all(type(v) is int for v in values):
+            try:
+                return np.asarray(values, dtype=np.int64)
+            except OverflowError:
+                pass
+        elif t is float and all(type(v) is float for v in values):
+            return np.asarray(values, dtype=np.float64)
+        elif t is bool and all(type(v) is bool for v in values):
+            return np.asarray(values, dtype=np.bool_)
+    arr = np.empty(len(values), dtype=object)
+    arr[:] = values
+    return arr
+
+
+class VectorizedAggregationOperator(AggregationOperator):
+    """Windowed GROUP BY evaluated one batch at a time.
+
+    A batch is first segmented at window boundaries (any change in the
+    ordered group-by values, computed pre-WHERE, closes the window —
+    identical to the tuple path's per-record check), then each segment
+    is filtered, factorized into group codes, and folded into the group
+    table.  Window close is also columnar: HAVING and SELECT evaluate
+    once over the whole group table (key columns + finalized aggregate
+    columns) instead of once per group, with the same charges, metrics
+    and trace events as the tuple path's ``_emit_window``.
+    """
+
+    execution_mode = "vectorized"
+
+    def __init__(
+        self,
+        analyzed: AnalyzedQuery,
+        output_schema: StreamSchema,
+        scalars: FunctionRegistry,
+        aggregates: AggregateRegistry,
+        cost_model: CostModel = NULL_COST_MODEL,
+        account: str = "aggregation",
+    ) -> None:
+        super().__init__(
+            analyzed, output_schema, scalars, aggregates, cost_model, account
+        )
+        compiler = BatchCompiler(scalars)
+        self._gb_fns = [compiler.compile(item.expr) for item in analyzed.group_by]
+        where = analyzed.ast.where
+        self._where_fn = compiler.compile_predicate(where) if where is not None else None
+        self._arg_fns: List[Optional[Callable[[Env], Any]]] = []
+        self._folds: List[Callable[..., None]] = []
+        for node in analyzed.aggregates:
+            probe = aggregates.create(node.name)
+            fold = FOLDS.get(type(probe))
+            if fold is None:
+                raise UnsupportedExpression(
+                    f"aggregate {node.name!r} resolves to"
+                    f" {type(probe).__name__}, which has no batched fold"
+                )
+            self._folds.append(fold)
+            arg = node.args[0] if node.args else None
+            self._arg_fns.append(compiler.compile(arg) if arg is not None else None)
+        # HAVING/SELECT run columnar over the group table at window
+        # close (compiling here also means unsupported trees fall back
+        # at build time, not at the first window close).
+        having = analyzed.ast.having
+        self._having_fn = (
+            compiler.compile_predicate(having, allow_aggregates=True)
+            if having is not None
+            else None
+        )
+        self._select_fns = [
+            compiler.compile(item.expr, allow_aggregates=True)
+            for item in analyzed.ast.select
+        ]
+        self._charge = lambda op, count: self._cost.charge(self._account, op, count)
+
+    # -- batch path ----------------------------------------------------------
+
+    def _row_env(self, batch: RecordBatch, gb_arrays: List[Any], length: int) -> Env:
+        """Row env where group-by names shadow stream columns, exactly
+        like the tuple path's _AggTupleContext."""
+        gb_index = self._gb_index
+
+        def column(name: str) -> Any:
+            idx = gb_index.get(name)
+            if idx is not None:
+                return gb_arrays[idx]
+            return batch.column(name)
+
+        return Env(column, length, self._charge)
+
+    def process_batch(self, batch: RecordBatch) -> RecordBatch:
+        n = len(batch)
+        if n == 0:
+            return RecordBatch.from_records(self.output_schema, [])
+        env = Env(batch.column, n, self._charge)
+        gb_arrays = [as_column(fn(env), n) for fn in self._gb_fns]
+        window_arrays = [gb_arrays[i] for i in self._ordered_indices]
+
+        # WHERE evaluates once over the whole batch (group-by names
+        # shadowing included); segments slice the mask.
+        mask = None
+        if self._where_fn is not None:
+            self._cost.charge(self._account, "predicate_eval", n)
+            mask = self._where_fn(self._row_env(batch, gb_arrays, n))
+
+        self._cost.charge(self._account, "tuple_read", n)
+        self._cost.charge(self._account, "hash_probe", n)
+        self.m_in.inc(n)
+
+        # Window segmentation happens pre-WHERE: any tuple whose ordered
+        # group-by values differ from the previous tuple's closes the
+        # window, whether or not WHERE admits it.
+        if window_arrays and n > 1:
+            change = np.zeros(n, dtype=np.bool_)
+            for col in window_arrays:
+                change[1:] |= np.asarray(col[1:] != col[:-1], dtype=np.bool_)
+            bounds = [0] + np.flatnonzero(change).tolist() + [n]
+        else:
+            bounds = [0, n]
+
+        outputs: List[Record] = []
+        for start, stop in zip(bounds, bounds[1:]):
+            window = tuple(_py(col[start]) for col in window_arrays)
+            if self._current_window is None:
+                self._current_window = window
+                self.obs_trace.emit(
+                    "window_open", query=self.obs_query, window=list(window)
+                )
+            elif window != self._current_window:
+                outputs.extend(self._emit_window())
+                self._current_window = window
+                self.obs_trace.emit(
+                    "window_open", query=self.obs_query, window=list(window)
+                )
+            self._process_segment(batch, gb_arrays, mask, start, stop)
+        return RecordBatch.from_records(self.output_schema, outputs)
+
+    def _process_segment(
+        self,
+        batch: RecordBatch,
+        gb_arrays: List[Any],
+        mask: Optional[Any],
+        start: int,
+        stop: int,
+    ) -> None:
+        seg_n = stop - start
+        if mask is not None:
+            seg_mask = mask[start:stop]
+            admitted = int(np.count_nonzero(seg_mask))
+            if admitted < seg_n:
+                self.m_filtered.inc(seg_n - admitted)
+            if admitted == 0:
+                return
+        else:
+            seg_mask = None
+            admitted = seg_n
+        self.m_admitted.inc(admitted)
+
+        # Aggregate arguments see the admitted rows of this segment as
+        # lazy views over the parent batch's columns (group-by names
+        # shadow stream columns, as everywhere) — no segment batch, no
+        # records-backing copy.
+        if seg_mask is None or admitted == seg_n:
+            seg_gb = [col[start:stop] for col in gb_arrays]
+
+            def base_column(name: str) -> Any:
+                return batch.column(name)[start:stop]
+
+        else:
+            seg_gb = [col[start:stop][seg_mask] for col in gb_arrays]
+
+            def base_column(name: str) -> Any:
+                return batch.column(name)[start:stop][seg_mask]
+
+        codes, keys = _factorize(seg_gb, admitted)
+        groups: List[List[Aggregate]] = []
+        for key in keys:
+            group = self._groups.get(key)
+            if group is None:
+                group = [
+                    self._registry.create(node.name)
+                    for node in self.analyzed.aggregates
+                ]
+                self._groups[key] = group
+                self._cost.charge(self._account, "hash_insert")
+                self.m_groups_created.inc()
+            groups.append(group)
+
+        if self.analyzed.aggregates:
+            gb_index = self._gb_index
+
+            def column(name: str) -> Any:
+                idx = gb_index.get(name)
+                if idx is not None:
+                    return seg_gb[idx]
+                return base_column(name)
+
+            env = Env(column, admitted, self._charge)
+            for slot, (arg_fn, fold) in enumerate(zip(self._arg_fns, self._folds)):
+                values = arg_fn(env) if arg_fn is not None else 1
+                fold(groups, slot, codes, values, len(keys))
+            self._cost.charge(
+                self._account,
+                "aggregate_update",
+                admitted * len(self.analyzed.aggregates),
+            )
+
+    # -- window close --------------------------------------------------------
+
+    def _emit_window(self) -> List[Record]:
+        """Columnar window close with exact tuple-path accounting parity:
+        one window_flush, predicate_eval per group, function_call per
+        group per scalar call site (HAVING sees all groups, SELECT only
+        survivors), output_tuple per surviving group."""
+        self._cost.charge(self._account, "window_flush")
+        n_groups = len(self._groups)
+        outputs: List[Record] = []
+        if n_groups:
+            keys = list(self._groups.keys())
+            tables = list(self._groups.values())
+            gb_index = self._gb_index
+            key_cache: Dict[int, Any] = {}
+            agg_cache: Dict[int, Any] = {}
+
+            def column(name: str) -> Any:
+                idx = gb_index.get(name)
+                if idx is None:
+                    raise ExecutionError(
+                        f"column {name!r} is not a group-by variable"
+                    )
+                col = key_cache.get(idx)
+                if col is None:
+                    col = _group_column([key[idx] for key in keys])
+                    key_cache[idx] = col
+                return col
+
+            def aggregate(slot: int) -> Any:
+                col = agg_cache.get(slot)
+                if col is None:
+                    col = _group_column([aggs[slot].value() for aggs in tables])
+                    agg_cache[slot] = col
+                return col
+
+            env = Env(column, n_groups, self._charge, aggregate)
+            if self._having_fn is not None:
+                self._cost.charge(self._account, "predicate_eval", n_groups)
+                hmask = self._having_fn(env)
+                kept = int(np.count_nonzero(hmask))
+                if kept < n_groups:
+                    self.m_having_rejected.inc(n_groups - kept)
+            else:
+                hmask = None
+                kept = n_groups
+            if kept:
+                if hmask is not None and kept < n_groups:
+                    sel_env = Env(
+                        lambda name: column(name)[hmask],
+                        kept,
+                        self._charge,
+                        lambda slot: aggregate(slot)[hmask],
+                    )
+                else:
+                    sel_env = env
+                col_lists = [
+                    as_column(fn(sel_env), kept).tolist()
+                    for fn in self._select_fns
+                ]
+                outputs = [
+                    Record(self.output_schema, list(row))
+                    for row in zip(*col_lists)
+                ]
+                self._cost.charge(self._account, "output_tuple", kept)
+        self.m_windows.inc()
+        self.m_rows_out.inc(len(outputs))
+        self.obs_trace.emit(
+            "window_close",
+            query=self.obs_query,
+            window=list(self._current_window or ()),
+            rows_out=len(outputs),
+        )
+        self._groups.clear()
+        return outputs

@@ -88,7 +88,19 @@ class PlanningError(QueryError):
 
 
 class ExecutionError(ReproError):
-    """An operator failed while processing tuples."""
+    """An operator failed while processing tuples.
+
+    ``span`` locates the expression that failed when the evaluator knows
+    it (type errors in WHERE/SELECT arithmetic carry the offending
+    operator's source span); the message then ends with ``at line L,
+    col C`` so CLI users can find the clause without a traceback.
+    """
+
+    def __init__(self, message: str, span=None) -> None:
+        if span is not None:
+            message = f"{message} (at line {span.line}, col {span.col})"
+        super().__init__(message)
+        self.span = span
 
 
 class RegistryError(ReproError):

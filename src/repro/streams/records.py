@@ -54,7 +54,20 @@ class Record:
         defaults = {"int": 0, "uint": 0, "float": 0.0, "bool": False, "str": ""}
         values = []
         for attr in schema:
-            value = mapping.get(attr.name, defaults[attr.type_tag])
+            if attr.name in mapping:
+                value = mapping[attr.name]
+            else:
+                try:
+                    value = defaults[attr.type_tag]
+                except KeyError:
+                    # A tag outside the defaults table (a schema built
+                    # around validation, or a future type) must name the
+                    # attribute, not surface as a bare KeyError.
+                    raise SchemaError(
+                        f"attribute {attr.name!r} of schema {schema.name!r}"
+                        f" has type {attr.type_tag!r}, which has no default"
+                        " value; supply it explicitly"
+                    ) from None
             if attr.ordering.is_ordered:
                 if value is None:
                     raise SchemaError(

@@ -66,6 +66,41 @@ class TestArithmetic:
         with pytest.raises(ExecutionError):
             evaluate(BinaryOp("/", lit(1.0), lit(0.0)), DictContext())
 
+    def test_bool_divides_as_number_not_integer(self):
+        # bool subclasses int, but TRUE/2 silently floor-dividing to 0 is
+        # a wrong answer: booleans take true-division semantics.
+        assert evaluate(BinaryOp("/", lit(True), lit(2)), DictContext()) == 0.5
+        assert evaluate(BinaryOp("/", lit(3), lit(True)), DictContext()) == 3.0
+        assert evaluate(BinaryOp("/", lit(False), lit(4)), DictContext()) == 0.0
+
+    def test_bool_division_by_false_raises(self):
+        with pytest.raises(ExecutionError):
+            evaluate(BinaryOp("/", lit(1), lit(False)), DictContext())
+
+    def test_mixed_type_comparison_wrapped(self):
+        # `srcIP > 100` over a string column must surface as a
+        # span-carrying ExecutionError, not a raw TypeError traceback.
+        from repro.dsms.span import Span
+
+        ctx = DictContext({"srcIP": "10.0.0.1"})
+        expr = BinaryOp(">", ColumnRef("srcIP"), lit(100), span=Span(3, 7, 1))
+        with pytest.raises(ExecutionError) as err:
+            evaluate(expr, ctx)
+        assert "str" in str(err.value) and "int" in str(err.value)
+        assert "line 3, col 7" in str(err.value)
+        assert err.value.span == Span(3, 7, 1)
+
+    def test_mixed_type_arithmetic_wrapped(self):
+        ctx = DictContext({"name": "alpha"})
+        for op in ("+", "-", "/"):
+            with pytest.raises(ExecutionError):
+                evaluate(BinaryOp(op, ColumnRef("name"), lit(2)), ctx)
+
+    def test_equality_comparison_never_type_errors(self):
+        # Python == on mismatched types returns False; keep that.
+        assert evaluate(BinaryOp("=", lit("a"), lit(1)), DictContext()) is False
+        assert evaluate(BinaryOp("<>", lit("a"), lit(1)), DictContext()) is True
+
     def test_unary_minus(self):
         assert evaluate(UnaryOp("-", lit(5)), DictContext()) == -5
 

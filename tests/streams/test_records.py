@@ -51,6 +51,19 @@ class TestConstruction:
         with pytest.raises(SchemaError, match="unknown attributes"):
             Record.from_mapping(SCHEMA, {"zzz": 1})
 
+    def test_from_mapping_missing_default_names_attribute_and_tag(self):
+        # A type tag outside the defaults table (a future type, or a
+        # schema built around attribute validation) must raise a
+        # SchemaError naming the attribute and tag — not a bare KeyError.
+        schema = StreamSchema("S2", [Attribute("a"), Attribute("blob")])
+        object.__setattr__(schema.attributes[1], "type_tag", "bytes")
+        with pytest.raises(SchemaError, match="'blob'.*'bytes'.*no default"):
+            Record.from_mapping(schema, {"a": 1})
+        # Supplying the value explicitly still works: only the *default*
+        # is undefined for the tag.
+        rec = Record.from_mapping(schema, {"a": 1, "blob": b"x"})
+        assert rec["blob"] == b"x"
+
 
 class TestAccess:
     def test_by_name(self):
