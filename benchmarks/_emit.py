@@ -1,0 +1,45 @@
+"""Shared JSON emitter for the tracked ``BENCH_*.json`` artifacts.
+
+Every benchmark family lands its measured numbers in a flat
+``{benchmark_name: payload}`` JSON document at the repo root
+(``BENCH_throughput.json``, ``BENCH_rebalance.json``, ...) for trend
+tracking and the CI gates (``scripts/check_*_gate.py``).  Rewriting the
+whole document on every merge keeps it valid JSON regardless of which
+subset of benchmarks ran.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+#: Default best-of rounds for wall-clock measurements.
+ROUNDS = 3
+
+
+def record_bench(out_path: str, name: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into the JSON document at *out_path*."""
+    data = {}
+    if os.path.exists(out_path):
+        try:
+            with open(out_path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+    data[name] = payload
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    label = os.path.basename(out_path).rsplit(".", 1)[0]
+    print(f"\n{label}[{name}]:", json.dumps(payload, sort_keys=True))
+
+
+def best_of(fn, rounds: int = ROUNDS) -> float:
+    """Minimum wall-clock seconds over *rounds* runs of ``fn()``."""
+    elapsed = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        elapsed.append(time.perf_counter() - start)
+    return min(elapsed)

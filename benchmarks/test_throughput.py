@@ -13,12 +13,13 @@ aggregation hot paths must beat the tuple path by >= 10x locally (CI
 enforces a looser 5x floor for noisy runners via the recorded JSON).
 """
 
-import json
 import os
 import time
 
 import pytest
 
+from benchmarks._emit import ROUNDS, best_of
+from benchmarks._emit import record_bench as _record_bench
 from repro.dsms.runtime import Gigascope
 from repro.dsms.vectorized import RecordBatch
 from repro.streams.schema import TCP_SCHEMA
@@ -31,7 +32,6 @@ from repro.algorithms.bindings import (
 )
 
 OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_throughput.json")
-ROUNDS = 3
 BATCH_SIZE = 4096
 
 #: CI floor for the vectorized selection hot path; loose relative to the
@@ -45,33 +45,9 @@ MIN_HOT_PATH_SPEEDUP = float(os.environ.get("REPRO_MIN_HOT_PATH_SPEEDUP", "10"))
 
 
 def record_bench(name, payload):
-    """Merge one benchmark's numbers into BENCH_throughput.json.
-
-    The file accumulates a flat ``{benchmark_name: payload}`` object so
-    all throughput benchmarks share one tracked artifact; rewriting the
-    whole document keeps it valid JSON regardless of which subset ran.
-    """
-    data = {}
-    if os.path.exists(OUT_PATH):
-        try:
-            with open(OUT_PATH, "r", encoding="utf-8") as fh:
-                data = json.load(fh)
-        except (OSError, ValueError):
-            data = {}
-    data[name] = payload
-    with open(OUT_PATH, "w", encoding="utf-8") as fh:
-        json.dump(data, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"\nBENCH_throughput[{name}]:", json.dumps(payload, sort_keys=True))
-
-
-def best_of(fn, rounds=ROUNDS):
-    elapsed = []
-    for _ in range(rounds):
-        start = time.perf_counter()
-        fn()
-        elapsed.append(time.perf_counter() - start)
-    return min(elapsed)
+    """Merge one benchmark's numbers into BENCH_throughput.json
+    (shared emitter: ``benchmarks/_emit.py``)."""
+    _record_bench(OUT_PATH, name, payload)
 
 
 @pytest.fixture(scope="module")

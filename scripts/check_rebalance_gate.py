@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_rebalance.json.
+
+Run after ``pytest benchmarks/test_rebalance.py`` has regenerated the
+JSON: fails if the rebalanced run's throughput on the 80%-hot-key
+workload dropped below its recorded ``ci_min_speedup`` floor (2x static
+hash sharding) — the elastic rebalancer's acceptance criterion.  The
+floor lives in the JSON so the benchmark and the gate can't drift
+apart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_rebalance.json")
+
+
+def main() -> int:
+    try:
+        with open(OUT_PATH, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {OUT_PATH}: {exc}", file=sys.stderr)
+        return 1
+    entry = data.get("rebalanced_vs_static_hot_key")
+    if entry is None:
+        print("BENCH_rebalance.json has no rebalanced_vs_static_hot_key "
+              "entry — did the benchmark run?", file=sys.stderr)
+        return 1
+    speedup = entry["speedup"]
+    floor = entry.get("ci_min_speedup", 2.0)
+    print(f"rebalanced vs static on {entry['hot_fraction']:.0%}-hot-key"
+          f" workload: {speedup}x (floor {floor}x,"
+          f" curated_fraction={entry['curated_fraction']})")
+    if speedup < floor:
+        print("rebalance gate FAILED: rebalanced throughput fell below "
+              f"{floor}x static hash sharding", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

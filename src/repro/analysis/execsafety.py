@@ -31,6 +31,12 @@ is pinned by ``tests/analysis/test_execsafety.py``):
     checkpointable; a state class declaring ``checkpointable = False``
     (it holds unsnapshottable resources) cannot ride a journal commit
     (``DurableRunner.__init__``).
+``SA306``
+    Elastic rebalancing migrates operator state between shards through
+    the same checkpoint/restore snapshots, so a state class declaring
+    ``checkpointable = False`` means its operator state is not
+    migratable across shard boundaries
+    (``ShardedGigascope.add_query`` under ``rebalance=``).
 
 All SA3xx diagnostics are **errors** — the runtime would hard-refuse —
 and the whole family is gated on an :class:`ExecTarget`: without
@@ -77,6 +83,7 @@ class ExecTarget:
     processes: bool = False
     supervise: bool = False
     durable: bool = False
+    rebalance: bool = False
     shed_threshold: Optional[int] = None
 
     @property
@@ -96,6 +103,8 @@ class ExecTarget:
             parts.append("supervise")
         if self.durable:
             parts.append("durable")
+        if self.rebalance:
+            parts.append("rebalance")
         if self.shed_threshold is not None:
             parts.append(f"shed={self.shed_threshold}")
         return ",".join(parts) or "serial"
@@ -106,6 +115,7 @@ class ExecTarget:
             "processes": self.processes,
             "supervise": self.supervise,
             "durable": self.durable,
+            "rebalance": self.rebalance,
             "shed_threshold": self.shed_threshold,
         }
 
@@ -126,7 +136,7 @@ def parse_target(text: str) -> ExecTarget:
         key, _, value = item.partition("=")
         key = key.strip().lower()
         value = value.strip()
-        if key in ("durable", "supervise", "processes"):
+        if key in ("durable", "supervise", "processes", "rebalance"):
             if value:
                 raise ValueError(
                     f"target flag {key!r} takes no value (got {item!r})"
@@ -145,7 +155,8 @@ def parse_target(text: str) -> ExecTarget:
         else:
             raise ValueError(
                 f"unknown target item {item!r}; expected"
-                " shards=N, shed=N, durable, supervise, or processes"
+                " shards=N, shed=N, durable, supervise, processes,"
+                " or rebalance"
             )
     return ExecTarget(**target)
 
@@ -282,6 +293,8 @@ def check_execsafety(
     if target.sharded:
         _check_mergeable(analyzed, plan, target, collector)
         _check_partitionable(analyzed, plan, target, collector)
+        if target.rebalance:
+            _check_migratable(analyzed, result, target, collector)
     if target.durable:
         _check_durable_shedding(analyzed, target, collector)
         _check_durable_supervision(analyzed, target, collector)
@@ -359,6 +372,26 @@ def _check_durable_supervision(
         " checkpoint protocol can snapshot remote workers"
         " (DurableRunner refuses the combination at construction)",
     )
+
+
+def _check_migratable(
+    analyzed: AnalyzedQuery,
+    result: DataflowResult[ExecFact],
+    target: ExecTarget,
+    collector: DiagnosticCollector,
+) -> None:
+    final = result.out_facts[result.graph.topological()[-1].node_id]
+    for state in final.non_checkpointable:
+        collector.error(
+            "SA306",
+            f"SFUN state {state!r} declares checkpointable=False, so its"
+            f" operator state is not migratable across shard boundaries"
+            f" (target {target.describe()})",
+            _stateful_call_span(analyzed, state),
+            hint="run without rebalancing or make the state snapshottable"
+            " (ShardedGigascope.add_query refuses the plan at runtime"
+            " when rebalance= is set)",
+        )
 
 
 def _check_durable_states(

@@ -63,6 +63,7 @@ RULE_DESCRIPTIONS: Dict[str, str] = {
     "SA303": "durable resume and load shedding do not mix",
     "SA304": "durable resume needs supervised shards",
     "SA305": "SFUN state is not checkpointable under durable resume",
+    "SA306": "operator state not migratable across shard boundaries",
 }
 
 _SARIF_LEVELS: Dict[Severity, str] = {

@@ -53,6 +53,7 @@ from typing import List, Optional
 from repro.dsms.durability import DurableRunner
 from repro.dsms.explain import explain
 from repro.dsms.parser import compile_query
+from repro.dsms.rebalance import RebalancePolicy
 from repro.dsms.resilience import SupervisionPolicy
 from repro.dsms.runtime import Gigascope
 from repro.dsms.sharded import ShardedGigascope
@@ -98,6 +99,7 @@ def _standard_instance(
     quarantine: Optional[QuarantineStream] = None,
     validate_admission: bool = False,
     vectorize: bool = False,
+    rebalance=None,
 ):
     """A DSMS instance with the TCP stream and all SFUN packs loaded.
 
@@ -125,6 +127,7 @@ def _standard_instance(
             trace=trace_sink,
             quarantine=quarantine,
             validate_admission=validate_admission,
+            rebalance=rebalance,
         )
     else:
         gs = Gigascope(
@@ -217,6 +220,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.vectorize and args.shards > 0:
         print("--vectorize is not yet supported with --shards", file=sys.stderr)
         return 2
+    rebalance = None
+    if args.rebalance:
+        if args.shards <= 0:
+            print("--rebalance needs --shards N", file=sys.stderr)
+            return 2
+        if args.shard_processes and not args.supervise:
+            print(
+                "--rebalance with --shard-processes needs --supervise"
+                " (migration runs at the supervisor's checkpoint barrier)",
+                file=sys.stderr,
+            )
+            return 2
+        rebalance = RebalancePolicy(
+            check_interval=args.rebalance_interval,
+            imbalance_threshold=args.rebalance_threshold,
+            max_shards=args.max_shards,
+            curate=args.rebalance_curate,
+        )
     gs = _standard_instance(
         args.relax_factor,
         shards=args.shards,
@@ -229,6 +250,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         quarantine=quarantine,
         validate_admission=harden,
         vectorize=args.vectorize,
+        rebalance=rebalance,
     )
     # Re-register the trace's own schema if it is not the stock TCP one.
     if trace[0].schema != TCP_SCHEMA:
@@ -244,6 +266,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 trace=trace_sink,
                 quarantine=quarantine,
                 validate_admission=harden,
+                rebalance=rebalance,
             )
         else:
             gs = Gigascope(
@@ -341,6 +364,29 @@ def _print_run_report(gs, force: bool = False) -> None:
         if force or any(counters.values()):
             rendered = " ".join(f"{key}={value}" for key, value in sorted(counters.items()))
             print(f"-- query {name}: {rendered}", file=sys.stderr)
+    for name, reason in sorted(
+        report.get("vectorize", {}).get("fallbacks", {}).items()
+    ):
+        print(
+            f"-- vectorize fallback {name}: {reason}",
+            file=sys.stderr,
+        )
+    rebalance = report.get("rebalance")
+    if rebalance is not None and (force or rebalance["plans"] or rebalance["deferred"]):
+        routing = rebalance["routing"]
+        print(
+            f"-- rebalance: plans={rebalance['plans']}"
+            f" deferred={rebalance['deferred']}"
+            f" migrated_groups={rebalance['migrated_groups']}"
+            f" migrated_supergroups={rebalance['migrated_supergroups']}"
+            f" moved_slots={rebalance['moved_slots']}"
+            f" pinned_keys={rebalance['pinned_keys']}"
+            f" scale_ups={rebalance['scale_ups']}"
+            f" scale_downs={rebalance['scale_downs']}"
+            f" curated_records={rebalance['curated_records']}"
+            f" routing=v{routing['version']}/{routing['shard_count']} shards",
+            file=sys.stderr,
+        )
     supervision = getattr(gs, "last_supervision", None)
     if supervision is not None and (
         force or supervision.total_restarts or supervision.total_shed
@@ -482,6 +528,44 @@ def build_parser() -> argparse.ArgumentParser:
         " interleaving the shards in-process",
     )
     query.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="with --shards, watch per-shard load and migrate hot key"
+        " ranges between shards at window boundaries (elastic skew"
+        " defence; results stay byte-identical to serial)",
+    )
+    query.add_argument(
+        "--rebalance-threshold",
+        type=float,
+        default=1.5,
+        metavar="RATIO",
+        help="with --rebalance, trigger when the hottest shard carries"
+        " this multiple of the mean load (default 1.5)",
+    )
+    query.add_argument(
+        "--rebalance-interval",
+        type=int,
+        default=4,
+        metavar="ROUNDS",
+        help="with --rebalance, check the load balance every N rounds"
+        " (default 4)",
+    )
+    query.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --rebalance, let the pool grow up to N shards under"
+        " sustained skew (default: the initial --shards count)",
+    )
+    query.add_argument(
+        "--rebalance-curate",
+        action="store_true",
+        help="with --rebalance, degrade gracefully when one key is too"
+        " hot to migrate away from: deterministically downsample only"
+        " that key's traffic, with shed-style cost accounting",
+    )
+    query.add_argument(
         "--supervise",
         action="store_true",
         help="with --shards, run shard workers under crash supervision:"
@@ -579,7 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="deployment configuration for the SA3xx execution-safety"
         " rules, e.g. 'shards=4,durable,supervise' (flags: durable,"
-        " supervise, processes; keyed: shards=N, shed=N)",
+        " supervise, processes, rebalance; keyed: shards=N, shed=N)",
     )
     lint_cmd.add_argument(
         "--format",

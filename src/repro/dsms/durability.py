@@ -404,9 +404,21 @@ class DurableRunner:
                 int(shard): (seq, blob)
                 for shard, (seq, blob) in snapshot["shards"].items()
             }
+            if snapshot.get("routing") is not None:
+                # The routing table (and the rebalancer's decision state)
+                # rides every commit, so the replay routes — and keeps
+                # re-deciding — under the same routing history.
+                sh.restore_rebalance(snapshot["routing"])
+            elif getattr(sh, "_rebalancer", None) is not None:
+                raise ExecutionError(
+                    "journal has no routing table but this instance"
+                    " rebalances; resume with the same configuration as"
+                    " the original run"
+                )
             records = self._skip(records, consumed)
         start = consumed
         rounds = 0
+        rebalancing = getattr(sh, "_rebalancer", None) is not None
 
         def on_round(supervisor: Any, total: int) -> None:
             nonlocal rounds
@@ -415,8 +427,11 @@ class DurableRunner:
                 self.on_batch(rounds, start + total)
             if rounds % self.commit_interval == 0:
                 shards = supervisor.checkpoint_all()
+                extra = (
+                    {"routing": sh.routing_snapshot()} if rebalancing else {}
+                )
                 self._commit(
-                    journal, "commit", start + total, shards=shards
+                    journal, "commit", start + total, shards=shards, **extra
                 )
 
         total = sh.run(

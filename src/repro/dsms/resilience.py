@@ -259,6 +259,68 @@ class ShardSupervisor:
                 # _recover re-sends the restore from self._ckpt.
                 self._recover(shard, str(died))
 
+    def add_shard(self, shard: int) -> None:
+        """Grow the supervised pool by one worker (elastic scale-up).
+
+        The owner must already have grown ``_instances``/``shards``; this
+        extends every per-shard structure and spawns the worker.  The new
+        shard starts at seq 0 with no journal — it receives state only
+        through :meth:`install_checkpoints` (a migration) or routed
+        batches.
+        """
+        if shard != len(self._workers):
+            raise ExecutionError(
+                f"add_shard({shard}) out of order: pool has"
+                f" {len(self._workers)} workers"
+            )
+        self._in_queues.append(None)
+        self._workers.append(None)
+        self._epoch.append(0)
+        self._seq.append(0)
+        self._journal.append([])
+        self._ckpt.append(None)
+        self._last_ckpt_request.append(0)
+        self._last_event.append(0.0)
+        self._restarts.append(0)
+        self._trace("shard_added", shard=shard)
+        self._count(
+            "supervisor_shards_added_total", shard,
+            help="workers added to the pool by elastic scale-up",
+        )
+        self._spawn(shard)
+
+    def install_checkpoints(self, blobs: Dict[int, bytes]) -> None:
+        """Atomically replace shard checkpoints after a state migration.
+
+        Two phases, deliberately ordered: first *every* affected shard's
+        parent-side ``_ckpt`` slot is rewritten (and its journal prefix
+        dropped — the new snapshot covers everything shipped so far), and
+        only then are the live workers told to restore.  A worker that
+        crashes before, during, or after its restore is recovered by the
+        normal :meth:`_recover` path, which reads the already-rewritten
+        ``_ckpt`` — so a mid-migration crash can only land the run in the
+        consistent post-migration state, never a half-migrated one.
+        """
+        for shard, blob in blobs.items():
+            seq = self._seq[shard]
+            self._ckpt[shard] = (seq, blob)
+            self._last_ckpt_request[shard] = seq
+            self._journal[shard] = [
+                entry for entry in self._journal[shard] if entry[0] > seq
+            ]
+            self._trace(
+                "shard_migrate", shard=shard, seq=seq, bytes=len(blob)
+            )
+            self._count(
+                "supervisor_migrations_total", shard,
+                help="post-migration checkpoints installed into workers",
+            )
+        for shard in blobs:
+            seq, blob = self._ckpt[shard]
+            # False return means recovery intervened — and _recover
+            # already restored from the new _ckpt, so nothing to re-send.
+            self._send_control(shard, ("restore", seq, blob))
+
     def checkpoint_all(self) -> Dict[int, Tuple[int, bytes]]:
         """Synchronously checkpoint every shard at its current sequence.
 

@@ -251,6 +251,20 @@ class Gigascope:
             plan, self.cost, account=name, vectorize=self.vectorize
         )
         operator.bind_obs(self.metrics, self.trace, name)
+        if (
+            self.vectorize
+            and getattr(operator, "execution_mode", "tuple") != "vectorized"
+        ):
+            # The fallback is a per-plan decision made here, once — put
+            # it where reports and scrapes can see it, not just stderr.
+            if getattr(operator, "vectorize_fallback", None) is None:
+                operator.vectorize_fallback = "this plan kind runs per-tuple"
+            self.metrics.counter(
+                "vectorize_fallback_total",
+                help="queries that fell back to the tuple path under"
+                " vectorize=True",
+                query=name,
+            ).inc()
         handle = QueryHandle(
             name=name,
             text=text,
@@ -789,7 +803,7 @@ class Gigascope:
     def results(self, name: str) -> List[Record]:
         return self.query(name).results
 
-    def run_report(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+    def run_report(self) -> Dict[str, Any]:
         """Overload/degradation counters for the most recent run.
 
         ``streams``: per source stream, ring-buffer ``drops`` (slowest
@@ -837,7 +851,19 @@ class Gigascope:
                           operator=operator.kind_label)
                 ),
             }
-        return {"streams": streams, "queries": queries}
+        report: Dict[str, Any] = {"streams": streams, "queries": queries}
+        if self.vectorize:
+            fallbacks = {
+                name: self._queries[name].operator.vectorize_fallback
+                for name in self._order
+                if getattr(
+                    self._queries[name].operator, "execution_mode", "tuple"
+                )
+                != "vectorized"
+            }
+            if fallbacks:
+                report["vectorize"] = {"fallbacks": fallbacks}
+        return report
 
     def _sync_ring_metrics(self) -> None:
         """Mirror ring-buffer drop/backlog counts into gauges.

@@ -65,6 +65,13 @@ from repro.dsms.cost import CostModel, NULL_COST_MODEL
 from repro.dsms.operators.merge import MergeOperator
 from repro.dsms.parser import compile_query
 from repro.dsms.parser.planner import partition_info
+from repro.dsms.rebalance import (
+    MigrationDeferred,
+    RebalancePolicy,
+    Rebalancer,
+    RoutingTable,
+    migrate_states,
+)
 from repro.dsms.resilience import ShardSupervisor, SupervisionPolicy, SupervisionReport
 from repro.dsms.runtime import Gigascope, QueryHandle
 from repro.dsms.stateful import StatefulLibrary
@@ -195,6 +202,7 @@ class ShardedGigascope:
         trace: Optional[TraceSink] = None,
         quarantine: Optional["QuarantineStream"] = None,
         validate_admission: bool = False,
+        rebalance: Any = None,
     ) -> None:
         """Beyond the PR-2 parameters:
 
@@ -229,6 +237,17 @@ class ShardedGigascope:
         where the failure would surface as a shard crash.  Quarantined
         records are counted in the parent registry as
         ``stream_quarantined_total{stream=...}``.
+
+        ``rebalance`` enables elastic skew-aware sharding (``True`` for
+        the default policy, or a :class:`RebalancePolicy`): routing goes
+        through a :class:`RoutingTable` instead of the pure hash modulo,
+        and a :class:`Rebalancer` watches per-shard load to split hot
+        key ranges, migrate operator state between shards via the
+        checkpoint/restore snapshots, scale the shard pool, and — under
+        ``policy.curate`` — downsample an unmigratable hot key's traffic
+        with shed-style cost accounting.  Works with the in-process and
+        supervised modes; unsupervised process shards have no control
+        channel to migrate over.
         """
         if shards < 1:
             raise PlanningError("shards must be >= 1")
@@ -237,6 +256,12 @@ class ShardedGigascope:
         self.shards = shards
         self.supervise = supervise or supervision is not None
         self.processes = processes or self.supervise
+        if rebalance and processes and not self.supervise:
+            raise PlanningError(
+                "rebalance needs the in-process or supervised mode:"
+                " unsupervised process shards have no control channel"
+                " for state migration (use supervise=True)"
+            )
         self.cost = cost_model or NULL_COST_MODEL
         self.strict = strict
         self.queue_depth = queue_depth
@@ -253,17 +278,23 @@ class ShardedGigascope:
         self.quarantine = (
             quarantine if quarantine is not None else QuarantineStream()
         )
+        self._ring_capacity = ring_capacity
+        if rebalance:
+            policy = (
+                rebalance
+                if isinstance(rebalance, RebalancePolicy)
+                else RebalancePolicy()
+            )
+            self._rebalancer: Optional[Rebalancer] = Rebalancer(
+                policy, RoutingTable.default(shards, policy.slots_per_shard)
+            )
+        else:
+            self._rebalancer = None
+        #: registration calls replayed onto pool-grown shard instances
+        self._replay_log: List[Tuple[str, tuple]] = []
         # Strictness is enforced once, centrally, in add_query; the shard
         # instances receive pre-vetted text and never re-lint it.
-        self._instances = [
-            Gigascope(
-                cost_model=self.cost,
-                ring_capacity=ring_capacity,
-                shed_threshold=shed_threshold,
-                trace=TraceSink() if self.trace.enabled else None,
-            )
-            for _ in range(shards)
-        ]
+        self._instances = [self._new_instance() for _ in range(shards)]
         self._handles: Dict[str, ShardedQueryHandle] = {}
         self._order: List[str] = []
         self._nodes: Dict[str, _Node] = {}
@@ -275,6 +306,50 @@ class ShardedGigascope:
 
     # -- registration -----------------------------------------------------------
 
+    def _new_instance(self) -> Gigascope:
+        return Gigascope(
+            cost_model=self.cost,
+            ring_capacity=self._ring_capacity,
+            shed_threshold=self.shed_threshold,
+            trace=TraceSink() if self.trace.enabled else None,
+        )
+
+    def _ensure_pool(self, size: int) -> List[int]:
+        """Grow the shard pool to ``size`` instances; returns new ids.
+
+        The pool only grows — a scale-*down* simply routes no traffic to
+        the retired shards, which stay alive to report the results and
+        state they already hold.  New instances replay the registration
+        log so they carry the identical query DAG.
+        """
+        added: List[int] = []
+        while self.shards < size:
+            shard = self.shards
+            instance = self._new_instance()
+            for kind, args in self._replay_log:
+                if kind == "stream":
+                    instance.register_stream(*args)
+                elif kind == "library":
+                    instance.use_stateful_library(*args)
+                elif kind == "scalar":
+                    name, fn, deterministic = args
+                    instance.register_scalar(name, fn, deterministic=deterministic)
+                elif kind == "query":
+                    text, name, low_level = args
+                    instance.add_query(
+                        text,
+                        name=name,
+                        keep_results=True,
+                        low_level_aggregation=low_level,
+                        strict=False,
+                    )
+            self._instances.append(instance)
+            for name in self._order:
+                self._handles[name].shard_handles.append(instance.query(name))
+            self.shards += 1
+            added.append(shard)
+        return added
+
     @property
     def registries(self):
         """Registries of shard 0 (all shards are kept identical)."""
@@ -283,6 +358,7 @@ class ShardedGigascope:
     def register_stream(self, schema: StreamSchema) -> None:
         for instance in self._instances:
             instance.register_stream(schema)
+        self._replay_log.append(("stream", (schema,)))
         nonordered = frozenset(
             a.name for a in schema.attributes if not a.ordering.is_ordered
         )
@@ -293,10 +369,12 @@ class ShardedGigascope:
     def use_stateful_library(self, library: StatefulLibrary) -> None:
         for instance in self._instances:
             instance.use_stateful_library(library)
+        self._replay_log.append(("library", (library,)))
 
     def register_scalar(self, name: str, fn, deterministic: bool = True) -> None:
         for instance in self._instances:
             instance.register_scalar(name, fn, deterministic=deterministic)
+        self._replay_log.append(("scalar", (name, fn, deterministic)))
 
     def lint(self, text: str, name: str = "query"):
         return self._instances[0].lint(text, name=name)
@@ -335,6 +413,28 @@ class ShardedGigascope:
                 f"query {name!r} reads from {source!r}, which is neither a"
                 " source stream nor a registered query"
             )
+        if self._rebalancer is not None:
+            # Rebalancing moves operator state between shards through
+            # checkpoint snapshots, so every SFUN state must be
+            # snapshottable.  Checked before the shardability rules so a
+            # query failing several is refused for this reason first —
+            # ``repro lint --target 'shards=N,rebalance'`` reports the
+            # same verdict as rule SA306.
+            library = self._instances[0].registries.stateful
+            bad = sorted(
+                {
+                    state
+                    for state in plan.analyzed.state_names
+                    if not library.checkpointable(state)
+                }
+            )
+            if bad:
+                raise PlanningError(
+                    f"cannot rebalance query {name!r}: SFUN state(s) {bad}"
+                    " declare checkpointable=False, so their operator state"
+                    " is not migratable across shard boundaries; run without"
+                    " rebalancing or make the state snapshottable"
+                )
         if not plan.output_schema.ordered_attributes():
             raise PlanningError(
                 f"cannot shard query {name!r}: its output has no ordered"
@@ -370,6 +470,7 @@ class ShardedGigascope:
             )
             for instance in self._instances
         ]
+        self._replay_log.append(("query", (text, name, low_level_aggregation)))
         handle = ShardedQueryHandle(
             name=name,
             text=text,
@@ -386,6 +487,12 @@ class ShardedGigascope:
         the shard outputs like any other query)."""
         if name in self._nodes:
             raise PlanningError(f"name {name!r} already in use")
+        if self._rebalancer is not None:
+            raise PlanningError(
+                "rebalance does not support in-shard MERGE nodes: a"
+                " MergeOperator's watermark state is keyed by source, not"
+                " by partition value, so it cannot migrate between shards"
+            )
         nodes = []
         for source in sources:
             if source not in self._handles:
@@ -503,7 +610,14 @@ class ShardedGigascope:
                 " built on the supervisor's checkpoint protocol"
             )
         route = self._route_indices()
-        sinks = [_MergeSink(self._handles[name], self.shards) for name in self._order]
+        # Under rebalance the shard pool can grow mid-run, so the merge
+        # sinks are built *after* execution (sized to the final pool);
+        # shard handles keep full results either way.
+        sinks = (
+            None
+            if self._rebalancer is not None
+            else [_MergeSink(self._handles[name], self.shards) for name in self._order]
+        )
         self._last_report = None
         self.last_supervision = None
         if self.validate_admission:
@@ -560,6 +674,7 @@ class ShardedGigascope:
         self, batch: Sequence[Record], route: Dict[str, int]
     ) -> List[List[Record]]:
         buckets: List[List[Record]] = [[] for _ in range(self.shards)]
+        rebalancer = self._rebalancer
         for record in batch:
             try:
                 index = route[record.schema.name]
@@ -567,8 +682,32 @@ class ShardedGigascope:
                 raise ExecutionError(
                     f"record for unregistered stream {record.schema.name!r}"
                 ) from None
-            buckets[stable_hash(record.values[index]) % self.shards].append(record)
+            value = record.values[index]
+            if rebalancer is None:
+                buckets[stable_hash(value) % self.shards].append(record)
+            else:
+                shard, admit = rebalancer.route_record(
+                    stable_hash(value), value, record.schema.name
+                )
+                if admit:
+                    buckets[shard].append(record)
+        if rebalancer is not None:
+            self._account_curated(rebalancer.drain_curated())
         return buckets
+
+    def _account_curated(self, per_stream: Dict[str, int]) -> None:
+        """Charge curated (hot-key downsampled) records like shed ones."""
+        for stream, count in per_stream.items():
+            self.metrics.counter(
+                "rebalance_curated_total",
+                help="records dropped by hot-key curation at the split edge",
+                stream=stream,
+            ).inc(count)
+            self.cost.charge(stream, "tuple_shed", count)
+            if self.trace.enabled:
+                self.trace.emit(
+                    "rebalance_curate", stream=stream, dropped=count
+                )
 
     def _absorb_shard_obs(
         self, shard: int, metrics_snapshot: Optional[dict], trace_events: list
@@ -598,9 +737,14 @@ class ShardedGigascope:
             for shard, bucket in enumerate(buckets):
                 if bucket:
                     self._instances[shard].feed(bucket)
-            for sink in sinks:
-                for shard in range(self.shards):
-                    sink.drain(shard, sink.handle.shard_handles[shard])
+            if sinks is not None:
+                for sink in sinks:
+                    for shard in range(self.shards):
+                        sink.drain(shard, sink.handle.shard_handles[shard])
+            if self._rebalancer is not None:
+                # Round boundary: rings are drained, so shard checkpoints
+                # cover all fed input — a consistent migration point.
+                self._rebalance_inline()
             return len(batch)
 
         try:
@@ -611,11 +755,22 @@ class ShardedGigascope:
                     batch = []
             if batch:
                 total += feed_round(batch)
-            for shard, instance in enumerate(self._instances):
+            for instance in self._instances:
                 instance.finish()
+            if sinks is None:
+                sinks = [
+                    _MergeSink(self._handles[name], self.shards)
+                    for name in self._order
+                ]
                 for sink in sinks:
-                    sink.drain(shard, sink.handle.shard_handles[shard])
-                    sink.end_source(shard)
+                    for shard in range(self.shards):
+                        sink.feed(shard, sink.handle.shard_handles[shard].results)
+                        sink.end_source(shard)
+            else:
+                for shard in range(self.shards):
+                    for sink in sinks:
+                        sink.drain(shard, sink.handle.shard_handles[shard])
+                        sink.end_source(shard)
             # Snapshot the per-shard reports before the registries are
             # zeroed below (run_report reads the registry).
             self._last_report = _merge_reports(
@@ -659,15 +814,156 @@ class ShardedGigascope:
             resume_state=resume_state,
         )
         self.last_supervision = supervisor.report
+        if self._rebalancer is not None:
+            # Rebalance *before* the caller's hook so a durable commit in
+            # the same round journals the post-migration checkpoints and
+            # routing table together.
+            user_on_round = on_round
+
+            def on_round(sup, total):
+                self._rebalance_supervised(sup)
+                if user_on_round is not None:
+                    user_on_round(sup, total)
+
         total, shard_results, reports = supervisor.run(
             records, batch_size, route, on_round=on_round
         )
+        if sinks is None:
+            sinks = [
+                _MergeSink(self._handles[name], self.shards)
+                for name in self._order
+            ]
         for sink in sinks:
             for shard in range(self.shards):
                 sink.feed(shard, shard_results[shard].get(sink.handle.name, []))
                 sink.end_source(shard)
         self._last_report = _merge_reports(reports)
         return total
+
+    # -- rebalancing --------------------------------------------------------------
+
+    def _rebalance_inline(self) -> None:
+        """Inline-mode decision point: plan, migrate live state, commit."""
+        rebalancer = self._rebalancer
+        assert rebalancer is not None
+        plan = rebalancer.maybe_plan()
+        if plan is None:
+            return
+        if not plan.reroutes:
+            rebalancer.commit(plan)
+            self._note_rebalance(rebalancer, migrated=(0, 0))
+            return
+        added = self._ensure_pool(plan.table.shard_count)
+        for shard in added:
+            self._instances[shard].start()
+        states = {
+            shard: self._instances[shard].checkpoint()
+            for shard in range(self.shards)
+        }
+        try:
+            states, changed, moved = migrate_states(self, states, plan.table)
+        except MigrationDeferred as exc:
+            rebalancer.defer(plan, str(exc))
+            self._note_rebalance(rebalancer, deferred=str(exc))
+            return
+        for shard in sorted(changed):
+            self._instances[shard].restore(states[shard])
+        rebalancer.commit(plan, moved)
+        self._note_rebalance(rebalancer, migrated=moved)
+
+    def _rebalance_supervised(self, supervisor: ShardSupervisor) -> None:
+        """Supervised decision point: checkpoint barrier, migrate, install.
+
+        The new checkpoints are installed parent-side *atomically* (all
+        shards' ``_ckpt`` slots rewritten before any worker is told to
+        restore), so a worker crash at any point mid-migration recovers
+        through the normal restart path from a consistent post-migration
+        checkpoint set.
+        """
+        rebalancer = self._rebalancer
+        assert rebalancer is not None
+        plan = rebalancer.maybe_plan()
+        if plan is None:
+            return
+        if not plan.reroutes:
+            rebalancer.commit(plan)
+            self._note_rebalance(rebalancer, migrated=(0, 0))
+            return
+        added = self._ensure_pool(plan.table.shard_count)
+        for shard in added:
+            supervisor.add_shard(shard)
+        blobs = supervisor.checkpoint_all()
+        states = {shard: pickle.loads(blob) for shard, (_seq, blob) in blobs.items()}
+        try:
+            states, changed, moved = migrate_states(self, states, plan.table)
+        except MigrationDeferred as exc:
+            rebalancer.defer(plan, str(exc))
+            self._note_rebalance(rebalancer, deferred=str(exc))
+            return
+        supervisor.install_checkpoints(
+            {shard: pickle.dumps(states[shard]) for shard in sorted(changed)}
+        )
+        rebalancer.commit(plan, moved)
+        self._note_rebalance(rebalancer, migrated=moved)
+
+    def _note_rebalance(
+        self,
+        rebalancer: Rebalancer,
+        migrated: Optional[Tuple[int, int]] = None,
+        deferred: Optional[str] = None,
+    ) -> None:
+        """Mirror one rebalance decision into metrics and the trace."""
+        if deferred is not None:
+            self.metrics.counter(
+                "rebalance_deferred_total",
+                help="rebalance plans deferred (shard windows not aligned)",
+            ).inc()
+            if self.trace.enabled:
+                self.trace.emit("rebalance_defer", reason=deferred)
+            return
+        assert migrated is not None
+        self.metrics.counter(
+            "rebalance_plans_total", help="rebalance plans committed"
+        ).inc()
+        self.metrics.counter(
+            "rebalance_migrated_groups_total",
+            help="operator groups migrated between shards",
+        ).inc(migrated[0])
+        self.metrics.gauge(
+            "rebalance_routing_version", help="committed routing-table version"
+        ).set(rebalancer.table.version)
+        self.metrics.gauge(
+            "rebalance_active_shards",
+            help="shards the routing table currently routes to",
+        ).set(rebalancer.table.shard_count)
+        if self.trace.enabled:
+            self.trace.emit(
+                "rebalance_plan",
+                version=rebalancer.table.version,
+                shards=rebalancer.table.shard_count,
+                migrated_groups=migrated[0],
+                migrated_supergroups=migrated[1],
+                pinned=sorted(rebalancer.table.hot.values()),
+            )
+
+    def routing_snapshot(self) -> Optional[Dict[str, Any]]:
+        """Picklable routing/rebalancer state for the durable journal."""
+        if self._rebalancer is None:
+            return None
+        return {"pool": self.shards, "rebalancer": self._rebalancer.checkpoint()}
+
+    def restore_rebalance(self, snapshot: Dict[str, Any]) -> None:
+        """Reinstate a :meth:`routing_snapshot` before a resumed run, so
+        the replay routes — and keeps deciding — under the journalled
+        routing history."""
+        if self._rebalancer is None:
+            raise ExecutionError(
+                "journal carries a routing table but this instance was"
+                " built without rebalance=...; resume with the same"
+                " configuration as the original run"
+            )
+        self._ensure_pool(snapshot["pool"])
+        self._rebalancer.restore(snapshot["rebalancer"])
 
     def _run_processes(
         self,
@@ -842,12 +1138,25 @@ class ShardedGigascope:
         in-process mode they are read straight off the shard instances.
         Supervisor-level shedding is reported separately via
         :attr:`last_supervision`.
+
+        When rebalancing is enabled the report grows a ``rebalance``
+        section (plans, migrations, pins, scale events, curated
+        records, the routing table); without it the shape is exactly
+        the serial runtime's ``{streams, queries}``.
         """
         if self._last_report is not None:
-            return self._last_report
-        return _merge_reports(
-            [instance.run_report() for instance in self._instances]
-        )
+            report = self._last_report
+        else:
+            report = _merge_reports(
+                [instance.run_report() for instance in self._instances]
+            )
+        if self._rebalancer is not None:
+            report = dict(report)
+            report["rebalance"] = {
+                **self._rebalancer.report.as_dict(),
+                "routing": self._rebalancer.table.to_json(),
+            }
+        return report
 
     def explain(self) -> str:
         """Render the sharding layout plus one shard's query DAG."""
@@ -858,10 +1167,19 @@ class ShardedGigascope:
         try:
             self._resolve_partitions()
             for stream in self._streams:
-                lines.append(
-                    f"  split {stream} by hash({self._partition[stream]})"
-                    f" % {self.shards}"
-                )
+                if self._rebalancer is not None:
+                    table = self._rebalancer.table
+                    lines.append(
+                        f"  split {stream} by"
+                        f" routing_table[hash({self._partition[stream]})]"
+                        f" (v{table.version}, {len(table.slots)} slots,"
+                        f" {table.shard_count} shards)"
+                    )
+                else:
+                    lines.append(
+                        f"  split {stream} by hash({self._partition[stream]})"
+                        f" % {self.shards}"
+                    )
         except PlanningError as exc:
             lines.append(f"  (partition unresolved: {exc})")
         for name in self._order:

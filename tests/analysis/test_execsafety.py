@@ -17,6 +17,7 @@ import pytest
 from repro.analysis.execsafety import ExecTarget, parse_target
 from repro.analysis.linter import default_lint_registries, lint_source
 from repro.dsms.durability import DurableRunner
+from repro.dsms.rebalance import RebalancePolicy
 from repro.dsms.runtime import Gigascope
 from repro.dsms.sharded import ShardedGigascope
 from repro.dsms.stateful import StatefulLibrary, StatefulState
@@ -39,11 +40,14 @@ def rules_of(result):
     return {d.rule for d in result.diagnostics}
 
 
-def make_runtime(shards=0, supervise=False, shed_threshold=None):
+def make_runtime(shards=0, supervise=False, shed_threshold=None, rebalance=False):
     """A fully-loaded runtime mirroring the lint registries."""
     if shards > 0:
         gs = ShardedGigascope(
-            shards=shards, supervise=supervise, shed_threshold=shed_threshold
+            shards=shards,
+            supervise=supervise,
+            shed_threshold=shed_threshold,
+            rebalance=RebalancePolicy() if rebalance else None,
         )
     else:
         gs = Gigascope(shed_threshold=shed_threshold)
@@ -98,6 +102,11 @@ class TestParseTarget:
         assert parse_target(" shards = 2 , durable ") == ExecTarget(
             shards=2, durable=True
         )
+
+    def test_rebalance_flag(self):
+        target = parse_target("shards=4,supervise,rebalance")
+        assert target == ExecTarget(shards=4, supervise=True, rebalance=True)
+        assert target.describe() == "shards=4,supervise,rebalance"
 
 
 class TestGating:
@@ -242,6 +251,53 @@ class TestSA305:
         assert runner is not None
 
 
+class TestSA306:
+    def make_registries(self):
+        registries = default_lint_registries()
+        registries.stateful = registries.stateful.merge(flaky_library())
+        return registries
+
+    def test_non_migratable_state_under_rebalance(self):
+        result = lint_source(
+            FLAKY_QUERY,
+            self.make_registries(),
+            target=parse_target("shards=2,rebalance"),
+        )
+        diags = [d for d in result.diagnostics if d.rule == "SA306"]
+        assert diags, result.render()
+        assert "flaky_state" in diags[0].message
+        assert "not migratable across shard boundaries" in diags[0].message
+
+    def test_silent_without_rebalance_flag(self):
+        result = lint_source(
+            FLAKY_QUERY,
+            self.make_registries(),
+            target=parse_target("shards=2"),
+        )
+        assert "SA306" not in rules_of(result), result.render()
+
+    def test_checkpointable_states_are_fine(self, registries):
+        text = (EXAMPLES[0].parent / "top_talkers.gsql").read_text()
+        result = lint_source(
+            text, registries, target=parse_target("shards=2,rebalance")
+        )
+        assert "SA306" not in rules_of(result), result.render()
+
+    def test_runtime_twin_refuses(self):
+        sh = ShardedGigascope(shards=2, rebalance=RebalancePolicy())
+        sh.register_stream(TCP_SCHEMA)
+        sh.use_stateful_library(flaky_library())
+        with pytest.raises(
+            PlanningError, match="not migratable across shard boundaries"
+        ):
+            sh.add_query(FLAKY_QUERY, name="q")
+
+    def test_runtime_accepts_checkpointable_state(self):
+        sh = make_runtime(shards=2, rebalance=True)
+        text = (EXAMPLES[0].parent / "top_talkers.gsql").read_text()
+        assert sh.add_query(text, name="q") is not None
+
+
 class TestOneToOneMapping:
     """lint --target reports an error ⟺ the runtime refuses the deployment."""
 
@@ -253,6 +309,23 @@ class TestOneToOneMapping:
             {"SA301", "SA302"} & {d.rule for d in result.errors}
         )
         gs = make_runtime(shards=4)
+        try:
+            gs.add_query(text, name="q")
+            runtime_refuses = False
+        except PlanningError:
+            runtime_refuses = True
+        assert lint_refuses == runtime_refuses, result.render()
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+    def test_rebalance_verdict_matches_runtime(self, registries, path):
+        text = path.read_text()
+        result = lint_source(
+            text, registries, target=parse_target("shards=4,rebalance")
+        )
+        lint_refuses = bool(
+            {"SA301", "SA302", "SA306"} & {d.rule for d in result.errors}
+        )
+        gs = make_runtime(shards=4, rebalance=True)
         try:
             gs.add_query(text, name="q")
             runtime_refuses = False

@@ -296,3 +296,33 @@ def test_checkpoints_interchangeable_between_engines(packet_trace):
         out_ref.extend(ref.process(record))
     out_ref.extend(ref.flush())
     assert [tuple(r.values) for r in out_t] == [tuple(r.values) for r in out_ref]
+
+
+def test_fallbacks_surface_in_run_report(packet_trace):
+    """Fallback reasons reach run_report()/metrics; the section is
+    strictly conditional so plain report consumers never see it."""
+    gs = _standard_instance(relax_factor=10.0, vectorize=True)
+    gs.registries.scalars.register("wobble", lambda x: x, deterministic=False)
+    gs.add_query(
+        "SELECT time, len FROM TCP WHERE len > 200", name="fast",
+        keep_results=False,
+    )
+    gs.add_query(
+        "SELECT time FROM TCP WHERE wobble(len) > 0", name="slow",
+        keep_results=False,
+    )
+    gs.run(iter(packet_trace))
+    report = gs.run_report()
+    assert "vectorize" in report
+    fallbacks = report["vectorize"]["fallbacks"]
+    assert set(fallbacks) == {"slow"}
+    assert fallbacks["slow"]
+    assert int(gs.metrics.value("vectorize_fallback_total", query="slow")) == 1
+
+    # Fully vectorized run: no section at all (the {streams, queries}
+    # shape pin in tests/obs/test_report_compat.py stays intact).
+    gs = _standard_instance(relax_factor=10.0, vectorize=True)
+    gs.add_query("SELECT time, len FROM TCP WHERE len > 200", name="fast",
+                 keep_results=False)
+    gs.run(iter(packet_trace))
+    assert set(gs.run_report()) == {"streams", "queries"}
