@@ -5,8 +5,13 @@ Claim reproduced: the relaxed algorithm occasionally over-samples
 algorithm frequently under-samples.
 """
 
+import os
+
 from repro.bench import figures
+from benchmarks._emit import record_bench
 from benchmarks.conftest import run_once
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_figures.json")
 
 
 def test_fig3_samples_per_period(benchmark):
@@ -30,6 +35,12 @@ def test_fig3_samples_per_period(benchmark):
     ]
     benchmark.extra_info["relaxed_oversampled_windows"] = len(relaxed_over)
     benchmark.extra_info["nonrelaxed_undersampled_windows"] = len(nonrelaxed_under)
+    record_bench(OUT_PATH, "fig3_samples_per_period", {
+        "target": target,
+        "windows": len(windows),
+        "relaxed_oversampled_windows": len(relaxed_over),
+        "nonrelaxed_undersampled_windows": len(nonrelaxed_under),
+    })
 
     assert len(relaxed_over) >= 0.8 * len(windows)
     assert len(nonrelaxed_under) >= 0.2 * len(windows)

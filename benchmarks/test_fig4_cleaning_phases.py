@@ -5,8 +5,13 @@ stable number of cleaning phases per window (paper: ~4) and the
 non-relaxed algorithm runs fewer (paper: ~1).
 """
 
+import os
+
 from repro.bench import figures
+from benchmarks._emit import record_bench
 from benchmarks.conftest import run_once
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_figures.json")
 
 
 def test_fig4_cleaning_phases(benchmark):
@@ -29,6 +34,12 @@ def test_fig4_cleaning_phases(benchmark):
     ) / len(windows)
     benchmark.extra_info["relaxed_cleanings_per_window"] = round(relaxed_mean, 2)
     benchmark.extra_info["nonrelaxed_cleanings_per_window"] = round(nonrelaxed_mean, 2)
+    record_bench(OUT_PATH, "fig4_cleaning_phases", {
+        "target": result.target,
+        "windows": len(windows),
+        "relaxed_cleanings_per_window": round(relaxed_mean, 2),
+        "nonrelaxed_cleanings_per_window": round(nonrelaxed_mean, 2),
+    })
 
     assert relaxed_mean > nonrelaxed_mean
     assert 1.0 <= relaxed_mean <= 8.0

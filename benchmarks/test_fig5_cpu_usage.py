@@ -6,8 +6,13 @@ costs at most ~2 points over non-relaxed; the low-level selection feeding
 the sampler costs ~60% of a CPU (per-tuple copies).
 """
 
+import os
+
 from repro.bench import figures
+from benchmarks._emit import record_bench
 from benchmarks.conftest import run_once
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_figures.json")
 
 
 def test_fig5_cpu_usage(benchmark):
@@ -33,3 +38,12 @@ def test_fig5_cpu_usage(benchmark):
 
     # CPU grows (weakly) with the sample target, as in the figure.
     assert result.relaxed[10000] >= result.relaxed[100]
+    record_bench(OUT_PATH, "fig5_cpu_usage", {
+        str(t): {
+            "relaxed_cpu": round(result.relaxed[t], 2),
+            "nonrelaxed_cpu": round(result.nonrelaxed[t], 2),
+            "basic_cpu": round(result.basic[t], 2),
+            "low_level_cpu": round(result.low_level[t], 2),
+        }
+        for t in result.targets
+    })

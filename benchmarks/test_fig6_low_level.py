@@ -7,8 +7,13 @@ dynamic sampler's own CPU, enabling "a 1% subset-sum sample on a high
 speed data stream using less than 6% of a CPU" (paper §8).
 """
 
+import os
+
 from repro.bench import figures
+from benchmarks._emit import record_bench
 from benchmarks.conftest import run_once
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_figures.json")
 
 
 def test_fig6_low_level_query_type(benchmark):
@@ -34,3 +39,15 @@ def test_fig6_low_level_query_type(benchmark):
     # The paper's headline: ~1% sample collected for < 6% of a CPU total.
     total_100 = result.prefilter_fed[100] + result.prefilter_low_cpu[100]
     assert total_100 < 12.0
+    record_bench(OUT_PATH, "fig6_low_level_query_type", {
+        "selection_low_cpu": round(result.selection_low_cpu, 1),
+        "prefilter_total_cpu_at_100": round(total_100, 2),
+        **{
+            str(t): {
+                "selection_fed_cpu": round(result.selection_fed[t], 2),
+                "prefilter_fed_cpu": round(result.prefilter_fed[t], 2),
+                "prefilter_low_cpu": round(result.prefilter_low_cpu[t], 2),
+            }
+            for t in result.targets
+        },
+    })

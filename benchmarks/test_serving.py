@@ -1,0 +1,126 @@
+"""Standing-query serving: shared prefilters vs sequential solo runs.
+
+The serving tentpole's headline claim (docs/SERVING.md): when many
+standing queries share a selection signature, the ``StandingQueryEngine``
+scans each source batch **once per signature group** — the group leader
+runs the low-level prefilter and every follower replays the leader's
+captured batch as metric/cost deltas plus an inject of the survivors —
+instead of once per query.
+
+The gated number in ``BENCH_serving.json`` (shared emitter,
+``benchmarks/_emit.py``): 64 standing selections (8 distinct WHERE
+signatures x 8 replicas each) served concurrently must run >= 3x faster
+than the same 64 queries executed sequentially on private instances.
+The replays are not a shortcut — a one-shot equivalence pass asserts
+every served query's rows, comparable metrics, and cost ledger are
+byte-identical to its solo oracle (the full-strength version lives in
+``tests/serving/test_equivalence.py``).
+
+``REPRO_MIN_SERVING_SPEEDUP`` overrides the gate floor (CI exports 3).
+"""
+
+import os
+import sys
+
+import pytest
+
+from benchmarks._emit import ROUNDS, best_of, record_bench
+from repro.serving.server import StandingQueryEngine, drive
+from repro.streams.traces import TraceConfig, research_center_feed
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+from tests.serving.conftest import instance_state, make_instance  # noqa: E402
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_serving.json")
+
+CUTS = list(range(200, 1700, 200))  # 8 distinct selection signatures
+REPLICAS = 8
+TEXTS = [
+    f"SELECT time, srcIP, destIP, len FROM TCP WHERE len > {cut}"
+    for cut in CUTS
+]
+QUERIES = TEXTS * REPLICAS
+BATCH = 512
+
+#: CI floor for the shared-serving speedup (the acceptance criterion).
+MIN_SERVING_SPEEDUP = float(os.environ.get("REPRO_MIN_SERVING_SPEEDUP", "3"))
+
+
+@pytest.fixture(scope="module")
+def records():
+    return list(
+        research_center_feed(
+            TraceConfig(duration_seconds=30, rate_scale=0.02, seed=7)
+        )
+    )
+
+
+def solo(text, records):
+    gs = make_instance()
+    gs.add_query(text, name="q")
+    gs.start()
+    for start in range(0, len(records), BATCH):
+        gs.feed(records[start : start + BATCH])
+    gs.finish()
+    return gs
+
+
+def serve(records):
+    engine = StandingQueryEngine(make_instance)
+    for text in QUERIES:
+        engine.register(text, name="q")
+    drive(engine, records, batch_size=BATCH)
+    return engine
+
+
+def test_shared_serving_vs_sequential(records):
+    """The gated claim: shared-prefilter serving >= 3x sequential."""
+
+    def sequential():
+        for text in QUERIES:
+            solo(text, records)
+
+    def served():
+        serve(records)
+
+    sequential_seconds = best_of(sequential)
+    served_seconds = best_of(served)
+    speedup = sequential_seconds / served_seconds
+
+    # One instrumented run for sharing accounting + byte-identity: every
+    # served query must match its solo oracle exactly, replays included.
+    engine = serve(records)
+    groups = engine.report()["shared_groups"]
+    assert len(groups) == len(CUTS)
+    assert all(len(g["members"]) == REPLICAS for g in groups)
+    oracles = {text: instance_state(solo(text, records), "q") for text in TEXTS}
+    for sq in engine.queries():
+        assert instance_state(sq.instance, sq.name) == oracles[sq.text], (
+            f"{sq.qid} diverged from its solo oracle"
+        )
+    replays = engine.metrics.value("serving_shared_replays_total")
+    batches = -(-len(records) // BATCH)
+    assert replays == (len(QUERIES) - len(CUTS)) * batches
+
+    record_bench(OUT_PATH, "serving_prefilter_sharing", {
+        "queries": len(QUERIES),
+        "signatures": len(CUTS),
+        "replicas": REPLICAS,
+        "records": len(records),
+        "batch_size": BATCH,
+        "rounds": ROUNDS,
+        "sequential_seconds": round(sequential_seconds, 4),
+        "served_seconds": round(served_seconds, 4),
+        "sequential_records_per_second": round(
+            len(records) / sequential_seconds
+        ),
+        "served_records_per_second": round(len(records) / served_seconds),
+        "speedup": round(speedup, 2),
+        "ci_min_speedup": 3.0,
+        "shared_replays": int(replays),
+        "byte_identical": True,
+    })
+    assert speedup >= MIN_SERVING_SPEEDUP, (
+        f"served run only {speedup:.2f}x sequential ({sequential_seconds:.3f}s"
+        f" vs {served_seconds:.3f}s)"
+    )

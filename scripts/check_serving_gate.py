@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_serving.json.
+
+Run after ``pytest benchmarks/test_serving.py`` has regenerated the
+JSON: fails if shared-prefilter serving of the 64-standing-query
+workload dropped below its recorded ``ci_min_speedup`` floor (3x the
+sequential solo runs) — the standing-query server's acceptance
+criterion.  The floor lives in the JSON so the benchmark and the gate
+can't drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_serving.json")
+
+
+def main() -> int:
+    try:
+        with open(OUT_PATH, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {OUT_PATH}: {exc}", file=sys.stderr)
+        return 1
+    entry = data.get("serving_prefilter_sharing")
+    if entry is None:
+        print("BENCH_serving.json has no serving_prefilter_sharing entry"
+              " — did the benchmark run?", file=sys.stderr)
+        return 1
+    speedup = entry["speedup"]
+    floor = entry.get("ci_min_speedup", 3.0)
+    print(f"shared serving of {entry['queries']} standing queries"
+          f" ({entry['signatures']} signatures): {speedup}x sequential"
+          f" (floor {floor}x, byte_identical={entry['byte_identical']})")
+    if speedup < floor:
+        print("serving gate FAILED: shared serving fell below "
+              f"{floor}x the sequential solo runs", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

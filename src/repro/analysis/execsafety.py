@@ -84,6 +84,7 @@ class ExecTarget:
     supervise: bool = False
     durable: bool = False
     rebalance: bool = False
+    serve: bool = False
     shed_threshold: Optional[int] = None
 
     @property
@@ -105,6 +106,8 @@ class ExecTarget:
             parts.append("durable")
         if self.rebalance:
             parts.append("rebalance")
+        if self.serve:
+            parts.append("serve")
         if self.shed_threshold is not None:
             parts.append(f"shed={self.shed_threshold}")
         return ",".join(parts) or "serial"
@@ -116,6 +119,7 @@ class ExecTarget:
             "supervise": self.supervise,
             "durable": self.durable,
             "rebalance": self.rebalance,
+            "serve": self.serve,
             "shed_threshold": self.shed_threshold,
         }
 
@@ -136,7 +140,7 @@ def parse_target(text: str) -> ExecTarget:
         key, _, value = item.partition("=")
         key = key.strip().lower()
         value = value.strip()
-        if key in ("durable", "supervise", "processes", "rebalance"):
+        if key in ("durable", "supervise", "processes", "rebalance", "serve"):
             if value:
                 raise ValueError(
                     f"target flag {key!r} takes no value (got {item!r})"
@@ -156,7 +160,7 @@ def parse_target(text: str) -> ExecTarget:
             raise ValueError(
                 f"unknown target item {item!r}; expected"
                 " shards=N, shed=N, durable, supervise, processes,"
-                " or rebalance"
+                " rebalance, or serve"
             )
     return ExecTarget(**target)
 

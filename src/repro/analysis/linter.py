@@ -12,7 +12,8 @@
    no errors — the planner needs a well-formed query): sampling
    soundness (``SA201``–``SA204``) and, when an
    :class:`~repro.analysis.execsafety.ExecTarget` is given, execution
-   safety (``SA301``–``SA305``)
+   safety (``SA301``–``SA306``) plus serving shareability (``SA401``
+   under a ``serve`` target)
 
 — and returns every finding in one :class:`LintResult`.  Rules can be
 suppressed per query with a pragma comment anywhere in the text::
@@ -41,6 +42,7 @@ from repro.analysis.execsafety import ExecTarget, check_execsafety
 from repro.analysis.plan_rules import check_plan
 from repro.analysis.rules import check_semantics
 from repro.analysis.sampling_algebra import check_sampling
+from repro.analysis.serving_rules import check_serving
 from repro.analysis.types import TypeCheckResult, check_types
 from repro.dsms.parser.analyzer import AnalyzedQuery, Registries, analyze
 from repro.dsms.parser.planner import QueryPlan, plan as plan_query
@@ -147,6 +149,9 @@ def lint_query(
                 if compiled is not None:
                     check_sampling(analyzed, compiled, registries, collector)
                     check_execsafety(
+                        analyzed, compiled, registries, collector, target
+                    )
+                    check_serving(
                         analyzed, compiled, registries, collector, target
                     )
     disabled = parse_pragmas(source)

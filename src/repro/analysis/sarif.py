@@ -64,6 +64,7 @@ RULE_DESCRIPTIONS: Dict[str, str] = {
     "SA304": "durable resume needs supervised shards",
     "SA305": "SFUN state is not checkpointable under durable resume",
     "SA306": "operator state not migratable across shard boundaries",
+    "SA401": "query cannot share a served feed",
 }
 
 _SARIF_LEVELS: Dict[Severity, str] = {

@@ -1,0 +1,73 @@
+"""Serving-shareability analysis: the SA4xx rule family.
+
+The standing-query server (:mod:`repro.serving`) runs each source
+stream's low-level prefix once per *signature group* and replays its
+effects into every subscriber — but only for queries whose compiled
+plan has a shareable prefix.  A query the server must run on a private
+feed still works; it just pays the full per-tuple scan by itself, which
+under many-tenant serving is exactly the cost the deployment was meant
+to amortise (paper §1's many-queries-few-feeds model).
+
+This pass reports that refusal at compile time, mirroring the runtime
+decision **one to one**: :func:`check_serving` calls the same
+:func:`repro.serving.sharing.share_signature` the engine's ``register``
+path calls, so ``repro lint --target serve`` disagrees with the server
+only if the code does.
+
+``SA401``
+    The query cannot share a served feed (a *warning*, not an error:
+    the server still accepts the query, on a private low-level node).
+    The message carries the runtime's refusal reason verbatim —
+    a stateful selection's global SFUN state set, or a
+    nondeterministic scalar in the shared prefix.
+
+Like the SA3xx family, the pass is gated on an
+:class:`~repro.analysis.execsafety.ExecTarget`: without ``serve`` in
+``--target`` nothing here runs, because a query that never meets the
+serving layer has no sharing obligations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.diagnostics import DiagnosticCollector
+from repro.analysis.execsafety import ExecTarget
+from repro.dsms.parser.analyzer import AnalyzedQuery, Registries
+from repro.dsms.parser.planner import QueryPlan
+from repro.serving.sharing import share_signature
+
+
+def check_serving(
+    analyzed: AnalyzedQuery,
+    plan: QueryPlan,
+    registries: Registries,
+    collector: DiagnosticCollector,
+    target: Optional[ExecTarget],
+) -> None:
+    """Run the SA4xx serving rules over a compiled plan.
+
+    Exports the verdict on ``plan.annotations["serving"]`` —
+    ``{"shareable": bool, "signature": str | None, "reason": str | None}``
+    — for later layers, whether or not a diagnostic fires.
+    """
+    if target is None or not target.serve:
+        return
+    signature, reason = share_signature(plan, registries)
+    plan.annotations["serving"] = {
+        "shareable": signature is not None,
+        "signature": signature.describe() if signature is not None else None,
+        "reason": reason,
+    }
+    if signature is not None:
+        return
+    collector.warning(
+        "SA401",
+        f"query cannot share a served feed: {reason}",
+        analyzed.ast.clause_span("FROM"),
+        hint=(
+            "the standing-query server will run this query on a private"
+            " low-level node; it pays the full per-tuple scan instead of"
+            " joining a shared prefilter group (docs/SERVING.md)"
+        ),
+    )

@@ -24,6 +24,25 @@ Subcommands (also reachable as ``python -m repro.cli``):
   ``--profile`` charges per-operator wall time into
   ``operator_seconds``.
 
+* ``serve`` — run many standing queries over one feed concurrently
+  (docs/SERVING.md)::
+
+      python -m repro.cli serve examples/queries/*.gsql --report
+      python -m repro.cli serve examples/queries/big_flows.gsql \\
+          --listen 127.0.0.1:9090 --pace 0.001
+      python -m repro.cli serve --journal serve.wal examples/queries/*.gsql
+      python -m repro.cli serve --journal serve.wal --resume
+
+  Every ``.gsql`` file becomes one standing query; queries whose
+  compiled plans share a low-level prefix are served off one shared
+  scan (disable with ``--no-share`` — results are byte-identical either
+  way).  ``--tenant-quota acme=5000`` caps a tenant's spend to that
+  many cost-model cycles per offered record, shedding its batches at
+  the serving edge once it exceeds the budget.  ``--listen HOST:PORT``
+  exposes the HTTP control plane (``/metrics``, ``/queries``,
+  ``/healthz``) while the feed drains; ``--journal``/``--resume`` make
+  the standing-query set itself durable.
+
 * ``explain`` — compile a query and print its plan without running it.
 
 * ``lint`` — statically analyze queries without running them::
@@ -462,6 +481,165 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.serving.journal import ServingJournal
+    from repro.serving.server import (
+        QueryServer,
+        StandingQueryEngine,
+        drive,
+        resume_serving,
+    )
+
+    if args.resume and not args.journal:
+        print("--resume needs --journal <path>", file=sys.stderr)
+        return 2
+    if not args.files and not args.resume:
+        print("serve needs one or more .gsql files (or --resume)", file=sys.stderr)
+        return 2
+
+    quotas = {}
+    for raw in args.tenant_quota or ():
+        tenant, sep, value = raw.partition("=")
+        if not sep or not tenant:
+            print(
+                f"bad --tenant-quota {raw!r}: expected tenant=CYCLES",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            quotas[tenant.strip()] = float(value)
+        except ValueError:
+            print(
+                f"bad --tenant-quota {raw!r}: CYCLES must be a number",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.trace is not None:
+        records = load_trace(args.trace)
+    else:
+        config = TraceConfig(duration_seconds=60, rate_scale=0.01, seed=20050614)
+        records = list(research_center_feed(config))
+        print(
+            f"-- no --trace: synthesised research feed ({len(records):,} records)",
+            file=sys.stderr,
+        )
+
+    def factory():
+        return _standard_instance(args.relax_factor)
+
+    if args.resume:
+        if not os.path.exists(args.journal):
+            print(f"cannot resume: {args.journal} does not exist", file=sys.stderr)
+            return 2
+        engine = resume_serving(
+            factory,
+            args.journal,
+            records,
+            share=args.share,
+            quotas=quotas,
+            batch_size=args.batch_size,
+            commit_interval=args.commit_interval,
+        )
+        print(
+            f"-- resumed {len(engine.queries())} standing quer(y/ies) from"
+            f" {args.journal}; {engine.consumed:,} records total",
+            file=sys.stderr,
+        )
+    else:
+        journal = (
+            ServingJournal(args.journal, fresh=True) if args.journal else None
+        )
+        engine = StandingQueryEngine(
+            factory, share=args.share, quotas=quotas, journal=journal
+        )
+        for path in args.files:
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    text = fh.read()
+            except OSError as exc:
+                print(f"cannot read {path}: {exc}", file=sys.stderr)
+                return 2
+            name = os.path.splitext(os.path.basename(path))[0]
+            try:
+                sq = engine.register(text, name=name, tenant=args.tenant)
+            except (PlanningError, ExecutionError) as exc:
+                print(f"cannot serve {path}: {exc}", file=sys.stderr)
+                return 2
+            shared = "shared" if sq.signature is not None else "private feed"
+            print(f"-- registered {sq.qid} ({name}): {shared}", file=sys.stderr)
+
+        if args.listen is not None:
+            host, _, port_text = args.listen.partition(":")
+            try:
+                port = int(port_text) if port_text else 0
+            except ValueError:
+                print(f"bad --listen {args.listen!r}: expected HOST:PORT", file=sys.stderr)
+                return 2
+            server = QueryServer(
+                engine,
+                batch_size=args.batch_size,
+                commit_interval=args.commit_interval,
+                pace=args.pace,
+            )
+
+            async def _serve() -> None:
+                bound_host, bound_port = await server.start_http(
+                    host or "127.0.0.1", port
+                )
+                print(
+                    f"-- serving http://{bound_host}:{bound_port}"
+                    " (/metrics /queries /healthz)",
+                    file=sys.stderr,
+                )
+                await server.ingest(records, close=True)
+                if args.linger > 0:
+                    print(
+                        f"-- feed drained; lingering {args.linger}s",
+                        file=sys.stderr,
+                    )
+                    await asyncio.sleep(args.linger)
+                await server.stop_http()
+
+            asyncio.run(_serve())
+        else:
+            drive(
+                engine,
+                records,
+                batch_size=args.batch_size,
+                commit_interval=args.commit_interval,
+            )
+
+    for sq in engine.queries():
+        rows = sq.results
+        status = "active" if sq.active else f"retired@{sq.unregistered_at}"
+        print(
+            f"-- {sq.qid} ({sq.name}, tenant={sq.tenant}, {status}):"
+            f" {len(rows)} rows",
+            file=sys.stderr,
+        )
+        if args.limit:
+            print("\t".join(sq.instance.query(sq.name).output_schema.names))
+            for row in rows[: args.limit]:
+                print("\t".join(str(value) for value in row.values))
+            if args.limit < len(rows):
+                print(f"... ({len(rows) - args.limit} more rows)")
+    if args.report:
+        import json
+
+        print(json.dumps(engine.report(), indent=2))
+    if args.metrics_out:
+        count = write_metrics(engine.export_metrics(), args.metrics_out)
+        print(
+            f"-- wrote {count} metric series to {args.metrics_out}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     gs = _standard_instance(args.relax_factor)
     plan = compile_query(args.sql, gs.registries, query_name="cli")
@@ -662,8 +840,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SPEC",
         help="deployment configuration for the SA3xx execution-safety"
-        " rules, e.g. 'shards=4,durable,supervise' (flags: durable,"
-        " supervise, processes, rebalance; keyed: shards=N, shed=N)",
+        " and SA4xx serving rules, e.g. 'shards=4,durable,supervise'"
+        " (flags: durable, supervise, processes, rebalance, serve;"
+        " keyed: shards=N, shed=N)",
     )
     lint_cmd.add_argument(
         "--format",
@@ -679,6 +858,106 @@ def build_parser() -> argparse.ArgumentParser:
         " of stdout",
     )
     lint_cmd.set_defaults(fn=_cmd_lint)
+
+    serve = sub.add_parser(
+        "serve", help="serve many standing queries over one feed"
+    )
+    serve.add_argument(
+        "files", nargs="*", help="paths to .gsql files, one standing query each"
+    )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        help="trace file to serve (default: synthesise a research feed)",
+    )
+    serve.add_argument("--relax-factor", type=float, default=10.0)
+    serve.add_argument(
+        "--tenant",
+        default="default",
+        help="tenant to register the queries under (default: 'default')",
+    )
+    serve.add_argument(
+        "--tenant-quota",
+        action="append",
+        metavar="TENANT=CYCLES",
+        help="cap TENANT's spend to CYCLES cost-model cycles per offered"
+        " record; its batches are shed at the serving edge beyond that"
+        " (repeatable)",
+    )
+    serve.add_argument(
+        "--no-share",
+        dest="share",
+        action="store_false",
+        help="run every query on its own private feed instead of sharing"
+        " common low-level prefixes (results are byte-identical)",
+    )
+    serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="expose the HTTP control plane (/metrics /queries /healthz)"
+        " while the feed drains; PORT 0 picks a free port",
+    )
+    serve.add_argument(
+        "--pace",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="with --listen, sleep this long between batches so the"
+        " endpoint can be inspected mid-stream (default 0)",
+    )
+    serve.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="with --listen, keep the endpoint up this long after the"
+        " feed drains (default 0)",
+    )
+    serve.add_argument("--batch-size", type=int, default=512)
+    serve.add_argument(
+        "--commit-interval",
+        type=int,
+        default=4,
+        metavar="BATCHES",
+        help="with --journal, commit a durable snapshot every N batches"
+        " (default 4)",
+    )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="journal registrations and commits to this write-ahead file"
+        " so a killed serve can be resumed with --resume",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --journal, restore the standing-query set and committed"
+        " state from the journal and continue; byte-identical to an"
+        " uninterrupted serve",
+    )
+    serve.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print up to N result rows per query (default: counts only)",
+    )
+    serve.add_argument(
+        "--report",
+        action="store_true",
+        help="print the serving report (queries, sharing groups, tenant"
+        " ledgers) as JSON",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the combined per-query/per-tenant metrics registry"
+        " (.prom/.txt = Prometheus text format, anything else = JSON)",
+    )
+    serve.set_defaults(fn=_cmd_serve)
 
     explain_cmd = sub.add_parser("explain", help="compile and explain a query")
     explain_cmd.add_argument("--sql", required=True)

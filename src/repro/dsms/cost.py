@@ -78,6 +78,10 @@ class CostBook:
     #: shedding: the value vector is inspected (validation/coercion)
     #: before the tuple is refused into the quarantine stream.
     tuple_quarantined: int = 200
+    #: Refusing one tuple at the serving edge because its tenant is over
+    #: its cost quota (docs/SERVING.md).  Priced like overload shedding:
+    #: a quota refusal is a counter bump, not per-value work.
+    quota_shed: int = 50
 
 
 class CostModel:

@@ -147,6 +147,8 @@ class Gigascope:
         self._shed: Dict[str, int] = {}
         #: records dead-lettered at admission, per source stream
         self._quarantined: Dict[str, int] = {}
+        #: records refused at the serving edge by a tenant quota
+        self._quota_shed: Dict[str, int] = {}
 
     # -- registration -----------------------------------------------------------
 
@@ -436,6 +438,54 @@ class Gigascope:
             self._flush_all()
         finally:
             self._session = None
+
+    def inject(
+        self,
+        name: str,
+        records: List[Record],
+        from_source: Optional[str] = None,
+    ) -> None:
+        """Dispatch records directly into one registered query node.
+
+        The serving layer's shared-feed replay path: when another
+        instance already ran the shared low-level prefix over a batch,
+        its captured outputs are injected here into this instance's
+        downstream operator, bypassing ring admission.  Records flow
+        through the operator (and onward) exactly as if the local
+        low-level node had produced them.
+        """
+        if self._session is None:
+            raise ExecutionError("start() the instance before injecting")
+        handle = self.query(name)
+        for record in records:
+            self._dispatch(handle, record, from_source=from_source)
+
+    def quota_shed(self, stream: str, count: int) -> None:
+        """Account ``count`` records refused at the serving edge because
+        the owning tenant is over its cost quota.
+
+        Mirrors overload shedding (:meth:`_admit`) at the layer above
+        admission: counted per stream, charged ``quota_shed`` cycles,
+        and folded into the conservation identity, which widens to
+        ``records == ingested + shed + quarantined + quota_shed``.
+        """
+        if count <= 0:
+            return
+        self._quota_shed[stream] = self._quota_shed.get(stream, 0) + count
+        self.cost.charge(stream, "quota_shed", count)
+        self.metrics.counter(
+            "stream_records_total",
+            help="records offered to the stream (before admission)",
+            stream=stream,
+        ).inc(count)
+        self.metrics.counter(
+            "stream_quota_shed_total",
+            help="records refused at the serving edge by a tenant quota",
+            stream=stream,
+        ).inc(count)
+        if self.trace.enabled:
+            self.trace.emit("quota_shed", stream=stream, count=count)
+        self._notify_shed(stream, count)
 
     def _subscribe_low_level(self) -> Dict[str, int]:
         subscribers: Dict[str, int] = {}
@@ -758,6 +808,7 @@ class Gigascope:
             "queries": queries,
             "shed": dict(self._shed),
             "quarantined": dict(self._quarantined),
+            "quota_shed": dict(self._quota_shed),
             "cost_accounts": self.cost.accounts() if self.cost.enabled else {},
             # v2: metric/trace state rides along so a supervised restart
             # resumes counting exactly where the checkpoint left off.
@@ -788,6 +839,7 @@ class Gigascope:
         self._shed = dict(snapshot["shed"])
         # Pre-quarantine snapshots lack the key; counters start at zero.
         self._quarantined = dict(snapshot.get("quarantined", {}))
+        self._quota_shed = dict(snapshot.get("quota_shed", {}))
         if restore_cost and self.cost.enabled:
             self.cost.reset()
             self.cost.absorb(snapshot["cost_accounts"])
@@ -825,6 +877,9 @@ class Gigascope:
                 ),
                 "quarantined": int(
                     self.metrics.value("stream_quarantined_total", stream=stream)
+                ),
+                "quota_shed": int(
+                    self.metrics.value("stream_quota_shed_total", stream=stream)
                 ),
             }
         queries: Dict[str, Dict[str, int]] = {}

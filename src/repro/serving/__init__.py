@@ -1,0 +1,30 @@
+"""Multi-query continuous serving (docs/SERVING.md).
+
+A :class:`~repro.serving.server.StandingQueryEngine` multiplexes many
+standing queries over shared source streams with hot register/unregister,
+common-subexpression sharing at the split edge, per-tenant cost quotas,
+and journalled registrations for durable resume;
+:class:`~repro.serving.server.QueryServer` wraps it in an asyncio ingest
+loop with an HTTP control/metrics plane.
+"""
+
+from repro.serving.server import (
+    QueryServer,
+    ServedQuery,
+    StandingQueryEngine,
+    TenantQuota,
+    drive,
+    resume_serving,
+)
+from repro.serving.sharing import ShareSignature, share_signature
+
+__all__ = [
+    "QueryServer",
+    "ServedQuery",
+    "ShareSignature",
+    "StandingQueryEngine",
+    "TenantQuota",
+    "drive",
+    "resume_serving",
+    "share_signature",
+]

@@ -1,0 +1,97 @@
+"""Durable standing registrations: the serving journal (docs/SERVING.md).
+
+Standing queries ride the same fsync'd, CRC-framed, torn-tail-tolerant
+:class:`~repro.dsms.durability.ResultJournal` the durable runner uses,
+with serving-specific entry kinds:
+
+* ``register`` / ``unregister`` — one entry per registry mutation, with
+  the record ``offset`` (records consumed so far) at which it took
+  effect; replaying the event log at the same offsets reproduces the
+  exact standing-query set at every point of the stream;
+* ``commit`` / ``final`` — periodic durable snapshots: ``consumed``
+  plus every served query's full instance checkpoint
+  (:meth:`~repro.dsms.runtime.Gigascope.checkpoint` — operator state,
+  results, metrics, cost balances) and the per-tenant quota ledger.
+
+:func:`repro.serving.server.resume_serving` rebuilds the query set from
+the event log, restores the last commit's checkpoints, skips the
+committed input prefix, and replays the remainder (re-applying any
+events the journal recorded *after* the last commit at their original
+offsets) — byte-identical to an uninterrupted serve, by the same
+batch-boundary-drain argument the durable runner rests on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dsms.durability import ResultJournal
+
+#: serving journal entry format version
+SERVING_JOURNAL_VERSION = 1
+
+
+class ServingJournal:
+    """Append-only log of registry events and engine commits."""
+
+    def __init__(self, path: str, fresh: bool = False) -> None:
+        self.path = path
+        self._journal = ResultJournal(path, fresh=fresh)
+
+    def append(self, kind: str, **fields: Any) -> None:
+        self._journal.append({
+            "serving_version": SERVING_JOURNAL_VERSION,
+            "kind": kind,
+            **fields,
+        })
+
+    def close(self) -> None:
+        self._journal.close()
+
+    # -- reading -----------------------------------------------------------
+
+    @staticmethod
+    def read(path: str) -> List[Dict[str, Any]]:
+        """All complete serving entries, oldest first, version-checked."""
+        entries = []
+        for entry in ResultJournal.read(path):
+            version = entry.get("serving_version")
+            if version != SERVING_JOURNAL_VERSION:
+                raise ValueError(
+                    f"serving journal entry version {version!r} is not"
+                    f" supported (expected {SERVING_JOURNAL_VERSION})"
+                )
+            entries.append(entry)
+        return entries
+
+
+def split_log(
+    entries: List[Dict[str, Any]],
+) -> Tuple[List[Dict[str, Any]], Optional[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Split a journal into ``(replayed events, last commit, pending events)``.
+
+    ``replayed`` are register/unregister events already reflected in the
+    last commit's checkpoints; ``pending`` are events appended after it,
+    which a resume must re-apply at their recorded offsets.  A resume
+    may append duplicates of pending events (they are re-journalled as
+    the replay re-applies them), so events are deduplicated by
+    ``(kind, qid)`` keeping the first occurrence.
+    """
+    last_commit: Optional[Dict[str, Any]] = None
+    last_commit_index = -1
+    for index, entry in enumerate(entries):
+        if entry["kind"] in ("commit", "final"):
+            last_commit = entry
+            last_commit_index = index
+    seen: set = set()
+    replayed: List[Dict[str, Any]] = []
+    pending: List[Dict[str, Any]] = []
+    for index, entry in enumerate(entries):
+        if entry["kind"] not in ("register", "unregister"):
+            continue
+        key = (entry["kind"], entry["qid"])
+        if key in seen:
+            continue
+        seen.add(key)
+        (replayed if index < last_commit_index else pending).append(entry)
+    return replayed, last_commit, pending

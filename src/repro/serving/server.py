@@ -1,0 +1,814 @@
+"""The standing-query serving engine and its asyncio server.
+
+Two layers (docs/SERVING.md):
+
+* :class:`StandingQueryEngine` — the deterministic core.  Every
+  registered standing query owns a private, solo-shaped
+  :class:`~repro.dsms.runtime.Gigascope` (its own operators, results,
+  metrics registry and cost accounts), so each query's outputs are
+  byte-identical to a solo serial run *by construction*.  What is shared
+  is the **work**: queries whose plans carry equal
+  :class:`~repro.serving.sharing.ShareSignature` s form a group whose
+  low-level prefix runs once per batch on the canonical member, with the
+  captured effects replayed into the rest (see
+  :mod:`repro.serving.sharing`).  Per-tenant cost quotas shed whole
+  batches for over-budget tenants — counted, charged (``quota_shed``)
+  and folded into the conservation identity, never silent.  With a
+  :class:`~repro.serving.journal.ServingJournal` attached, every
+  register/unregister event and periodic checkpoint is durable and
+  :func:`resume_serving` rebuilds the full standing set after a crash.
+
+* :class:`QueryServer` — the asyncio wrapper: an ingest coroutine
+  drives batches through the engine while a dependency-free HTTP
+  endpoint serves the Prometheus exposition
+  (:func:`repro.obs.export.render_prometheus` over per-query/per-tenant
+  labelled series) plus a small JSON control plane (register,
+  unregister, results).  Registry mutations land between batches, so
+  HTTP-registered queries take effect at batch boundaries — the same
+  granularity the journal records.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from itertools import islice
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import ExecutionError
+from repro.dsms.parser import compile_query
+from repro.dsms.runtime import Gigascope
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.serving.journal import ServingJournal, split_log
+from repro.serving.sharing import (
+    BatchCapture,
+    ShareSignature,
+    capture_feed,
+    replay_feed,
+    share_signature,
+)
+from repro.streams.records import Record
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """A per-tenant cost budget, in cycles per offered record.
+
+    A tenant's standing queries may spend, in total, up to
+    ``cycles_per_record`` × (records offered to the tenant so far).
+    The ledger is data-deterministic — spend comes from the instances'
+    cost accounts, allowance from the record count — so quota decisions
+    replay identically on resume.
+    """
+
+    cycles_per_record: float
+
+
+@dataclass
+class ServedQuery:
+    """One standing query: its private instance plus serving metadata."""
+
+    qid: str
+    name: str
+    text: str
+    tenant: str
+    instance: Gigascope
+    stream: str
+    low_name: Optional[str]
+    high_name: Optional[str]
+    signature: Optional[ShareSignature]
+    share_reason: Optional[str]
+    registered_at: int
+    unregistered_at: Optional[int] = None
+
+    @property
+    def active(self) -> bool:
+        return self.unregistered_at is None
+
+    @property
+    def results(self) -> List[Record]:
+        return self.instance.query(self.name).results
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "id": self.qid,
+            "name": self.name,
+            "tenant": self.tenant,
+            "active": self.active,
+            "registered_at": self.registered_at,
+            "unregistered_at": self.unregistered_at,
+            "shared": self.signature is not None,
+            "signature": (
+                self.signature.describe() if self.signature else None
+            ),
+            "share_reason": self.share_reason,
+            "rows": len(self.results),
+        }
+
+
+def _batches(records: Iterable[Record], size: int) -> Iterator[List[Record]]:
+    iterator = iter(records)
+    while True:
+        batch = list(islice(iterator, size))
+        if not batch:
+            return
+        yield batch
+
+
+class StandingQueryEngine:
+    """Multiplexes standing queries over shared feeds, deterministically.
+
+    ``instance_factory`` builds one fresh, fully configured (streams +
+    SFUN packs) serial :class:`Gigascope` per registered query; each
+    call must return a *new* instance with a private cost model and
+    metrics registry.  ``quotas`` maps tenant names to
+    :class:`TenantQuota` (or bare cycles-per-record numbers).
+    ``on_commit(consumed, kind)`` fires after each journal commit is
+    durable — the chaos tests' kill point.
+    """
+
+    def __init__(
+        self,
+        instance_factory: Callable[[], Gigascope],
+        *,
+        share: bool = True,
+        quotas: Optional[Dict[str, Any]] = None,
+        journal: Optional[ServingJournal] = None,
+        on_commit: Optional[Callable[[int, str], None]] = None,
+    ) -> None:
+        self._factory = instance_factory
+        self.share = share
+        self.quotas: Dict[str, TenantQuota] = {
+            tenant: (
+                quota if isinstance(quota, TenantQuota)
+                else TenantQuota(float(quota))
+            )
+            for tenant, quota in (quotas or {}).items()
+        }
+        self.journal = journal
+        self.on_commit = on_commit
+        self.consumed = 0
+        self.metrics = MetricsRegistry()
+        self._queries: Dict[str, ServedQuery] = {}  # by qid, insertion order
+        self._groups: Dict[ShareSignature, List[str]] = {}
+        self._direct: List[str] = []
+        self._offered: Dict[str, int] = {}  # records offered, per tenant
+        self._next_id = 0
+        self._closed = False
+        self._muted = False  # journal muting during restore
+
+    # -- registry ----------------------------------------------------------
+
+    def register(
+        self,
+        text: str,
+        name: str = "q",
+        tenant: str = "default",
+        qid: Optional[str] = None,
+    ) -> ServedQuery:
+        """Register one standing query; takes effect at the next batch.
+
+        Compilation errors (unknown stream, lint refusals under a strict
+        factory...) propagate — a rejected query never joins the set.
+        """
+        if self._closed:
+            raise ExecutionError("the serving engine is closed")
+        if qid is None:
+            self._next_id += 1
+            qid = f"sq{self._next_id}"
+        elif qid in self._queries:
+            raise ExecutionError(f"standing query id {qid!r} already in use")
+        gs = self._factory()
+        if not isinstance(gs, Gigascope):
+            raise ExecutionError(
+                "the serving engine drives serial Gigascope instances;"
+                f" the factory returned {type(gs).__name__}"
+            )
+        handle = gs.add_query(text, name=name)
+        feeder = f"{name}__lowsel"
+        if (
+            handle.level == "high"
+            and handle.source == feeder
+            and feeder in gs._queries
+        ):
+            low_name: Optional[str] = feeder
+            high_name: Optional[str] = name
+        elif handle.level == "low":
+            low_name, high_name = name, None
+        else:
+            low_name = high_name = None  # reads another registered query
+
+        signature: Optional[ShareSignature] = None
+        reason: Optional[str]
+        if not self.share:
+            reason = "sharing is disabled for this server"
+        elif gs.vectorize:
+            reason = "vectorized instances execute whole batches locally"
+        elif gs.shed_threshold is not None:
+            reason = "overload shedding decisions are instance-local"
+        elif gs.validate_admission:
+            reason = "admission validation quarantines per instance"
+        elif low_name is None:
+            reason = "the query reads from another registered query"
+        else:
+            plan = compile_query(text, gs.registries, query_name=name)
+            signature, reason = share_signature(plan, gs.registries)
+
+        node = handle
+        while node.source in gs._queries:
+            node = gs._queries[node.source]
+        stream = node.source
+
+        gs.start()
+        sq = ServedQuery(
+            qid=qid,
+            name=name,
+            text=text,
+            tenant=tenant,
+            instance=gs,
+            stream=stream,
+            low_name=low_name,
+            high_name=high_name,
+            signature=signature,
+            share_reason=reason,
+            registered_at=self.consumed,
+        )
+        self._queries[qid] = sq
+        if signature is not None:
+            self._groups.setdefault(signature, []).append(qid)
+        else:
+            self._direct.append(qid)
+        self._journal_event(
+            "register",
+            qid=qid,
+            name=name,
+            text=text,
+            tenant=tenant,
+            offset=self.consumed,
+        )
+        self.metrics.counter(
+            "serving_registered_total",
+            help="standing queries registered",
+            tenant=tenant,
+        ).inc()
+        self._sync_gauges()
+        return sq
+
+    def unregister(self, qid: str) -> ServedQuery:
+        """Retire one standing query: flush trailing windows, keep results."""
+        sq = self.lookup(qid)
+        if not sq.active:
+            raise ExecutionError(f"standing query {qid!r} is already retired")
+        sq.instance.finish()
+        sq.unregistered_at = self.consumed
+        if sq.signature is not None:
+            members = self._groups[sq.signature]
+            members.remove(qid)
+            if not members:
+                del self._groups[sq.signature]
+        else:
+            self._direct.remove(qid)
+        self._journal_event("unregister", qid=qid, offset=self.consumed)
+        self.metrics.counter(
+            "serving_unregistered_total",
+            help="standing queries retired",
+            tenant=sq.tenant,
+        ).inc()
+        self._sync_gauges()
+        return sq
+
+    def lookup(self, qid: str) -> ServedQuery:
+        try:
+            return self._queries[qid]
+        except KeyError:
+            raise ExecutionError(f"unknown standing query {qid!r}") from None
+
+    def queries(self) -> List[ServedQuery]:
+        """Every served query (active and retired), registration order."""
+        return list(self._queries.values())
+
+    def active_queries(self) -> List[ServedQuery]:
+        return [sq for sq in self._queries.values() if sq.active]
+
+    # -- execution ---------------------------------------------------------
+
+    def feed(self, batch: List[Record]) -> int:
+        """Push one batch through every active standing query."""
+        if self._closed:
+            raise ExecutionError("the serving engine is closed")
+        batch = list(batch)
+        if not batch:
+            return 0
+        n = len(batch)
+        self.consumed += n
+        shed_tenants = self._quota_decisions(n)
+        for members in list(self._groups.values()):
+            live = [self._queries[qid] for qid in members]
+            fed = [sq for sq in live if sq.tenant not in shed_tenants]
+            for sq in live:
+                if sq.tenant in shed_tenants:
+                    sq.instance.quota_shed(sq.stream, n)
+            if not fed:
+                continue
+            leader = fed[0]
+            capture: BatchCapture = capture_feed(
+                leader.instance, leader.low_name, leader.high_name, batch
+            )
+            for sq in fed[1:]:
+                replay_feed(sq.instance, sq.low_name, sq.high_name, capture)
+            if len(fed) > 1:
+                self.metrics.counter(
+                    "serving_shared_replays_total",
+                    help="follower feeds satisfied by shared-prefix replay",
+                ).inc(len(fed) - 1)
+        for qid in list(self._direct):
+            sq = self._queries[qid]
+            if sq.tenant in shed_tenants:
+                sq.instance.quota_shed(sq.stream, n)
+            else:
+                sq.instance.feed(batch)
+        self.metrics.counter(
+            "serving_records_total",
+            help="records offered to the serving engine",
+        ).inc(n)
+        return n
+
+    def _quota_decisions(self, n: int) -> set:
+        """Which tenants shed this batch (and advance their ledgers)."""
+        shed: set = set()
+        for tenant, quota in self.quotas.items():
+            actives = [
+                sq for sq in self._queries.values()
+                if sq.active and sq.tenant == tenant
+            ]
+            if not actives:
+                continue
+            self._offered[tenant] = self._offered.get(tenant, 0) + n
+            spent = sum(sq.instance.cost.total_cycles() for sq in actives)
+            if spent > quota.cycles_per_record * self._offered[tenant]:
+                shed.add(tenant)
+                self.metrics.counter(
+                    "serving_quota_shed_total",
+                    help="records refused because the tenant was over quota",
+                    tenant=tenant,
+                ).inc(n)
+        return shed
+
+    def close(self) -> None:
+        """End the serve: flush every active query, commit final state."""
+        if self._closed:
+            return
+        for sq in self.active_queries():
+            sq.instance.finish()
+        self._closed = True
+        self.commit(kind="final")
+        if self.journal is not None:
+            self.journal.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- durability --------------------------------------------------------
+
+    def _journal_event(self, kind: str, **fields: Any) -> None:
+        if self.journal is not None and not self._muted:
+            self.journal.append(kind, **fields)
+
+    def commit(self, kind: str = "commit") -> None:
+        """Append one durable checkpoint of every served query."""
+        if self.journal is None:
+            return
+        self.journal.append(
+            kind,
+            consumed=self.consumed,
+            offered=dict(self._offered),
+            next_id=self._next_id,
+            queries={
+                qid: {
+                    "snapshot": sq.instance.checkpoint(),
+                    "active": sq.active,
+                }
+                for qid, sq in self._queries.items()
+            },
+        )
+        if self.on_commit is not None:
+            self.on_commit(self.consumed, kind)
+
+    def _restore(
+        self,
+        replayed: List[Dict[str, Any]],
+        commit: Dict[str, Any],
+    ) -> None:
+        """Rebuild the standing set from the event log + last commit."""
+        self._muted = True
+        try:
+            for event in replayed:
+                if event["kind"] == "register":
+                    sq = self.register(
+                        event["text"],
+                        name=event["name"],
+                        tenant=event["tenant"],
+                        qid=event["qid"],
+                    )
+                    sq.registered_at = event["offset"]
+                else:
+                    sq = self.unregister(event["qid"])
+                    sq.unregistered_at = event["offset"]
+        finally:
+            self._muted = False
+        for qid, entry in commit["queries"].items():
+            self._queries[qid].instance.restore(
+                entry["snapshot"], restore_cost=True
+            )
+        self.consumed = commit["consumed"]
+        self._offered = dict(commit["offered"])
+        self._next_id = max(self._next_id, commit["next_id"])
+        if commit["kind"] == "final":
+            for sq in self.active_queries():
+                sq.instance._session = None
+            self._closed = True
+            if self.journal is not None:
+                self.journal.close()
+
+    # -- reporting ---------------------------------------------------------
+
+    def export_metrics(self) -> MetricsRegistry:
+        """One registry over the whole serve, per-query/per-tenant labelled.
+
+        Every served query's private registry is folded in stamped with
+        ``serve_id`` and ``tenant`` labels (the instance's own ``query``
+        and ``stream`` labels survive), alongside the engine's
+        ``serving_*`` series — the document the HTTP ``/metrics``
+        endpoint renders.
+        """
+        out = MetricsRegistry()
+        out.absorb(self.metrics.checkpoint())
+        for sq in self._queries.values():
+            out.absorb(
+                sq.instance.metrics.checkpoint(),
+                extra_labels={"serve_id": sq.qid, "tenant": sq.tenant},
+            )
+        return out
+
+    def report(self) -> Dict[str, Any]:
+        """JSON summary: queries, sharing groups, quota ledgers."""
+        groups = [
+            {
+                "signature": signature.describe(),
+                "split_keys": list(signature.split_keys),
+                "members": list(members),
+            }
+            for signature, members in self._groups.items()
+        ]
+        return {
+            "consumed": self.consumed,
+            "closed": self._closed,
+            "queries": [sq.describe() for sq in self._queries.values()],
+            "shared_groups": groups,
+            "tenants": {
+                tenant: {
+                    "offered": self._offered.get(tenant, 0),
+                    "cycles_per_record": quota.cycles_per_record,
+                    "spent_cycles": sum(
+                        sq.instance.cost.total_cycles()
+                        for sq in self._queries.values()
+                        if sq.active and sq.tenant == tenant
+                    ),
+                }
+                for tenant, quota in self.quotas.items()
+            },
+        }
+
+    def _sync_gauges(self) -> None:
+        self.metrics.gauge(
+            "serving_active_queries",
+            help="currently registered standing queries",
+        ).set(len(self.active_queries()))
+        self.metrics.gauge(
+            "serving_shared_groups",
+            help="distinct shared low-level prefixes",
+        ).set(len(self._groups))
+
+
+# -- synchronous drivers ----------------------------------------------------
+
+
+def drive(
+    engine: StandingQueryEngine,
+    records: Iterable[Record],
+    schedule: Iterable[Dict[str, Any]] = (),
+    *,
+    batch_size: int = 512,
+    commit_interval: int = 4,
+    close: bool = True,
+) -> int:
+    """Feed a record stream, applying scheduled registry events at their
+    record offsets and committing every ``commit_interval`` batches.
+
+    ``schedule`` entries are journal-event-shaped dicts:
+    ``{"kind": "register", "offset": N, "text": ..., "name": ...,
+    "tenant": ..., "qid": ...}`` or
+    ``{"kind": "unregister", "offset": N, "qid": ...}``.  Batches are
+    split at event offsets, so an event at offset N takes effect after
+    exactly N records — deterministically, which is what lets the
+    journal replay a schedule byte-identically on resume.
+    """
+    events = sorted(schedule, key=lambda event: event["offset"])
+    index = 0
+
+    def apply_due() -> None:
+        nonlocal index
+        while index < len(events) and events[index]["offset"] <= engine.consumed:
+            event = events[index]
+            index += 1
+            if event["kind"] == "register":
+                engine.register(
+                    event["text"],
+                    name=event.get("name", "q"),
+                    tenant=event.get("tenant", "default"),
+                    qid=event.get("qid"),
+                )
+            else:
+                engine.unregister(event["qid"])
+
+    apply_due()
+    iterator = iter(records)
+    since_commit = 0
+    while True:
+        limit = batch_size
+        if index < len(events):
+            limit = min(limit, events[index]["offset"] - engine.consumed)
+        batch = list(islice(iterator, limit))
+        if not batch:
+            break
+        engine.feed(batch)
+        since_commit += 1
+        if since_commit >= commit_interval:
+            engine.commit()
+            since_commit = 0
+        apply_due()
+    # Events scheduled past the end of the input apply at stream end.
+    while index < len(events):
+        event = events[index]
+        index += 1
+        if event["kind"] == "register":
+            engine.register(
+                event["text"],
+                name=event.get("name", "q"),
+                tenant=event.get("tenant", "default"),
+                qid=event.get("qid"),
+            )
+        else:
+            engine.unregister(event["qid"])
+    if close:
+        engine.close()
+    return engine.consumed
+
+
+def _skip(records: Iterable[Record], n: int) -> Iterator[Record]:
+    iterator = iter(records)
+    skipped = sum(1 for _ in islice(iterator, n))
+    if skipped < n:
+        raise ExecutionError(
+            f"resume input is shorter than the committed prefix"
+            f" ({skipped} < {n} records): the input must be the same"
+            " replayable stream the original serve consumed"
+        )
+    return iterator
+
+
+def resume_serving(
+    instance_factory: Callable[[], Gigascope],
+    journal_path: str,
+    records: Iterable[Record],
+    *,
+    share: bool = True,
+    quotas: Optional[Dict[str, Any]] = None,
+    batch_size: int = 512,
+    commit_interval: int = 4,
+    on_commit: Optional[Callable[[int, str], None]] = None,
+) -> StandingQueryEngine:
+    """Resume a journalled serve after a crash.
+
+    Rebuilds every standing registration from the event log, restores
+    the last commit's instance checkpoints, skips the committed input
+    prefix and replays the remainder — re-applying any events recorded
+    after the last commit at their original offsets.  ``records`` must
+    be the same replayable stream the original serve consumed.  Returns
+    the closed engine (results, metrics and cost accounts byte-identical
+    to an uninterrupted serve).
+    """
+    entries = ServingJournal.read(journal_path)
+    replayed, last_commit, pending = split_log(entries)
+    if last_commit is None:
+        # Died before anything durable: degenerate to a fresh serve with
+        # the recorded events as the schedule.
+        engine = StandingQueryEngine(
+            instance_factory,
+            share=share,
+            quotas=quotas,
+            journal=ServingJournal(journal_path, fresh=True),
+            on_commit=on_commit,
+        )
+        drive(
+            engine,
+            records,
+            schedule=pending,
+            batch_size=batch_size,
+            commit_interval=commit_interval,
+        )
+        return engine
+    engine = StandingQueryEngine(
+        instance_factory,
+        share=share,
+        quotas=quotas,
+        journal=ServingJournal(journal_path, fresh=False),
+        on_commit=on_commit,
+    )
+    engine._restore(replayed, last_commit)
+    if engine.closed:
+        return engine
+    drive(
+        engine,
+        _skip(records, last_commit["consumed"]),
+        schedule=pending,
+        batch_size=batch_size,
+        commit_interval=commit_interval,
+    )
+    return engine
+
+
+# -- the asyncio server ------------------------------------------------------
+
+
+class QueryServer:
+    """Asyncio façade: standing ingest plus an HTTP control/metrics plane.
+
+    The ingest coroutine feeds batches through the engine, yielding to
+    the event loop between batches so HTTP requests (scrapes, hot
+    register/unregister) interleave at batch boundaries.  The HTTP
+    plane is dependency-free (``asyncio.start_server`` + hand-rolled
+    HTTP/1.1), serving:
+
+    * ``GET /metrics`` — Prometheus exposition with per-query
+      (``serve_id``) and per-tenant labels;
+    * ``GET /healthz`` — liveness + records consumed;
+    * ``GET /queries`` — the standing set and sharing report;
+    * ``POST /queries`` — register (JSON ``{"query": ..., "name": ...,
+      "tenant": ...}``);
+    * ``DELETE /queries/<id>`` — unregister;
+    * ``GET /queries/<id>/results`` — rows emitted so far
+      (``?limit=N`` truncates).
+    """
+
+    def __init__(
+        self,
+        engine: StandingQueryEngine,
+        *,
+        batch_size: int = 512,
+        commit_interval: int = 4,
+        pace: float = 0.0,
+    ) -> None:
+        self.engine = engine
+        self.batch_size = batch_size
+        self.commit_interval = commit_interval
+        self.pace = pace
+        self._http: Optional[asyncio.AbstractServer] = None
+
+    # -- ingest ------------------------------------------------------------
+
+    async def ingest(self, records: Iterable[Record], close: bool = True) -> int:
+        """Drive the whole record stream through the engine."""
+        since_commit = 0
+        for batch in _batches(records, self.batch_size):
+            self.engine.feed(batch)
+            since_commit += 1
+            if since_commit >= self.commit_interval:
+                self.engine.commit()
+                since_commit = 0
+            await asyncio.sleep(self.pace)
+        if close:
+            self.engine.close()
+        return self.engine.consumed
+
+    # -- HTTP plane --------------------------------------------------------
+
+    async def start_http(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[str, int]:
+        """Start the endpoint; returns the bound (host, port)."""
+        self._http = await asyncio.start_server(self._handle, host, port)
+        sockname = self._http.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def stop_http(self) -> None:
+        if self._http is not None:
+            self._http.close()
+            await self._http.wait_closed()
+            self._http = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("ascii", "replace").split()
+            if len(parts) < 2:
+                return
+            method, path = parts[0], parts[1]
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                key, _, value = line.decode("ascii", "replace").partition(":")
+                headers[key.strip().lower()] = value.strip()
+            body = b""
+            length = int(headers.get("content-length", "0") or 0)
+            if length:
+                body = await reader.readexactly(length)
+            status, ctype, payload = self._route(method, path, body)
+            head = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("ascii") + payload)
+            await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[str, str, bytes]:
+        path, _, query_string = path.partition("?")
+        try:
+            if method == "GET" and path == "/metrics":
+                text = render_prometheus(self.engine.export_metrics())
+                return "200 OK", "text/plain; version=0.0.4", text.encode()
+            if method == "GET" and path == "/healthz":
+                return self._json("200 OK", {
+                    "status": "ok",
+                    "consumed": self.engine.consumed,
+                    "closed": self.engine.closed,
+                })
+            if method == "GET" and path == "/queries":
+                return self._json("200 OK", self.engine.report())
+            if method == "POST" and path == "/queries":
+                request = json.loads(body.decode() or "{}")
+                if "query" not in request:
+                    return self._json(
+                        "400 Bad Request", {"error": "missing 'query'"}
+                    )
+                sq = self.engine.register(
+                    request["query"],
+                    name=request.get("name", "q"),
+                    tenant=request.get("tenant", "default"),
+                )
+                return self._json("201 Created", {
+                    "id": sq.qid,
+                    "offset": sq.registered_at,
+                    "shared": sq.signature is not None,
+                    "share_reason": sq.share_reason,
+                })
+            if path.startswith("/queries/"):
+                rest = path[len("/queries/"):]
+                if method == "DELETE" and "/" not in rest:
+                    sq = self.engine.unregister(rest)
+                    return self._json("200 OK", {
+                        "id": sq.qid,
+                        "rows": len(sq.results),
+                        "unregistered_at": sq.unregistered_at,
+                    })
+                if method == "GET" and rest.endswith("/results"):
+                    qid = rest[: -len("/results")].rstrip("/")
+                    sq = self.engine.lookup(qid)
+                    rows = [list(r.values) for r in sq.results]
+                    for item in query_string.split("&"):
+                        if item.startswith("limit="):
+                            rows = rows[: int(item[len("limit="):])]
+                    schema = sq.instance.query(sq.name).output_schema
+                    return self._json("200 OK", {
+                        "id": sq.qid,
+                        "schema": list(schema.names),
+                        "rows": rows,
+                    })
+            return self._json("404 Not Found", {"error": f"no route {path}"})
+        except (ExecutionError, ValueError) as exc:
+            return self._json("400 Bad Request", {"error": str(exc)})
+        except Exception as exc:  # never kill the connection handler
+            return self._json("500 Internal Server Error", {"error": str(exc)})
+
+    @staticmethod
+    def _json(status: str, payload: Dict[str, Any]) -> Tuple[str, str, bytes]:
+        return status, "application/json", json.dumps(payload).encode()

@@ -1,0 +1,279 @@
+"""Common-subexpression sharing at the split edge (docs/SERVING.md).
+
+Gigascope's deployment model is many standing queries over a few heavy
+feeds (paper §1): almost all of the per-tuple work is the *low-level*
+prefix — reading the ring buffer, evaluating the shared prefilter, and
+copying survivors up the SPLIT edge.  When two standing queries compile
+to the same low-level prefix, the serving layer runs that prefix **once**
+and replays its effects into every other subscriber:
+
+* :func:`share_signature` decides whether a compiled plan *has* a
+  shareable prefix and what it is, by walking the operator-phase DAG
+  from :func:`repro.analysis.dataflow.build_plan_graph` — the same graph
+  the SA2xx/SA3xx dataflow lints analyze, and the graph the SA401
+  serving lint reports against;
+* :func:`capture_feed` feeds a batch to the *canonical* (first
+  registered) instance of a signature group normally, capturing the
+  low-level node's emitted records plus the exact metric-counter and
+  cost-account deltas the shared prefix produced;
+* :func:`replay_feed` applies those deltas — relabelled to the
+  follower's node names — to every other member, then re-enacts the
+  SPLIT-edge copy (``tuple_copy`` charge, ``query_forwarded_total``,
+  results retention) per follower and injects the captured records into
+  the follower's own high-level operator.
+
+The replay is *exact*, not approximate: every counter an instance would
+have produced running solo is either regenerated natively (everything
+downstream of the split edge) or transplanted as a delta (everything on
+the shared prefix), so a shared run is byte-identical to a solo run —
+the property ``tests/serving/test_equivalence.py`` enforces for every
+pair and triple of example queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.dataflow import build_plan_graph
+from repro.dsms.expr import ScalarCall, find_nodes
+from repro.dsms.parser.planner import QueryPlan, partition_info
+from repro.streams.records import Record
+
+#: (metric name, sorted label items, counter delta)
+MetricDelta = Tuple[str, Tuple[Tuple[str, str], ...], int]
+
+
+@dataclass(frozen=True)
+class ShareSignature:
+    """Identity of one shareable low-level prefix.
+
+    Two standing queries may share one physical low-level node iff their
+    signatures compare equal: same source stream, same canonical SELECT
+    list, same canonical WHERE.  An auto-inserted pass-through feeder
+    (``SELECT <all columns> FROM stream``) canonicalises to the same
+    signature as an explicit user selection of the whole stream, so the
+    two shapes share naturally.
+
+    ``split_keys`` records which source columns would keep the SPLIT
+    edge hash-compatible across the group under sharded serving
+    (derived from :func:`~repro.dsms.parser.planner.partition_info`);
+    it is informational metadata, deliberately excluded from equality so
+    differing GROUP BYs do not defeat prefilter sharing.
+    """
+
+    stream: str
+    select: Tuple[str, ...]
+    where: str
+    split_keys: Tuple[str, ...] = field(default=(), compare=False, hash=False)
+
+    def describe(self) -> str:
+        where = f" WHERE {self.where}" if self.where else ""
+        return f"{self.stream}: SELECT {', '.join(self.select)}{where}"
+
+
+def share_signature(
+    plan: QueryPlan, registries: Any
+) -> Tuple[Optional[ShareSignature], Optional[str]]:
+    """The shareable-prefix signature of one compiled plan, or a reason.
+
+    Returns ``(signature, None)`` when the query can share its served
+    feed, ``(None, reason)`` when it cannot.  The reasons mirror the
+    runtime's sharing refusals 1:1 and are what lint rule SA401 reports.
+    """
+    analyzed = plan.analyzed
+    source = analyzed.ast.from_stream
+    if source not in registries.schemas:
+        return None, f"unknown source {source!r}"
+    schema = registries.schemas[source]
+
+    if plan.kind == "stateful_selection":
+        return None, (
+            "a stateful selection holds one global SFUN state set, so its"
+            " low-level node cannot be shared with other queries"
+        )
+
+    if plan.kind in ("sampling", "aggregation"):
+        # The runtime interposes a pass-through low-level feeder for
+        # these (paper §7.2); the feeder is the shareable node.  Its
+        # canonical shape: project every stream column, no predicate.
+        split = partition_info(plan)
+        return (
+            ShareSignature(
+                stream=source,
+                select=tuple(schema.names),
+                where="",
+                split_keys=tuple(split.candidates or ()),
+            ),
+            None,
+        )
+
+    # A plain selection *is* the low-level node.  Its shareable prefix
+    # is the whole plan: walk the phase DAG and canonicalise the WHERE
+    # and SELECT expressions via their rendered form.
+    graph = build_plan_graph(plan)
+    where_parts: List[str] = []
+    select_parts: List[str] = []
+    for node in graph.topological():
+        for clause, expr in node.exprs:
+            rendered = str(expr)
+            if node.kind == "where":
+                where_parts.append(rendered)
+            elif node.kind == "select":
+                select_parts.append(rendered)
+            for call in find_nodes(expr, ScalarCall):
+                if not registries.scalars.is_deterministic(call.name):
+                    return None, (
+                        f"nondeterministic scalar {call.name}() in the"
+                        f" {clause} clause: replaying its outputs to other"
+                        " subscribers would freeze one random draw"
+                    )
+    split = partition_info(plan)
+    return (
+        ShareSignature(
+            stream=source,
+            select=tuple(select_parts),
+            where=" AND ".join(where_parts),
+            split_keys=tuple(split.candidates or ()),
+        ),
+        None,
+    )
+
+
+@dataclass
+class BatchCapture:
+    """Everything one canonical feed produced on the shared prefix."""
+
+    low_name: str
+    high_name: Optional[str]
+    outputs: List[Record]
+    forwarded: int
+    metric_deltas: List[MetricDelta]
+    helps: Dict[str, str]
+    cost_deltas: Dict[str, int]
+
+
+def _counter_values(metrics: Any) -> Dict[Tuple[str, tuple], int]:
+    out: Dict[Tuple[str, tuple], int] = {}
+    for series in metrics.series():
+        if series.kind == "counter":
+            out[(series.name, series.labels)] = series.value
+    return out
+
+
+def capture_feed(
+    gs: Any, low_name: str, high_name: Optional[str], batch: List[Record]
+) -> BatchCapture:
+    """Feed ``batch`` to the canonical instance, capturing prefix effects.
+
+    The low-level node's ``process`` is shimmed for the duration of the
+    feed to collect its emitted records; metric and cost deltas are
+    taken by snapshot difference.  Deltas attributable to the canonical
+    query's own *high-level* operator are excluded (each follower
+    regenerates those natively via :func:`replay_feed`), as is the
+    SPLIT-edge copy accounting (``query_forwarded_total`` and its
+    ``tuple_copy`` cycles), which is re-enacted per follower because
+    followers differ in whether a downstream operator exists.
+    """
+    low = gs.query(low_name)
+    metrics_before = _counter_values(gs.metrics)
+    cost_before = gs.cost.accounts() if gs.cost.enabled else {}
+    forwarded_before = low.forwarded
+
+    outputs: List[Record] = []
+    original = low.operator.process
+
+    def capturing(record: Record) -> List[Record]:
+        outs = original(record)
+        if outs:
+            outputs.extend(outs)
+        return outs
+
+    low.operator.process = capturing
+    try:
+        gs.feed(batch)
+    finally:
+        del low.operator.process
+
+    forwarded = low.forwarded - forwarded_before
+    metric_deltas: List[MetricDelta] = []
+    helps: Dict[str, str] = {}
+    for key, value in _counter_values(gs.metrics).items():
+        delta = value - metrics_before.get(key, 0)
+        if not delta:
+            continue
+        name, labels = key
+        have = dict(labels)
+        if high_name is not None and have.get("query") == high_name:
+            continue
+        if name == "query_forwarded_total" and have.get("query") == low_name:
+            continue
+        metric_deltas.append((name, labels, delta))
+        help_text = gs.metrics.help_text(name)
+        if help_text is not None:
+            helps[name] = help_text
+
+    cost_deltas: Dict[str, int] = {}
+    if gs.cost.enabled:
+        for account, cycles in gs.cost.accounts().items():
+            delta = cycles - cost_before.get(account, 0)
+            if account == high_name:
+                continue
+            if account == low_name:
+                delta -= gs.cost.book.tuple_copy * forwarded
+            if delta:
+                cost_deltas[account] = delta
+
+    return BatchCapture(
+        low_name=low_name,
+        high_name=high_name,
+        outputs=outputs,
+        forwarded=forwarded,
+        metric_deltas=metric_deltas,
+        helps=helps,
+        cost_deltas=cost_deltas,
+    )
+
+
+def replay_feed(
+    gs: Any, low_name: str, high_name: Optional[str], capture: BatchCapture
+) -> None:
+    """Re-enact one captured feed on a follower instance.
+
+    Transplants the shared-prefix deltas (relabelled from the canonical
+    node's name to the follower's), then performs the follower's own
+    SPLIT-edge copy and dispatches the captured records into its
+    high-level operator — the exact work :meth:`Gigascope._propagate`
+    would have done had the follower's low-level node produced them.
+    """
+    for name, labels, delta in capture.metric_deltas:
+        relabelled = {
+            key: (low_name if key == "query" and value == capture.low_name
+                  else value)
+            for key, value in labels
+        }
+        gs.metrics.counter(
+            name, help=capture.helps.get(name), **relabelled
+        ).inc(delta)
+    if gs.cost.enabled and capture.cost_deltas:
+        gs.cost.absorb({
+            (low_name if account == capture.low_name else account): cycles
+            for account, cycles in capture.cost_deltas.items()
+        })
+
+    outputs = capture.outputs
+    low = gs.query(low_name)
+    if high_name is not None:
+        if outputs:
+            if low.keep_results:
+                low.results.extend(outputs)
+            low.forwarded += len(outputs)
+            gs.cost.charge(low_name, "tuple_copy", len(outputs))
+            gs.metrics.counter(
+                "query_forwarded_total",
+                help="tuples pushed to downstream queries",
+                query=low_name,
+            ).inc(len(outputs))
+            gs.inject(high_name, outputs, from_source=low_name)
+    elif outputs and low.keep_results:
+        low.results.extend(outputs)

@@ -1,0 +1,250 @@
+"""Serving chaos: kill the whole server process, resume the standing set.
+
+A child process runs a journalled serve — several standing queries
+registered and one retired at scheduled record offsets — and hard-exits
+(``os._exit``, via :func:`repro.testing.faults.exit_after_commits`)
+right after its Nth serving-journal commit.  The parent resumes from
+the journal the corpse left behind and must recover *the entire
+standing-query set*: same queries, same registration/retirement
+offsets, and rows/metrics/cost byte-identical to an uninterrupted
+in-process serve of the same schedule.
+
+Every scheduled registry event lands before the earliest kill point, so
+the uninterrupted full-schedule run is a valid oracle (an event the
+journal never recorded is correctly lost by a crash — that is
+durability semantics, not a bug — and would simply make the oracle
+wrong, so the schedule is arranged to be durable first).
+
+Run with ``pytest -m chaos``; the tier-1 suite deselects the marker.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.serving.server import drive, resume_serving, StandingQueryEngine
+
+from tests.serving.conftest import (
+    EXAMPLE_TEXTS,
+    instance_state,
+    make_instance,
+)
+
+pytestmark = pytest.mark.chaos
+
+FEED_ARGS = "duration_seconds=25, rate_scale=0.01, seed=3"
+BATCH = 128
+COMMIT_INTERVAL = 2  # a commit every 256 records
+
+#: all events land by record 700, before the earliest kill point
+#: (commit 4 = 828 records consumed, counting the short batches the
+#: driver cuts at event offsets), so every event is durable pre-crash.
+SCHEDULE = [
+    {"kind": "register", "offset": 0, "text": EXAMPLE_TEXTS["reservoir"],
+     "name": "q", "tenant": "acme", "qid": "sqA"},
+    {"kind": "register", "offset": 300, "text": EXAMPLE_TEXTS["big_flows"],
+     "name": "q", "tenant": "beta", "qid": "sqB"},
+    {"kind": "register", "offset": 300, "text": EXAMPLE_TEXTS["top_talkers"],
+     "name": "q", "tenant": "acme", "qid": "sqC"},
+    {"kind": "unregister", "offset": 700, "qid": "sqA"},
+]
+
+_CHILD = textwrap.dedent(
+    """
+    import json
+    import sys
+    from repro.dsms.cost import CostModel
+    from repro.dsms.runtime import Gigascope
+    from repro.serving.journal import ServingJournal
+    from repro.serving.server import StandingQueryEngine, drive
+    from repro.streams.schema import TCP_SCHEMA
+    from repro.streams.traces import TraceConfig, research_center_feed
+    from repro.testing.faults import exit_after_commits
+    from repro.algorithms.bindings import (
+        basic_subset_sum_library,
+        distinct_sampling_library,
+        heavy_hitters_library,
+        reservoir_library,
+        subset_sum_library,
+    )
+
+    journal, kill_at, schedule_json = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+    schedule = json.loads(schedule_json)
+
+    def factory():
+        gs = Gigascope(cost_model=CostModel())
+        gs.register_stream(TCP_SCHEMA)
+        gs.use_stateful_library(subset_sum_library(relax_factor=10.0))
+        gs.use_stateful_library(basic_subset_sum_library())
+        gs.use_stateful_library(reservoir_library())
+        gs.use_stateful_library(heavy_hitters_library())
+        gs.use_stateful_library(distinct_sampling_library())
+        return gs
+
+    engine = StandingQueryEngine(
+        factory,
+        journal=ServingJournal(journal, fresh=True),
+        on_commit=exit_after_commits(kill_at, exit_code=86),
+    )
+    feed = research_center_feed(TraceConfig({feed_args}))
+    drive(
+        engine,
+        feed,
+        schedule=schedule,
+        batch_size={batch},
+        commit_interval={commit_interval},
+    )
+    # Reaching the end means the kill point was never hit.
+    sys.exit(3)
+    """
+).replace("{feed_args}", FEED_ARGS).replace("{batch}", str(BATCH)).replace(
+    "{commit_interval}", str(COMMIT_INTERVAL)
+)
+
+
+def feed():
+    from repro.streams.traces import TraceConfig, research_center_feed
+
+    return list(
+        research_center_feed(
+            TraceConfig(duration_seconds=25, rate_scale=0.01, seed=3)
+        )
+    )
+
+
+def kill_server_at_commit(journal_path, kill_at):
+    import json
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    err_path = journal_path + ".stderr"
+    with open(err_path, "wb") as err:
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                _CHILD,
+                journal_path,
+                str(kill_at),
+                json.dumps(SCHEDULE),
+            ],
+            env=env,
+            start_new_session=True,
+            stdout=subprocess.DEVNULL,
+            stderr=err,
+        )
+        try:
+            proc.wait(timeout=90)
+        finally:
+            try:
+                os.killpg(proc.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+    with open(err_path, "rb") as fh:
+        stderr = fh.read()
+    assert proc.returncode == 86, (
+        f"child should die at commit {kill_at}, got rc={proc.returncode}:"
+        f" {stderr.decode(errors='replace')[-500:]}"
+    )
+
+
+def uninterrupted_oracle():
+    engine = StandingQueryEngine(make_instance)
+    drive(
+        engine,
+        feed(),
+        schedule=SCHEDULE,
+        batch_size=BATCH,
+        commit_interval=COMMIT_INTERVAL,
+    )
+    return engine
+
+
+def assert_engines_identical(resumed, oracle):
+    assert {sq.qid for sq in resumed.queries()} == {
+        sq.qid for sq in oracle.queries()
+    }
+    assert resumed.consumed == oracle.consumed
+    for expected in oracle.queries():
+        recovered = resumed.lookup(expected.qid)
+        assert recovered.tenant == expected.tenant
+        assert recovered.registered_at == expected.registered_at
+        assert recovered.unregistered_at == expected.unregistered_at
+        assert instance_state(recovered.instance, recovered.name) == (
+            instance_state(expected.instance, expected.name)
+        ), f"{expected.qid} diverged after crash+resume"
+
+
+class TestServingCrashResume:
+    @pytest.mark.parametrize("kill_at", [4, 7], ids=["early", "late"])
+    def test_resume_restores_the_standing_set(self, tmp_path, kill_at):
+        journal = str(tmp_path / "serve.wal")
+        kill_server_at_commit(journal, kill_at)
+        resumed = resume_serving(
+            make_instance,
+            journal,
+            feed(),
+            batch_size=BATCH,
+            commit_interval=COMMIT_INTERVAL,
+        )
+        assert resumed.closed
+        assert_engines_identical(resumed, uninterrupted_oracle())
+
+    def test_double_crash_double_resume(self, tmp_path):
+        """Crash, resume, crash the resume, resume again — still identical."""
+        journal = str(tmp_path / "serve.wal")
+        kill_server_at_commit(journal, 4)
+
+        boom = {"commits": 0}
+
+        def explode(consumed, kind):
+            boom["commits"] += 1
+            if boom["commits"] >= 2:
+                raise KeyboardInterrupt("simulated second crash")
+
+        with pytest.raises(KeyboardInterrupt):
+            resume_serving(
+                make_instance,
+                journal,
+                feed(),
+                batch_size=BATCH,
+                commit_interval=COMMIT_INTERVAL,
+                on_commit=explode,
+            )
+        resumed = resume_serving(
+            make_instance,
+            journal,
+            feed(),
+            batch_size=BATCH,
+            commit_interval=COMMIT_INTERVAL,
+        )
+        assert_engines_identical(resumed, uninterrupted_oracle())
+
+    def test_resume_of_a_completed_serve_reads_no_input(self, tmp_path):
+        """After a clean close, resume restores from the final entry."""
+        from repro.serving.journal import ServingJournal
+
+        journal = str(tmp_path / "serve.wal")
+        engine = StandingQueryEngine(
+            make_instance, journal=ServingJournal(journal, fresh=True)
+        )
+        drive(
+            engine,
+            feed(),
+            schedule=SCHEDULE,
+            batch_size=BATCH,
+            commit_interval=COMMIT_INTERVAL,
+        )
+
+        def no_records():
+            raise AssertionError("a completed serve must not re-read input")
+            yield  # pragma: no cover
+
+        resumed = resume_serving(make_instance, journal, no_records())
+        assert resumed.closed
+        assert_engines_identical(resumed, engine)

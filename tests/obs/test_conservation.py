@@ -3,7 +3,7 @@
 Every tuple a stream offers must be accounted for exactly once at every
 layer (docs/OBSERVABILITY.md lists the identities):
 
-* stream:    records == ingested + shed + quarantined
+* stream:    records == ingested + shed + quarantined + quota_shed
 * selection: in == filtered + rows_out
 * sampling:  in == filtered + admitted + late + incomparable
 * groups:    created == rows_out + evicted + having_rejected
@@ -155,6 +155,50 @@ class TestShedding:
             m.total("stream_ingested_total")
             + shed
             + m.total("stream_quarantined_total")
+        )
+
+
+class TestQuotaShedding:
+    def test_offered_equals_ingested_plus_quota_shed(self):
+        """The serving edge's quota term closes the stream identity."""
+        from repro.dsms.cost import CostModel
+        from repro.serving.server import StandingQueryEngine, TenantQuota, drive
+
+        def factory():
+            gs = Gigascope(cost_model=CostModel())
+            gs.register_stream(TCP_SCHEMA)
+            gs.use_stateful_library(subset_sum_library(relax_factor=10.0))
+            return gs
+
+        engine = StandingQueryEngine(
+            factory, quotas={"t": TenantQuota(cycles_per_record=2000.0)}
+        )
+        sq = engine.register(
+            SS_TEXT.replace(" SUPERGROUP BY tb, srcIP", ""),
+            name="q",
+            tenant="t",
+        )
+        records = list(feed())
+        drive(engine, records, batch_size=BATCH)
+        m = sq.instance.metrics
+        quota_shed = m.total("stream_quota_shed_total")
+        assert quota_shed > 0
+        assert m.total("stream_records_total") == len(records)
+        assert m.total("stream_records_total") == (
+            m.total("stream_ingested_total")
+            + m.total("stream_shed_total")
+            + m.total("stream_quarantined_total")
+            + quota_shed
+        )
+        # The quota refusals are charged to the stream's cost account.
+        assert sq.instance.cost.accounts()["TCP"] >= (
+            sq.instance.cost.book.quota_shed * quota_shed
+        )
+        # run_report() surfaces the same number (shape pinned by
+        # tests/obs/test_report_compat.py).
+        assert (
+            sq.instance.run_report()["streams"]["TCP"]["quota_shed"]
+            == quota_shed
         )
 
 

@@ -47,6 +47,7 @@ class TestReportShape:
             "backlog",
             "shed",
             "quarantined",
+            "quota_shed",
         }
         assert set(report["queries"]["q"]) == {
             "late_tuples",

@@ -1,0 +1,82 @@
+"""Property: registry churn never perturbs the surviving queries.
+
+Hypothesis drives random register/unregister schedules at arbitrary
+record offsets through :func:`repro.serving.server.drive`.  The oracle
+for each query is a solo replay of the same text over exactly the
+records it was subscribed for (``records[registered_at:unregistered_at]``
+— registrations land at batch boundaries, and ``drive`` splits batches
+at event offsets, so the subscribed slice is well-defined).  Whatever
+arrives or leaves around it, every query must come out byte-identical
+to that oracle.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serving.server import StandingQueryEngine, drive
+
+from tests.serving.conftest import (
+    EXAMPLE_TEXTS,
+    instance_state,
+    make_instance,
+    served_state,
+)
+
+#: churn pool: a sampler, an aggregation, a selection, and a stateful
+#: selection — every serving path (shared feeder, shared prefilter,
+#: private feed) appears in random mixtures.
+POOL = [
+    EXAMPLE_TEXTS["reservoir"],
+    EXAMPLE_TEXTS["top_talkers"],
+    EXAMPLE_TEXTS["big_flows"],
+    EXAMPLE_TEXTS["unsound_unshardable"],
+]
+
+N_RECORDS = 1075  # the session `records` fixture's length (10s research feed)
+
+registration = st.tuples(
+    st.integers(min_value=0, max_value=N_RECORDS),  # register offset
+    st.one_of(st.none(), st.integers(min_value=0, max_value=N_RECORDS + 200)),
+    st.integers(min_value=0, max_value=len(POOL) - 1),  # pool index
+)
+
+
+def solo_slice(text, records, start, end):
+    gs = make_instance()
+    gs.add_query(text, name="q")
+    gs.start()
+    gs.feed(records[start:end])
+    gs.finish()
+    return instance_state(gs, "q")
+
+
+@given(regs=st.lists(registration, min_size=1, max_size=6), share=st.booleans())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_random_churn_matches_solo_replay(records, regs, share):
+    schedule = []
+    for i, (start, stop, pool_index) in enumerate(regs):
+        qid = f"h{i}"
+        schedule.append({
+            "kind": "register",
+            "offset": start,
+            "text": POOL[pool_index],
+            "name": "q",
+            "qid": qid,
+        })
+        if stop is not None and stop > start:
+            schedule.append({"kind": "unregister", "offset": stop, "qid": qid})
+    engine = StandingQueryEngine(make_instance, share=share)
+    drive(engine, records, schedule=schedule, batch_size=128)
+    assert engine.consumed == len(records)
+    for i, (start, stop, pool_index) in enumerate(regs):
+        sq = engine.lookup(f"h{i}")
+        assert sq.registered_at == min(start, len(records))
+        end = sq.unregistered_at if sq.unregistered_at is not None else len(records)
+        oracle = solo_slice(POOL[pool_index], records, sq.registered_at, end)
+        assert served_state(sq) == oracle, (
+            f"query {sq.qid} ({start}..{stop}) diverged from its solo replay"
+        )

@@ -1,0 +1,134 @@
+"""Quota shedding is unbiased: statistics over the admitted stream.
+
+Two claims about per-tenant quota shedding (docs/SERVING.md):
+
+1. **Sub-equivalence** — shedding refuses whole batches at the serving
+   edge, so a quota'd query equals a solo run over exactly the admitted
+   records; nothing inside a batch is ever half-applied.
+2. **No sampling bias** — a uniform reservoir query stays uniform over
+   whatever the quota admits: shedding selects a *prefix pattern* of
+   batches deterministically from the cost ledger, and the reservoir is
+   uniform over any stream it is offered, so the sampled group positions
+   (binned over the admitted group arrival order) must pass the same
+   chi-squared flatness test the raw samplers do
+   (tests/algorithms/test_statistical.py).
+"""
+
+from repro.dsms.cost import CostModel
+from repro.dsms.runtime import Gigascope
+from repro.serving.server import StandingQueryEngine, TenantQuota
+from repro.streams.schema import TCP_SCHEMA
+from repro.algorithms.bindings import reservoir_library
+
+from tests.serving.conftest import instance_state
+
+# Chi-squared critical value, df = 19, alpha = 0.001 (same bar as
+# tests/algorithms/test_statistical.py).
+CHI2_CRIT_DF19 = 43.82
+NBINS = 20
+TRIALS = 30
+SAMPLE = 50
+#: ~half the reservoir query's ~18k cycles/record: the tenant settles
+#: into shedding roughly every other batch.
+QUOTA = 9000.0
+BATCH = 64
+
+RESERVOIR_Q = """
+SELECT tb, srcIP, destIP, uts
+FROM TCP
+WHERE rsample({n}) = TRUE
+GROUP BY time/20 as tb, srcIP, destIP, uts
+HAVING rsfinal_clean() = TRUE
+CLEANING WHEN rsdo_clean(count_distinct$()) = TRUE
+CLEANING BY rsclean_with() = TRUE
+""".format(n=SAMPLE)
+
+
+def make_seeded_factory(seed):
+    def factory():
+        gs = Gigascope(cost_model=CostModel())
+        gs.register_stream(TCP_SCHEMA)
+        gs.use_stateful_library(reservoir_library(seed=seed))
+        return gs
+
+    return factory
+
+
+def quota_run(records, seed):
+    """One quota'd serve; returns (served query, admitted records)."""
+    engine = StandingQueryEngine(
+        make_seeded_factory(seed),
+        quotas={"t": TenantQuota(cycles_per_record=QUOTA)},
+    )
+    sq = engine.register(RESERVOIR_Q, name="q", tenant="t")
+    admitted = []
+    shed_before = 0
+    for start in range(0, len(records), BATCH):
+        batch = records[start : start + BATCH]
+        engine.feed(batch)
+        shed_now = sq.instance.metrics.value(
+            "stream_quota_shed_total", stream="TCP"
+        )
+        if shed_now == shed_before:
+            admitted.extend(batch)
+        shed_before = shed_now
+    engine.close()
+    return sq, admitted
+
+
+def group_arrival_order(admitted):
+    """First-occurrence order of the reservoir's group keys."""
+    order = []
+    seen = set()
+    for record in admitted:
+        values = dict(zip(record.schema.names, record.values))
+        key = (
+            values["time"] // 20,
+            values["srcIP"],
+            values["destIP"],
+            values["uts"],
+        )
+        if key not in seen:
+            seen.add(key)
+            order.append(key)
+    return order
+
+
+class TestQuotaSubEquivalence:
+    def test_quota_run_equals_solo_over_admitted(self, records):
+        sq, admitted = quota_run(records, seed=0xA5A5)
+        assert 0 < len(admitted) < len(records)
+        solo = make_seeded_factory(0xA5A5)()
+        solo.add_query(RESERVOIR_Q, name="q")
+        solo.start()
+        for start in range(0, len(admitted), BATCH):
+            solo.feed(admitted[start : start + BATCH])
+        solo.finish()
+        solo_rows = instance_state(solo, "q")[0]
+        served_rows = instance_state(sq.instance, "q")[0]
+        assert served_rows == solo_rows
+
+
+class TestQuotaSamplingUnbiased:
+    def test_chi_squared_uniform_over_admitted_groups(self, records):
+        counts = [0.0] * NBINS
+        expected = [0.0] * NBINS
+        for trial in range(TRIALS):
+            sq, admitted = quota_run(records, seed=trial)
+            order = group_arrival_order(admitted)
+            total = len(order)
+            position = {key: index for index, key in enumerate(order)}
+            rows = sq.instance.query("q").results
+            sampled = min(SAMPLE, total)
+            assert len(rows) == sampled
+            for row in rows:
+                key = tuple(row.values)
+                bin_index = position[key] * NBINS // total
+                counts[bin_index] += 1
+            for index in range(total):
+                expected[index * NBINS // total] += sampled / total
+        chi2 = sum(
+            (count - expect) ** 2 / expect
+            for count, expect in zip(counts, expected)
+        )
+        assert chi2 < CHI2_CRIT_DF19, (chi2, counts)

@@ -1,0 +1,319 @@
+"""Engine registry semantics, quotas, metrics export, and the HTTP plane."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.obs.export import render_prometheus
+from repro.serving.journal import ServingJournal, split_log
+from repro.serving.server import (
+    QueryServer,
+    StandingQueryEngine,
+    TenantQuota,
+    drive,
+    resume_serving,
+)
+
+from tests.serving.conftest import (
+    BATCH,
+    EXAMPLE_TEXTS,
+    make_instance,
+    served_state,
+    solo_state,
+)
+
+SELECTION = "SELECT time, srcIP, destIP, len FROM TCP WHERE len > 1000"
+
+
+class TestRegistry:
+    def test_ids_are_assigned_in_order(self):
+        engine = StandingQueryEngine(make_instance)
+        a = engine.register(SELECTION, name="q")
+        b = engine.register(SELECTION, name="q")
+        assert (a.qid, b.qid) == ("sq1", "sq2")
+        assert [sq.qid for sq in engine.queries()] == ["sq1", "sq2"]
+
+    def test_duplicate_qid_is_refused(self):
+        engine = StandingQueryEngine(make_instance)
+        engine.register(SELECTION, name="q", qid="mine")
+        with pytest.raises(ExecutionError, match="already in use"):
+            engine.register(SELECTION, name="q", qid="mine")
+
+    def test_unregister_twice_is_refused(self):
+        engine = StandingQueryEngine(make_instance)
+        sq = engine.register(SELECTION, name="q")
+        engine.unregister(sq.qid)
+        with pytest.raises(ExecutionError, match="already retired"):
+            engine.unregister(sq.qid)
+
+    def test_unknown_qid_is_refused(self):
+        engine = StandingQueryEngine(make_instance)
+        with pytest.raises(ExecutionError, match="unknown standing query"):
+            engine.unregister("nope")
+
+    def test_bad_query_never_joins_the_set(self):
+        engine = StandingQueryEngine(make_instance)
+        with pytest.raises(Exception):
+            engine.register("SELECT nope FROM Missing", name="q")
+        assert engine.queries() == []
+
+    def test_closed_engine_refuses_everything(self, records):
+        engine = StandingQueryEngine(make_instance)
+        engine.register(SELECTION, name="q")
+        drive(engine, records[:256], batch_size=BATCH)
+        assert engine.closed
+        with pytest.raises(ExecutionError, match="closed"):
+            engine.register(SELECTION, name="q")
+        with pytest.raises(ExecutionError, match="closed"):
+            engine.feed(records[:10])
+
+    def test_retired_query_keeps_its_results(self, records):
+        engine = StandingQueryEngine(make_instance)
+        sq = engine.register(SELECTION, name="q")
+        engine.feed(records[:256])
+        engine.unregister(sq.qid)
+        engine.feed(records[256:512])
+        assert sq.unregistered_at == 256
+        assert served_state(sq) == solo_state(SELECTION, records[:256])
+
+
+class TestSharingDecisions:
+    def test_identical_selections_group(self):
+        engine = StandingQueryEngine(make_instance)
+        a = engine.register(SELECTION, name="q")
+        b = engine.register(SELECTION, name="q")
+        c = engine.register(
+            "SELECT time, srcIP, destIP, len FROM TCP WHERE len > 999", name="q"
+        )
+        assert a.signature == b.signature
+        assert a.signature != c.signature
+        assert len(engine.report()["shared_groups"]) == 2
+
+    def test_share_disabled_reason(self):
+        engine = StandingQueryEngine(make_instance, share=False)
+        sq = engine.register(SELECTION, name="q")
+        assert sq.signature is None
+        assert "disabled" in sq.share_reason
+
+    def test_describe_carries_the_reason(self):
+        engine = StandingQueryEngine(make_instance)
+        sq = engine.register(EXAMPLE_TEXTS["unsound_unshardable"], name="q")
+        described = sq.describe()
+        assert described["shared"] is False
+        assert "stateful selection" in described["share_reason"]
+
+
+class TestTenantQuotas:
+    def test_over_budget_tenant_sheds_and_others_do_not(self, records):
+        engine = StandingQueryEngine(
+            make_instance,
+            quotas={"starved": TenantQuota(cycles_per_record=500.0)},
+        )
+        starved = engine.register(SELECTION, name="q", tenant="starved")
+        healthy = engine.register(SELECTION, name="q", tenant="healthy")
+        drive(engine, records, batch_size=BATCH)
+        shed = starved.instance.metrics.value(
+            "stream_quota_shed_total", stream="TCP"
+        )
+        assert shed > 0
+        assert healthy.instance.metrics.value(
+            "stream_quota_shed_total", stream="TCP"
+        ) == 0
+        assert served_state(healthy) == solo_state(SELECTION, records)
+        # Conservation on the quota'd instance: every offered record is
+        # ingested or refused at the serving edge.
+        m = starved.instance.metrics
+        assert m.value("stream_records_total", stream="TCP") == len(records)
+        assert len(records) == (
+            m.total("stream_ingested_total") + shed
+        )
+        ledger = engine.report()["tenants"]["starved"]
+        assert ledger["offered"] == len(records)
+        assert ledger["spent_cycles"] <= 500.0 * len(records) + 850.0 * BATCH
+
+    def test_bare_number_quota_is_accepted(self):
+        engine = StandingQueryEngine(make_instance, quotas={"t": 1234})
+        assert engine.quotas["t"] == TenantQuota(cycles_per_record=1234.0)
+
+    def test_quota_charges_the_conservation_term(self, records):
+        engine = StandingQueryEngine(
+            make_instance, quotas={"t": TenantQuota(cycles_per_record=500.0)}
+        )
+        sq = engine.register(SELECTION, name="q", tenant="t")
+        drive(engine, records, batch_size=BATCH)
+        shed = sq.instance.metrics.value("stream_quota_shed_total", stream="TCP")
+        assert shed > 0
+        accounts = sq.instance.cost.accounts()
+        assert accounts["TCP"] >= sq.instance.cost.book.quota_shed * shed
+
+
+class TestMetricsExport:
+    def test_export_stamps_serve_id_and_tenant(self, records):
+        engine = StandingQueryEngine(make_instance)
+        engine.register(SELECTION, name="q", tenant="acme")
+        engine.register(EXAMPLE_TEXTS["reservoir"], name="q", tenant="beta")
+        drive(engine, records[:512], batch_size=BATCH)
+        combined = engine.export_metrics()
+        labels = {
+            frozenset(dict(series.labels).items())
+            for series in combined.series()
+        }
+        flat = [dict(pairs) for pairs in labels]
+        assert any(d.get("serve_id") == "sq1" and d.get("tenant") == "acme" for d in flat)
+        assert any(d.get("serve_id") == "sq2" and d.get("tenant") == "beta" for d in flat)
+        text = render_prometheus(combined)
+        assert 'serve_id="sq1"' in text and 'tenant="acme"' in text
+        assert "serving_records_total" in text
+
+    def test_engine_series_track_the_registry(self, records):
+        engine = StandingQueryEngine(make_instance)
+        a = engine.register(SELECTION, name="q")
+        engine.register(SELECTION, name="q")
+        assert engine.metrics.value("serving_active_queries") == 2
+        assert engine.metrics.value("serving_shared_groups") == 1
+        engine.unregister(a.qid)
+        assert engine.metrics.value("serving_active_queries") == 1
+        drive(engine, records[:256], batch_size=BATCH)
+        assert engine.metrics.value("serving_records_total") == 256
+
+
+class TestJournalFormat:
+    def test_version_mismatch_is_refused(self, tmp_path):
+        path = str(tmp_path / "serve.wal")
+        journal = ServingJournal(path, fresh=True)
+        journal._journal.append({"serving_version": 99, "kind": "commit"})
+        journal.close()
+        with pytest.raises(ValueError, match="version 99"):
+            ServingJournal.read(path)
+
+    def test_split_log_dedupes_resume_duplicates(self):
+        entries = [
+            {"kind": "register", "qid": "a", "offset": 0},
+            {"kind": "commit", "consumed": 100},
+            {"kind": "register", "qid": "b", "offset": 150},
+            {"kind": "register", "qid": "b", "offset": 150},  # resume dup
+            {"kind": "unregister", "qid": "a", "offset": 200},
+        ]
+        replayed, commit, pending = split_log(entries)
+        assert [e["qid"] for e in replayed] == ["a"]
+        assert commit["consumed"] == 100
+        assert [(e["kind"], e["qid"]) for e in pending] == [
+            ("register", "b"),
+            ("unregister", "a"),
+        ]
+
+    def test_resume_without_any_commit_replays_from_scratch(
+        self, tmp_path, records
+    ):
+        path = str(tmp_path / "serve.wal")
+        engine = StandingQueryEngine(
+            make_instance, journal=ServingJournal(path, fresh=True)
+        )
+        engine.register(SELECTION, name="q")
+        # Crash before the first commit: only the register event is
+        # durable.  Resume must replay the whole stream.
+        engine.journal.close()
+        resumed = resume_serving(make_instance, path, records, batch_size=BATCH)
+        sq = resumed.lookup("sq1")
+        assert served_state(sq) == solo_state(SELECTION, records)
+
+
+class TestHttpPlane:
+    def run_server(self, coro):
+        return asyncio.run(coro)
+
+    async def request(self, port, raw):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(raw.encode())
+        await writer.drain()
+        data = await reader.read()
+        writer.close()
+        head, _, body = data.partition(b"\r\n\r\n")
+        status = int(head.split(b" ")[1])
+        return status, body
+
+    def test_control_plane_round_trip(self, records):
+        async def scenario():
+            engine = StandingQueryEngine(make_instance)
+            server = QueryServer(engine, batch_size=BATCH)
+            _, port = await server.start_http()
+
+            body = json.dumps({"query": SELECTION, "tenant": "acme"})
+            status, payload = await self.request(
+                port,
+                f"POST /queries HTTP/1.1\r\nContent-Length: {len(body)}"
+                f"\r\n\r\n{body}",
+            )
+            assert status == 201
+            registered = json.loads(payload)
+            assert registered["shared"] is True
+            qid = registered["id"]
+
+            await server.ingest(records[:512], close=False)
+
+            status, payload = await self.request(
+                port, "GET /healthz HTTP/1.1\r\n\r\n"
+            )
+            assert status == 200
+            assert json.loads(payload)["consumed"] == 512
+
+            status, payload = await self.request(
+                port, "GET /metrics HTTP/1.1\r\n\r\n"
+            )
+            assert status == 200
+            text = payload.decode()
+            assert 'tenant="acme"' in text
+            assert "serving_records_total 512" in text
+
+            status, payload = await self.request(
+                port, f"GET /queries/{qid}/results?limit=5 HTTP/1.1\r\n\r\n"
+            )
+            assert status == 200
+            rows = json.loads(payload)
+            assert len(rows["rows"]) == 5
+
+            status, payload = await self.request(
+                port, f"DELETE /queries/{qid} HTTP/1.1\r\n\r\n"
+            )
+            assert status == 200
+            assert json.loads(payload)["unregistered_at"] == 512
+
+            status, _ = await self.request(port, "GET /nope HTTP/1.1\r\n\r\n")
+            assert status == 404
+            status, _ = await self.request(
+                port, "GET /queries/ghost/results HTTP/1.1\r\n\r\n"
+            )
+            assert status == 400
+
+            await server.stop_http()
+            return engine.lookup(qid)
+
+        sq = self.run_server(scenario())
+        assert served_state(sq) == solo_state(SELECTION, records[:512])
+
+    def test_http_registration_lands_at_a_batch_boundary(self, records):
+        """A query registered mid-ingest sees exactly the later records."""
+
+        async def scenario():
+            engine = StandingQueryEngine(make_instance)
+            server = QueryServer(engine, batch_size=BATCH, pace=0.0)
+            _, port = await server.start_http()
+            first = asyncio.create_task(server.ingest(records[:512], close=False))
+            await first
+            body = json.dumps({"query": SELECTION})
+            status, payload = await self.request(
+                port,
+                f"POST /queries HTTP/1.1\r\nContent-Length: {len(body)}"
+                f"\r\n\r\n{body}",
+            )
+            assert status == 201
+            assert json.loads(payload)["offset"] == 512
+            await server.ingest(records[512:], close=True)
+            await server.stop_http()
+            return engine.lookup(json.loads(payload)["id"])
+
+        sq = self.run_server(scenario())
+        assert sq.registered_at == 512
+        assert served_state(sq) == solo_state(SELECTION, records[512:])
