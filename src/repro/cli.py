@@ -485,8 +485,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import os
 
+    from repro.serving.faults import BreakerConfig
     from repro.serving.journal import ServingJournal
     from repro.serving.server import (
+        DRAIN_EXIT_CODE,
+        HttpLimits,
         QueryServer,
         StandingQueryEngine,
         drive,
@@ -531,6 +534,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     def factory():
         return _standard_instance(args.relax_factor)
 
+    try:
+        breaker = BreakerConfig(
+            failure_threshold=args.breaker_failures,
+            cooldown_batches=args.breaker_cooldown,
+        )
+    except ValueError as exc:
+        print(f"bad breaker configuration: {exc}", file=sys.stderr)
+        return 2
+
+    drained = False
     if args.resume:
         if not os.path.exists(args.journal):
             print(f"cannot resume: {args.journal} does not exist", file=sys.stderr)
@@ -543,6 +556,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             quotas=quotas,
             batch_size=args.batch_size,
             commit_interval=args.commit_interval,
+            breaker=breaker,
         )
         print(
             f"-- resumed {len(engine.queries())} standing quer(y/ies) from"
@@ -554,7 +568,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ServingJournal(args.journal, fresh=True) if args.journal else None
         )
         engine = StandingQueryEngine(
-            factory, share=args.share, quotas=quotas, journal=journal
+            factory,
+            share=args.share,
+            quotas=quotas,
+            journal=journal,
+            breaker=breaker,
         )
         for path in args.files:
             try:
@@ -584,27 +602,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 batch_size=args.batch_size,
                 commit_interval=args.commit_interval,
                 pace=args.pace,
+                limits=HttpLimits(
+                    read_timeout=args.http_timeout,
+                    write_timeout=args.http_timeout,
+                    max_connections=args.http_max_connections,
+                ),
             )
 
             async def _serve() -> None:
+                # Only when this (main) thread owns a running loop; a
+                # host embedding the server elsewhere handles signals
+                # itself (install_signal_handlers returns False there).
+                if server.install_signal_handlers():
+                    print(
+                        "-- SIGTERM/SIGINT drain gracefully"
+                        f" (exit code {DRAIN_EXIT_CODE})",
+                        file=sys.stderr,
+                    )
                 bound_host, bound_port = await server.start_http(
                     host or "127.0.0.1", port
                 )
                 print(
                     f"-- serving http://{bound_host}:{bound_port}"
-                    " (/metrics /queries /healthz)",
+                    " (/metrics /queries /healthz /readyz /drain)",
                     file=sys.stderr,
                 )
                 await server.ingest(records, close=True)
-                if args.linger > 0:
+                if server.drained:
+                    print(
+                        f"-- drained after {engine.consumed:,} records;"
+                        " final state committed",
+                        file=sys.stderr,
+                    )
+                elif args.linger > 0:
                     print(
                         f"-- feed drained; lingering {args.linger}s",
                         file=sys.stderr,
                     )
-                    await asyncio.sleep(args.linger)
+                    await server.linger(args.linger)
                 await server.stop_http()
 
             asyncio.run(_serve())
+            drained = server.drained
         else:
             drive(
                 engine,
@@ -616,6 +655,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     for sq in engine.queries():
         rows = sq.results
         status = "active" if sq.active else f"retired@{sq.unregistered_at}"
+        if sq.quarantined:
+            status += f", breaker {sq.breaker.state}"
         print(
             f"-- {sq.qid} ({sq.name}, tenant={sq.tenant}, {status}):"
             f" {len(rows)} rows",
@@ -637,7 +678,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"-- wrote {count} metric series to {args.metrics_out}",
             file=sys.stderr,
         )
-    return 0
+    if args.dead_letters_out:
+        count = engine.dead_letters.write_jsonl(args.dead_letters_out)
+        print(
+            f"-- wrote {count} dead-letter entries to"
+            f" {args.dead_letters_out}"
+            f" ({engine.dead_letters.evicted} older entries evicted)",
+            file=sys.stderr,
+        )
+    return DRAIN_EXIT_CODE if drained else 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -860,7 +909,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.set_defaults(fn=_cmd_lint)
 
     serve = sub.add_parser(
-        "serve", help="serve many standing queries over one feed"
+        "serve",
+        help="serve many standing queries over one feed",
+        epilog="exit codes: 0 = feed served to completion; 2 = bad"
+        " arguments or rejected query; 3 = terminated early by a"
+        " graceful drain (SIGTERM, SIGINT, or POST /drain) — standing"
+        " state was flushed and, with --journal, committed, so"
+        " --resume reads no further input",
     )
     serve.add_argument(
         "files", nargs="*", help="paths to .gsql files, one standing query each"
@@ -913,6 +968,45 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="with --listen, keep the endpoint up this long after the"
         " feed drains (default 0)",
+    )
+    serve.add_argument(
+        "--http-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="with --listen, per-connection read and write deadline;"
+        " slow or stalled clients are dropped past it (default 5)",
+    )
+    serve.add_argument(
+        "--http-max-connections",
+        type=int,
+        default=64,
+        metavar="N",
+        help="with --listen, concurrent-connection cap; beyond it new"
+        " connections are shed with 503 (default 64)",
+    )
+    serve.add_argument(
+        "--breaker-failures",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive batch failures that open a standing query's"
+        " circuit breaker and quarantine it (default 3)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown",
+        type=int,
+        default=8,
+        metavar="BATCHES",
+        help="batches a quarantined query skips before one half-open"
+        " probe batch is admitted (default 8)",
+    )
+    serve.add_argument(
+        "--dead-letters-out",
+        default=None,
+        metavar="PATH",
+        help="write the dead-letter log (batches that raised inside a"
+        " query's fault boundary) to PATH as JSONL after the serve",
     )
     serve.add_argument("--batch-size", type=int, default=512)
     serve.add_argument(

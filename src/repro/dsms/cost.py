@@ -82,6 +82,11 @@ class CostBook:
     #: its cost quota (docs/SERVING.md).  Priced like overload shedding:
     #: a quota refusal is a counter bump, not per-value work.
     quota_shed: int = 50
+    #: Skipping one tuple at the serving edge because the owning
+    #: standing query's circuit breaker is open (poison-query
+    #: quarantine, docs/SERVING.md).  Priced like the other serving-edge
+    #: refusals: the tuple is counted and dropped, never evaluated.
+    poison_skip: int = 50
 
 
 class CostModel:

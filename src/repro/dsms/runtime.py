@@ -149,6 +149,8 @@ class Gigascope:
         self._quarantined: Dict[str, int] = {}
         #: records refused at the serving edge by a tenant quota
         self._quota_shed: Dict[str, int] = {}
+        #: records skipped at the serving edge by an open circuit breaker
+        self._poison_skipped: Dict[str, int] = {}
 
     # -- registration -----------------------------------------------------------
 
@@ -487,6 +489,38 @@ class Gigascope:
             self.trace.emit("quota_shed", stream=stream, count=count)
         self._notify_shed(stream, count)
 
+    def poison_shed(self, stream: str, count: int) -> None:
+        """Account ``count`` records skipped at the serving edge because
+        this instance's standing query is quarantined (its circuit
+        breaker is open after repeated batch failures).
+
+        The third serving-edge refusal, alongside overload shedding and
+        tenant quotas: counted per stream, charged ``poison_skip``
+        cycles, and folded into the conservation identity, which widens
+        to ``records == ingested + shed + quarantined + quota_shed +
+        poison_skipped``.
+        """
+        if count <= 0:
+            return
+        self._poison_skipped[stream] = (
+            self._poison_skipped.get(stream, 0) + count
+        )
+        self.cost.charge(stream, "poison_skip", count)
+        self.metrics.counter(
+            "stream_records_total",
+            help="records offered to the stream (before admission)",
+            stream=stream,
+        ).inc(count)
+        self.metrics.counter(
+            "serve_poison_skipped_total",
+            help="records skipped at the serving edge because the query's"
+            " circuit breaker is open",
+            stream=stream,
+        ).inc(count)
+        if self.trace.enabled:
+            self.trace.emit("poison_skip", stream=stream, count=count)
+        self._notify_shed(stream, count)
+
     def _subscribe_low_level(self) -> Dict[str, int]:
         subscribers: Dict[str, int] = {}
         for name in self._order:
@@ -809,6 +843,7 @@ class Gigascope:
             "shed": dict(self._shed),
             "quarantined": dict(self._quarantined),
             "quota_shed": dict(self._quota_shed),
+            "poison_skipped": dict(self._poison_skipped),
             "cost_accounts": self.cost.accounts() if self.cost.enabled else {},
             # v2: metric/trace state rides along so a supervised restart
             # resumes counting exactly where the checkpoint left off.
@@ -840,6 +875,7 @@ class Gigascope:
         # Pre-quarantine snapshots lack the key; counters start at zero.
         self._quarantined = dict(snapshot.get("quarantined", {}))
         self._quota_shed = dict(snapshot.get("quota_shed", {}))
+        self._poison_skipped = dict(snapshot.get("poison_skipped", {}))
         if restore_cost and self.cost.enabled:
             self.cost.reset()
             self.cost.absorb(snapshot["cost_accounts"])
@@ -880,6 +916,11 @@ class Gigascope:
                 ),
                 "quota_shed": int(
                     self.metrics.value("stream_quota_shed_total", stream=stream)
+                ),
+                "poison_skipped": int(
+                    self.metrics.value(
+                        "serve_poison_skipped_total", stream=stream
+                    )
                 ),
             }
         queries: Dict[str, Dict[str, int]] = {}

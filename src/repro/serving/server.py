@@ -13,34 +13,58 @@ Two layers (docs/SERVING.md):
   captured effects replayed into the rest (see
   :mod:`repro.serving.sharing`).  Per-tenant cost quotas shed whole
   batches for over-budget tenants — counted, charged (``quota_shed``)
-  and folded into the conservation identity, never silent.  With a
+  and folded into the conservation identity, never silent.  Every
+  query step runs inside a **fault boundary**: a failing query is
+  quarantined behind a per-query :class:`~repro.serving.faults.CircuitBreaker`
+  with its failures recorded to a :class:`~repro.serving.faults.DeadLetterLog`,
+  while every other query keeps serving; a quarantined shared-group
+  leader is replaced by the lowest-qid healthy follower *within the
+  same batch*, so followers never observe a gap.  With a
   :class:`~repro.serving.journal.ServingJournal` attached, every
-  register/unregister event and periodic checkpoint is durable and
-  :func:`resume_serving` rebuilds the full standing set after a crash.
+  register/unregister event and periodic checkpoint (including breaker
+  and dead-letter state) is durable and :func:`resume_serving` rebuilds
+  the full standing set after a crash.
 
 * :class:`QueryServer` — the asyncio wrapper: an ingest coroutine
   drives batches through the engine while a dependency-free HTTP
   endpoint serves the Prometheus exposition
   (:func:`repro.obs.export.render_prometheus` over per-query/per-tenant
   labelled series) plus a small JSON control plane (register,
-  unregister, results).  Registry mutations land between batches, so
-  HTTP-registered queries take effect at batch boundaries — the same
-  granularity the journal records.
+  unregister, results, drain).  Registry mutations land between
+  batches, so HTTP-registered queries take effect at batch boundaries —
+  the same granularity the journal records.  The HTTP plane is
+  hardened (:class:`HttpLimits`): per-connection read/write deadlines,
+  bounded header and body sizes, a connection cap with 503 overload
+  shedding, and structured JSON error bodies — a slow-loris client or
+  a mid-response disconnect can never stall the feed loop.  SIGTERM /
+  SIGINT / ``POST /drain`` trigger a graceful drain: ``/readyz`` flips
+  to 503, registrations and feed batches stop, open windows flush, a
+  final journal commit lands, and the process exits with
+  :data:`DRAIN_EXIT_CODE`.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from dataclasses import dataclass
+import signal
+import threading
+from dataclasses import dataclass, field
 from itertools import islice
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, PlanningError
 from repro.dsms.parser import compile_query
 from repro.dsms.runtime import Gigascope
 from repro.obs.export import render_prometheus
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACE, TraceSink
+from repro.serving.faults import (
+    BreakerConfig,
+    CircuitBreaker,
+    DeadLetter,
+    DeadLetterLog,
+)
 from repro.serving.journal import ServingJournal, split_log
 from repro.serving.sharing import (
     BatchCapture,
@@ -50,6 +74,19 @@ from repro.serving.sharing import (
     share_signature,
 )
 from repro.streams.records import Record
+
+#: ``repro serve`` exit status when the serve was terminated early by a
+#: graceful drain (SIGTERM / SIGINT / ``POST /drain``) rather than by
+#: reaching the end of its input.
+DRAIN_EXIT_CODE = 3
+
+
+class UnknownQueryError(ExecutionError):
+    """Lookup of a standing-query id that was never registered."""
+
+
+class ServingUnavailableError(ExecutionError):
+    """The engine is draining: no new registrations or feed batches."""
 
 
 @dataclass(frozen=True)
@@ -82,10 +119,17 @@ class ServedQuery:
     share_reason: Optional[str]
     registered_at: int
     unregistered_at: Optional[int] = None
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
 
     @property
     def active(self) -> bool:
         return self.unregistered_at is None
+
+    @property
+    def quarantined(self) -> bool:
+        """The circuit breaker is open (or probing): batches are skipped
+        (or probed) instead of trusted."""
+        return self.breaker.quarantined
 
     @property
     def results(self) -> List[Record]:
@@ -105,6 +149,8 @@ class ServedQuery:
             ),
             "share_reason": self.share_reason,
             "rows": len(self.results),
+            "quarantined": self.quarantined,
+            "breaker": self.breaker.describe(),
         }
 
 
@@ -125,8 +171,10 @@ class StandingQueryEngine:
     call must return a *new* instance with a private cost model and
     metrics registry.  ``quotas`` maps tenant names to
     :class:`TenantQuota` (or bare cycles-per-record numbers).
-    ``on_commit(consumed, kind)`` fires after each journal commit is
-    durable — the chaos tests' kill point.
+    ``breaker`` configures the per-query circuit breakers (see
+    :mod:`repro.serving.faults`); ``dead_letter_capacity`` bounds the
+    poison-batch quarantine log.  ``on_commit(consumed, kind)`` fires
+    after each journal commit is durable — the chaos tests' kill point.
     """
 
     def __init__(
@@ -137,6 +185,9 @@ class StandingQueryEngine:
         quotas: Optional[Dict[str, Any]] = None,
         journal: Optional[ServingJournal] = None,
         on_commit: Optional[Callable[[int, str], None]] = None,
+        breaker: Optional[BreakerConfig] = None,
+        dead_letter_capacity: int = 1024,
+        trace: Optional[TraceSink] = None,
     ) -> None:
         self._factory = instance_factory
         self.share = share
@@ -149,6 +200,9 @@ class StandingQueryEngine:
         }
         self.journal = journal
         self.on_commit = on_commit
+        self.breaker_config = breaker or BreakerConfig()
+        self.dead_letters = DeadLetterLog(capacity=dead_letter_capacity)
+        self.trace = trace if trace is not None else NULL_TRACE
         self.consumed = 0
         self.metrics = MetricsRegistry()
         self._queries: Dict[str, ServedQuery] = {}  # by qid, insertion order
@@ -158,6 +212,7 @@ class StandingQueryEngine:
         self._next_id = 0
         self._closed = False
         self._muted = False  # journal muting during restore
+        self.draining = False  # graceful drain in progress
 
     # -- registry ----------------------------------------------------------
 
@@ -175,6 +230,11 @@ class StandingQueryEngine:
         """
         if self._closed:
             raise ExecutionError("the serving engine is closed")
+        if self.draining:
+            raise ServingUnavailableError(
+                "the serving engine is draining; no new registrations"
+                " are admitted"
+            )
         if qid is None:
             self._next_id += 1
             qid = f"sq{self._next_id}"
@@ -234,6 +294,7 @@ class StandingQueryEngine:
             signature=signature,
             share_reason=reason,
             registered_at=self.consumed,
+            breaker=CircuitBreaker(self.breaker_config),
         )
         self._queries[qid] = sq
         if signature is not None:
@@ -253,6 +314,7 @@ class StandingQueryEngine:
             help="standing queries registered",
             tenant=tenant,
         ).inc()
+        self._sync_breaker_gauge(sq)
         self._sync_gauges()
         return sq
 
@@ -283,7 +345,9 @@ class StandingQueryEngine:
         try:
             return self._queries[qid]
         except KeyError:
-            raise ExecutionError(f"unknown standing query {qid!r}") from None
+            raise UnknownQueryError(
+                f"unknown standing query {qid!r}"
+            ) from None
 
     def queries(self) -> List[ServedQuery]:
         """Every served query (active and retired), registration order."""
@@ -295,40 +359,89 @@ class StandingQueryEngine:
     # -- execution ---------------------------------------------------------
 
     def feed(self, batch: List[Record]) -> int:
-        """Push one batch through every active standing query."""
+        """Push one batch through every active standing query.
+
+        Each query's step runs inside a fault boundary: an exception
+        from one instance quarantines *that query* (dead-lettered,
+        breaker-counted) and never interrupts the others.  A failing
+        shared-group leader is replaced by the next healthy member and
+        the prefilter re-runs for the same batch, so followers never
+        observe a gap.
+        """
         if self._closed:
             raise ExecutionError("the serving engine is closed")
+        if self.draining:
+            raise ServingUnavailableError(
+                "the serving engine is draining; no new batches are admitted"
+            )
         batch = list(batch)
         if not batch:
             return 0
         n = len(batch)
+        offset = self.consumed  # records consumed *before* this batch
         self.consumed += n
         shed_tenants = self._quota_decisions(n)
         for members in list(self._groups.values()):
             live = [self._queries[qid] for qid in members]
-            fed = [sq for sq in live if sq.tenant not in shed_tenants]
+            fed: List[ServedQuery] = []
             for sq in live:
                 if sq.tenant in shed_tenants:
                     sq.instance.quota_shed(sq.stream, n)
+                elif sq.breaker.admits():
+                    fed.append(sq)
+                else:
+                    self._poison_skip(sq, n)
             if not fed:
                 continue
-            leader = fed[0]
-            capture: BatchCapture = capture_feed(
-                leader.instance, leader.low_name, leader.high_name, batch
-            )
-            for sq in fed[1:]:
-                replay_feed(sq.instance, sq.low_name, sq.high_name, capture)
-            if len(fed) > 1:
+            # Leader failover: the lowest-qid member runs the shared
+            # prefix; if it fails, promote the next healthy member and
+            # re-run the prefilter for the same batch.
+            capture: Optional[BatchCapture] = None
+            index = 0
+            while index < len(fed):
+                leader = fed[index]
+                try:
+                    capture = capture_feed(
+                        leader.instance, leader.low_name, leader.high_name,
+                        batch,
+                    )
+                except Exception as exc:  # fault boundary, not a bug trap
+                    self._record_failure(leader, exc, "leader", offset, n)
+                    index += 1
+                    if index < len(fed):
+                        self._note_failover(leader, fed[index], offset)
+                    continue
+                self._record_success(leader)
+                break
+            if capture is None:
+                continue  # every member failed; each is dead-lettered
+            replayed = 0
+            for sq in fed[index + 1:]:
+                try:
+                    replay_feed(sq.instance, sq.low_name, sq.high_name, capture)
+                except Exception as exc:  # fault boundary, not a bug trap
+                    self._record_failure(sq, exc, "follower", offset, n)
+                else:
+                    self._record_success(sq)
+                    replayed += 1
+            if replayed:
                 self.metrics.counter(
                     "serving_shared_replays_total",
                     help="follower feeds satisfied by shared-prefix replay",
-                ).inc(len(fed) - 1)
+                ).inc(replayed)
         for qid in list(self._direct):
             sq = self._queries[qid]
             if sq.tenant in shed_tenants:
                 sq.instance.quota_shed(sq.stream, n)
+            elif not sq.breaker.admits():
+                self._poison_skip(sq, n)
             else:
-                sq.instance.feed(batch)
+                try:
+                    sq.instance.feed(batch)
+                except Exception as exc:  # fault boundary, not a bug trap
+                    self._record_failure(sq, exc, "direct", offset, n)
+                else:
+                    self._record_success(sq)
         self.metrics.counter(
             "serving_records_total",
             help="records offered to the serving engine",
@@ -356,16 +469,135 @@ class StandingQueryEngine:
                 ).inc(n)
         return shed
 
+    # -- fault isolation ---------------------------------------------------
+
+    def _poison_skip(self, sq: ServedQuery, n: int) -> None:
+        """Skip one batch for a quarantined query, fully accounted."""
+        sq.instance.poison_shed(sq.stream, n)
+        self.metrics.counter(
+            "serving_poison_skipped_total",
+            help="records skipped because the query's breaker is open",
+            serve_id=sq.qid,
+            tenant=sq.tenant,
+        ).inc(n)
+
+    def _record_failure(
+        self,
+        sq: ServedQuery,
+        exc: Exception,
+        role: str,
+        offset: int,
+        batch_size: int,
+    ) -> None:
+        """One batch failed inside ``sq``'s fault boundary: dead-letter
+        it, advance the breaker, and surface the state change."""
+        was_open = sq.breaker.state
+        sq.breaker.record_failure(f"{type(exc).__name__}: {exc}")
+        self.dead_letters.put(DeadLetter(
+            qid=sq.qid,
+            tenant=sq.tenant,
+            role=role,
+            offset=offset,
+            batch_size=batch_size,
+            error_type=type(exc).__name__,
+            error=str(exc),
+            breaker_state=sq.breaker.state,
+        ))
+        self.metrics.counter(
+            "serving_poison_batches_total",
+            help="batches that raised inside a query's fault boundary",
+            serve_id=sq.qid,
+            tenant=sq.tenant,
+        ).inc()
+        self.metrics.counter(
+            "serving_dead_letters_total",
+            help="entries appended to the serving dead-letter log",
+        ).inc()
+        if sq.breaker.state != was_open and sq.breaker.state == "open":
+            self.metrics.counter(
+                "serving_breaker_opens_total",
+                help="circuit-breaker open transitions",
+                serve_id=sq.qid,
+            ).inc()
+            if self.trace.enabled:
+                self.trace.emit(
+                    "breaker_open",
+                    qid=sq.qid,
+                    offset=offset,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+        if self.trace.enabled:
+            self.trace.emit(
+                "poison_batch",
+                qid=sq.qid,
+                role=role,
+                offset=offset,
+                batch_size=batch_size,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        self._sync_breaker_gauge(sq)
+
+    def _record_success(self, sq: ServedQuery) -> None:
+        before = sq.breaker.state
+        sq.breaker.record_success()
+        if sq.breaker.state != before:
+            if self.trace.enabled:
+                self.trace.emit(
+                    "breaker_close", qid=sq.qid, offset=self.consumed
+                )
+            self._sync_breaker_gauge(sq)
+
+    def _note_failover(
+        self, failed: ServedQuery, promoted: ServedQuery, offset: int
+    ) -> None:
+        self.metrics.counter(
+            "serving_leader_failovers_total",
+            help="shared-group leader promotions after a leader failure",
+        ).inc()
+        if self.trace.enabled:
+            self.trace.emit(
+                "leader_failover",
+                failed=failed.qid,
+                promoted=promoted.qid,
+                offset=offset,
+            )
+
+    def _sync_breaker_gauge(self, sq: ServedQuery) -> None:
+        self.metrics.gauge(
+            "serving_breaker_state",
+            help="per-query circuit breaker (0=closed 1=half-open 2=open)",
+            serve_id=sq.qid,
+        ).set(sq.breaker.state_code())
+
+    # -- lifecycle ---------------------------------------------------------
+
     def close(self) -> None:
-        """End the serve: flush every active query, commit final state."""
+        """End the serve: flush every active query, commit final state.
+
+        Flushing runs inside the same per-query fault boundary as
+        feeding: one poisoned query raising during its trailing window
+        flush cannot abort the drain for the others.
+        """
         if self._closed:
             return
         for sq in self.active_queries():
-            sq.instance.finish()
+            try:
+                sq.instance.finish()
+            except Exception as exc:  # fault boundary, not a bug trap
+                self._record_failure(sq, exc, "flush", self.consumed, 0)
         self._closed = True
         self.commit(kind="final")
         if self.journal is not None:
             self.journal.close()
+
+    def drain(self) -> None:
+        """Graceful drain: stop admitting, flush, final-commit, close.
+
+        Idempotent; after it returns, ``--resume`` from the journal
+        restores the final state and reads no further input.
+        """
+        self.draining = True
+        self.close()
 
     @property
     def closed(self) -> bool:
@@ -393,6 +625,11 @@ class StandingQueryEngine:
                 }
                 for qid, sq in self._queries.items()
             },
+            breakers={
+                qid: sq.breaker.checkpoint()
+                for qid, sq in self._queries.items()
+            },
+            dead_letters=self.dead_letters.checkpoint(),
         )
         if self.on_commit is not None:
             self.on_commit(self.consumed, kind)
@@ -423,6 +660,14 @@ class StandingQueryEngine:
             self._queries[qid].instance.restore(
                 entry["snapshot"], restore_cost=True
             )
+        # Pre-isolation journals carry no breaker/dead-letter state;
+        # breakers then start closed, exactly as the original run did.
+        for qid, snapshot in commit.get("breakers", {}).items():
+            sq = self._queries[qid]
+            sq.breaker.restore(snapshot)
+            self._sync_breaker_gauge(sq)
+        if "dead_letters" in commit:
+            self.dead_letters.restore(commit["dead_letters"])
         self.consumed = commit["consumed"]
         self._offered = dict(commit["offered"])
         self._next_id = max(self._next_id, commit["next_id"])
@@ -454,7 +699,7 @@ class StandingQueryEngine:
         return out
 
     def report(self) -> Dict[str, Any]:
-        """JSON summary: queries, sharing groups, quota ledgers."""
+        """JSON summary: queries, sharing groups, quotas, quarantine."""
         groups = [
             {
                 "signature": signature.describe(),
@@ -466,6 +711,7 @@ class StandingQueryEngine:
         return {
             "consumed": self.consumed,
             "closed": self._closed,
+            "draining": self.draining,
             "queries": [sq.describe() for sq in self._queries.values()],
             "shared_groups": groups,
             "tenants": {
@@ -479,6 +725,11 @@ class StandingQueryEngine:
                     ),
                 }
                 for tenant, quota in self.quotas.items()
+            },
+            "dead_letters": {
+                "total": self.dead_letters.total,
+                "evicted": self.dead_letters.evicted,
+                "by_query": self.dead_letters.counts_by_query(),
             },
         }
 
@@ -590,16 +841,19 @@ def resume_serving(
     batch_size: int = 512,
     commit_interval: int = 4,
     on_commit: Optional[Callable[[int, str], None]] = None,
+    breaker: Optional[BreakerConfig] = None,
 ) -> StandingQueryEngine:
     """Resume a journalled serve after a crash.
 
     Rebuilds every standing registration from the event log, restores
-    the last commit's instance checkpoints, skips the committed input
-    prefix and replays the remainder — re-applying any events recorded
-    after the last commit at their original offsets.  ``records`` must
-    be the same replayable stream the original serve consumed.  Returns
-    the closed engine (results, metrics and cost accounts byte-identical
-    to an uninterrupted serve).
+    the last commit's instance checkpoints (including circuit-breaker
+    and dead-letter state), skips the committed input prefix and replays
+    the remainder — re-applying any events recorded after the last
+    commit at their original offsets.  ``records`` must be the same
+    replayable stream the original serve consumed, and ``breaker`` must
+    match the original configuration so quarantine decisions replay at
+    the same offsets.  Returns the closed engine (results, metrics and
+    cost accounts byte-identical to an uninterrupted serve).
     """
     entries = ServingJournal.read(journal_path)
     replayed, last_commit, pending = split_log(entries)
@@ -612,6 +866,7 @@ def resume_serving(
             quotas=quotas,
             journal=ServingJournal(journal_path, fresh=True),
             on_commit=on_commit,
+            breaker=breaker,
         )
         drive(
             engine,
@@ -627,6 +882,7 @@ def resume_serving(
         quotas=quotas,
         journal=ServingJournal(journal_path, fresh=False),
         on_commit=on_commit,
+        breaker=breaker,
     )
     engine._restore(replayed, last_commit)
     if engine.closed:
@@ -644,24 +900,61 @@ def resume_serving(
 # -- the asyncio server ------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class HttpLimits:
+    """Hard bounds on the HTTP plane's exposure to misbehaving clients.
+
+    ``read_timeout`` caps the whole request read (line + headers +
+    body) per connection, so a slow-loris client is disconnected with
+    408 instead of pinning a handler forever.  ``write_timeout`` caps
+    each response drain, so a client that stops reading mid-response is
+    aborted.  ``max_header_bytes`` bounds the request line and each
+    header block; ``max_body_bytes`` bounds the declared body.
+    ``max_connections`` caps concurrent handlers — beyond it new
+    connections are shed with a structured 503, which is load shedding,
+    not failure (the same graceful-degradation posture as ring-buffer
+    shedding at the data plane).
+    """
+
+    read_timeout: float = 5.0
+    write_timeout: float = 5.0
+    max_body_bytes: int = 1 << 20
+    max_header_bytes: int = 8192
+    max_headers: int = 64
+    max_connections: int = 64
+
+
+class _RequestError(Exception):
+    """A malformed/oversized request, mapped to a structured 4xx."""
+
+    def __init__(self, status: str, reason: str, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.reason = reason
+        self.detail = detail
+
+
 class QueryServer:
     """Asyncio façade: standing ingest plus an HTTP control/metrics plane.
 
     The ingest coroutine feeds batches through the engine, yielding to
     the event loop between batches so HTTP requests (scrapes, hot
-    register/unregister) interleave at batch boundaries.  The HTTP
-    plane is dependency-free (``asyncio.start_server`` + hand-rolled
-    HTTP/1.1), serving:
+    register/unregister, drain) interleave at batch boundaries.  The
+    HTTP plane is dependency-free (``asyncio.start_server`` +
+    hand-rolled HTTP/1.1) and hardened by :class:`HttpLimits`, serving:
 
     * ``GET /metrics`` — Prometheus exposition with per-query
       (``serve_id``) and per-tenant labels;
     * ``GET /healthz`` — liveness + records consumed;
-    * ``GET /queries`` — the standing set and sharing report;
+    * ``GET /readyz`` — readiness: 200 while serving, 503 once a drain
+      begins or the engine closes;
+    * ``GET /queries`` — the standing set, sharing and quarantine report;
     * ``POST /queries`` — register (JSON ``{"query": ..., "name": ...,
-      "tenant": ...}``);
-    * ``DELETE /queries/<id>`` — unregister;
+      "tenant": ...}``); 503 while draining;
+    * ``DELETE /queries/<id>`` — unregister (404 for unknown ids);
     * ``GET /queries/<id>/results`` — rows emitted so far
-      (``?limit=N`` truncates).
+      (``?limit=N`` truncates; 404 for unknown ids);
+    * ``POST /drain`` — request a graceful drain (202).
     """
 
     def __init__(
@@ -671,28 +964,107 @@ class QueryServer:
         batch_size: int = 512,
         commit_interval: int = 4,
         pace: float = 0.0,
+        limits: Optional[HttpLimits] = None,
     ) -> None:
         self.engine = engine
         self.batch_size = batch_size
         self.commit_interval = commit_interval
         self.pace = pace
+        self.limits = limits or HttpLimits()
+        self.drained = False  # ingest terminated early by a drain
         self._http: Optional[asyncio.AbstractServer] = None
+        self._drain_event = asyncio.Event()
+        self._connections = 0
 
     # -- ingest ------------------------------------------------------------
 
     async def ingest(self, records: Iterable[Record], close: bool = True) -> int:
-        """Drive the whole record stream through the engine."""
+        """Drive the record stream through the engine.
+
+        Stops early (and closes the engine, flushing windows and
+        writing the final journal commit) when a drain is requested via
+        :meth:`request_drain`, SIGTERM/SIGINT, or ``POST /drain``.
+        """
         since_commit = 0
         for batch in _batches(records, self.batch_size):
+            if self._drain_event.is_set():
+                self.drained = True
+                break
             self.engine.feed(batch)
             since_commit += 1
             if since_commit >= self.commit_interval:
                 self.engine.commit()
                 since_commit = 0
             await asyncio.sleep(self.pace)
-        if close:
+        if (close or self.drained) and not self.engine.closed:
             self.engine.close()
         return self.engine.consumed
+
+    # -- drain -------------------------------------------------------------
+
+    def request_drain(self, reason: str = "request") -> None:
+        """Begin a graceful drain: flip readiness, stop admissions.
+
+        Safe to call from a signal handler (it only sets flags); the
+        ingest loop notices at the next batch boundary, flushes open
+        windows, writes the final journal commit and stops.  Idempotent.
+        """
+        if self._drain_event.is_set() or self.engine.closed:
+            return
+        self.engine.draining = True
+        self._drain_event.set()
+        self.engine.metrics.counter(
+            "serving_drains_total",
+            help="graceful drains requested",
+            reason=reason,
+        ).inc()
+        if self.engine.trace.enabled:
+            self.engine.trace.emit(
+                "drain_requested", reason=reason,
+                consumed=self.engine.consumed,
+            )
+
+    def install_signal_handlers(self) -> bool:
+        """Map SIGTERM/SIGINT to :meth:`request_drain` on the running loop.
+
+        Returns ``False`` (installing nothing) when this thread cannot
+        own process signals — not the main thread, no running event
+        loop, or a platform whose loop lacks ``add_signal_handler`` —
+        so embedding the server in a worker thread stays safe.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return False
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return False
+        try:
+            loop.add_signal_handler(
+                signal.SIGTERM, self.request_drain, "SIGTERM"
+            )
+            loop.add_signal_handler(
+                signal.SIGINT, self.request_drain, "SIGINT"
+            )
+        except (NotImplementedError, RuntimeError, ValueError):
+            return False
+        return True
+
+    async def linger(self, seconds: float) -> None:
+        """Keep the endpoint up for ``seconds``; cut short by a drain."""
+        if seconds <= 0:
+            return
+        try:
+            await asyncio.wait_for(self._drain_event.wait(), timeout=seconds)
+        except asyncio.TimeoutError:
+            pass
+
+    @property
+    def ready(self) -> bool:
+        return not (
+            self._drain_event.is_set()
+            or self.engine.draining
+            or self.engine.closed
+        )
 
     # -- HTTP plane --------------------------------------------------------
 
@@ -700,7 +1072,12 @@ class QueryServer:
         self, host: str = "127.0.0.1", port: int = 0
     ) -> Tuple[str, int]:
         """Start the endpoint; returns the bound (host, port)."""
-        self._http = await asyncio.start_server(self._handle, host, port)
+        self._http = await asyncio.start_server(
+            self._handle, host, port,
+            # StreamReader limit: a single header line longer than this
+            # raises ValueError out of readline(), mapped to 431 below.
+            limit=self.limits.max_header_bytes,
+        )
         sockname = self._http.sockets[0].getsockname()
         return sockname[0], sockname[1]
 
@@ -713,40 +1090,162 @@ class QueryServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._connections += 1
         try:
-            request_line = await reader.readline()
-            parts = request_line.decode("ascii", "replace").split()
-            if len(parts) < 2:
+            if self._connections > self.limits.max_connections:
+                self.engine.metrics.counter(
+                    "serving_http_overload_total",
+                    help="connections shed at the HTTP connection cap",
+                ).inc()
+                await self._respond(writer, *self._error(
+                    "503 Service Unavailable", "overloaded",
+                    f"connection cap ({self.limits.max_connections})"
+                    " reached; retry later",
+                ))
                 return
-            method, path = parts[0], parts[1]
-            headers: Dict[str, str] = {}
-            while True:
-                line = await reader.readline()
-                if line in (b"\r\n", b"\n", b""):
-                    break
-                key, _, value = line.decode("ascii", "replace").partition(":")
-                headers[key.strip().lower()] = value.strip()
-            body = b""
-            length = int(headers.get("content-length", "0") or 0)
-            if length:
-                body = await reader.readexactly(length)
+            try:
+                request = await asyncio.wait_for(
+                    self._read_request(reader), self.limits.read_timeout
+                )
+            except asyncio.TimeoutError:
+                self.engine.metrics.counter(
+                    "serving_http_timeouts_total",
+                    help="connections dropped at an HTTP deadline",
+                    phase="read",
+                ).inc()
+                await self._respond(writer, *self._error(
+                    "408 Request Timeout", "read_deadline",
+                    "request not received within"
+                    f" {self.limits.read_timeout}s",
+                ))
+                return
+            except _RequestError as exc:
+                await self._respond(
+                    writer,
+                    *self._error(exc.status, exc.reason, exc.detail),
+                )
+                return
+            if request is None:
+                return  # torn request: peer vanished mid-line
+            method, path, body = request
             status, ctype, payload = self._route(method, path, body)
-            head = (
-                f"HTTP/1.1 {status}\r\n"
-                f"Content-Type: {ctype}\r\n"
-                f"Content-Length: {len(payload)}\r\n"
-                "Connection: close\r\n\r\n"
-            )
-            writer.write(head.encode("ascii") + payload)
-            await writer.drain()
+            await self._respond(writer, status, ctype, payload)
+        except asyncio.CancelledError:
+            # Server stopping while this request is in flight: abort the
+            # transport quietly and keep the cancellation propagating —
+            # no spurious tracebacks from half-written responses.
+            writer.transport.abort()
+            raise
         except (asyncio.IncompleteReadError, ConnectionError):
             pass
         finally:
+            self._connections -= 1
             writer.close()
             try:
                 await writer.wait_closed()
-            except ConnectionError:
+            except (ConnectionError, asyncio.CancelledError):
                 pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        """Read one bounded HTTP/1.1 request; ``None`` if the peer tore
+        the connection before completing the request line or headers."""
+        too_large = _RequestError(
+            "431 Request Header Fields Too Large", "headers_too_large",
+            f"request line/headers exceed {self.limits.max_header_bytes}"
+            f" bytes or {self.limits.max_headers} fields",
+        )
+        try:
+            request_line = await reader.readline()
+        except ValueError:
+            raise too_large from None
+        if not request_line:
+            return None
+        if not request_line.endswith(b"\n"):
+            return None  # EOF mid-request-line: nothing to answer
+        parts = request_line.decode("ascii", "replace").split()
+        if len(parts) < 2:
+            raise _RequestError(
+                "400 Bad Request", "malformed_request_line",
+                "expected 'METHOD /path HTTP/1.1'",
+            )
+        method, path = parts[0], parts[1]
+        headers: Dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError:
+                raise too_large from None
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line.endswith(b"\n"):
+                return None  # EOF mid-headers
+            header_bytes += len(line)
+            if (
+                header_bytes > self.limits.max_header_bytes
+                or len(headers) >= self.limits.max_headers
+            ):
+                raise too_large
+            key, _, value = line.decode("ascii", "replace").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _RequestError(
+                "400 Bad Request", "bad_content_length",
+                f"Content-Length {raw_length!r} is not an integer",
+            ) from None
+        if length < 0:
+            raise _RequestError(
+                "400 Bad Request", "bad_content_length",
+                "Content-Length must be non-negative",
+            )
+        if length > self.limits.max_body_bytes:
+            raise _RequestError(
+                "413 Content Too Large", "body_too_large",
+                f"declared body of {length} bytes exceeds the"
+                f" {self.limits.max_body_bytes} byte cap",
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: str,
+        ctype: str,
+        payload: bytes,
+    ) -> None:
+        self.engine.metrics.counter(
+            "serving_http_requests_total",
+            help="HTTP responses by status code",
+            code=status.split()[0],
+        ).inc()
+        head = (
+            f"HTTP/1.1 {status}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("ascii") + payload)
+        try:
+            await asyncio.wait_for(
+                writer.drain(), self.limits.write_timeout
+            )
+        except asyncio.TimeoutError:
+            # The peer stopped reading mid-response: abort rather than
+            # letting backpressure pin this handler.
+            self.engine.metrics.counter(
+                "serving_http_timeouts_total",
+                help="connections dropped at an HTTP deadline",
+                phase="write",
+            ).inc()
+            writer.transport.abort()
+        except ConnectionError:
+            pass
 
     def _route(
         self, method: str, path: str, body: bytes
@@ -755,20 +1254,47 @@ class QueryServer:
         try:
             if method == "GET" and path == "/metrics":
                 text = render_prometheus(self.engine.export_metrics())
-                return "200 OK", "text/plain; version=0.0.4", text.encode()
+                return (
+                    "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    text.encode(),
+                )
             if method == "GET" and path == "/healthz":
                 return self._json("200 OK", {
                     "status": "ok",
                     "consumed": self.engine.consumed,
                     "closed": self.engine.closed,
+                    "draining": self.engine.draining,
+                })
+            if method == "GET" and path == "/readyz":
+                if self.ready:
+                    return self._json("200 OK", {
+                        "status": "ready",
+                        "consumed": self.engine.consumed,
+                    })
+                return self._error(
+                    "503 Service Unavailable", "draining",
+                    "the server is draining or closed; not accepting work",
+                )
+            if method == "POST" and path == "/drain":
+                self.request_drain("http")
+                return self._json("202 Accepted", {
+                    "status": "draining",
+                    "consumed": self.engine.consumed,
                 })
             if method == "GET" and path == "/queries":
                 return self._json("200 OK", self.engine.report())
             if method == "POST" and path == "/queries":
-                request = json.loads(body.decode() or "{}")
+                try:
+                    request = json.loads(body.decode() or "{}")
+                except json.JSONDecodeError as exc:
+                    return self._error(
+                        "400 Bad Request", "bad_json", str(exc)
+                    )
                 if "query" not in request:
-                    return self._json(
-                        "400 Bad Request", {"error": "missing 'query'"}
+                    return self._error(
+                        "400 Bad Request", "missing_field",
+                        "missing 'query'",
                     )
                 sq = self.engine.register(
                     request["query"],
@@ -803,12 +1329,32 @@ class QueryServer:
                         "schema": list(schema.names),
                         "rows": rows,
                     })
-            return self._json("404 Not Found", {"error": f"no route {path}"})
-        except (ExecutionError, ValueError) as exc:
-            return self._json("400 Bad Request", {"error": str(exc)})
+            return self._error(
+                "404 Not Found", "no_route", f"no route {path}"
+            )
+        except UnknownQueryError as exc:
+            return self._error("404 Not Found", "unknown_query", str(exc))
+        except ServingUnavailableError as exc:
+            return self._error("503 Service Unavailable", "draining", str(exc))
+        except (ExecutionError, PlanningError, ValueError) as exc:
+            return self._error("400 Bad Request", "rejected", str(exc))
         except Exception as exc:  # never kill the connection handler
-            return self._json("500 Internal Server Error", {"error": str(exc)})
+            return self._error(
+                "500 Internal Server Error", type(exc).__name__, str(exc)
+            )
 
     @staticmethod
     def _json(status: str, payload: Dict[str, Any]) -> Tuple[str, str, bytes]:
+        return status, "application/json", json.dumps(payload).encode()
+
+    @staticmethod
+    def _error(status: str, reason: str, detail: str) -> Tuple[str, str, bytes]:
+        """A structured error body: machine-readable status/reason/detail."""
+        payload = {
+            "error": {
+                "status": int(status.split()[0]),
+                "reason": reason,
+                "detail": detail,
+            }
+        }
         return status, "application/json", json.dumps(payload).encode()

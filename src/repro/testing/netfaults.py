@@ -1,0 +1,215 @@
+"""Misbehaving HTTP clients, for hardening the serving control plane.
+
+The standing-query server's HTTP endpoint shares an event loop with the
+feed loop, so a client that ties up a connection handler is an attack on
+the *data plane*: every batch the loop cannot schedule is a batch no
+standing query sees.  :class:`~repro.serving.server.HttpLimits` is the
+defence; this module is the offence — small asyncio clients that do,
+deterministically, what broken or hostile peers do in production:
+
+* :func:`slow_loris` — open a connection and dribble one byte of the
+  request at a time, never finishing.  Exercises the per-connection
+  read deadline (408 or drop, never a pinned handler).
+* :func:`disconnect_mid_response` — send a complete request, read a few
+  bytes of the response, and vanish.  Exercises the write deadline /
+  broken-pipe path (the handler must not leak or log a traceback storm).
+* :func:`torn_request` — send half a request line and close.  Exercises
+  the torn-read path (the server answers nothing and moves on).
+* :func:`oversized_body` — declare a Content-Length beyond the body cap.
+  The server must refuse with 413 *before* reading the body, so the
+  client never gets to ship its gigabyte.
+* :func:`oversized_headers` — exceed the header-size cap (431).
+* :func:`flood` — open more concurrent connections than the cap; the
+  excess must be shed with a structured 503, not queued forever.
+
+Every helper returns what the *client* observed (status line, bytes
+read, or ``None`` for a silent close) so tests can assert both sides of
+the contract: the client was refused *and* the server stayed live.
+
+These are test instruments for this repo's own server — they hold one
+connection each and fire against a caller-supplied host/port.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Tuple
+
+
+async def _open(host: str, port: int) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    return await asyncio.open_connection(host, port)
+
+
+async def _read_status(reader: asyncio.StreamReader) -> Optional[int]:
+    """The status code of the response head, or ``None`` on silent close."""
+    try:
+        head = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not head.startswith(b"HTTP/"):
+        return None
+    parts = head.split()
+    return int(parts[1]) if len(parts) >= 2 else None
+
+
+async def slow_loris(
+    host: str,
+    port: int,
+    *,
+    byte_interval: float = 0.05,
+    give_up_after: float = 30.0,
+) -> Optional[int]:
+    """Dribble a request one byte at a time, waiting to be cut off.
+
+    Returns the status the server eventually answered with (408 under
+    :class:`~repro.serving.server.HttpLimits`), or ``None`` if the
+    server just dropped the connection.  Never completes the request.
+    """
+    reader, writer = await _open(host, port)
+    request = b"GET /metrics HTTP/1.1\r\nHost: crawl\r\n"
+    try:
+        deadline = asyncio.get_running_loop().time() + give_up_after
+        for i in range(len(request)):
+            writer.write(request[i : i + 1])
+            try:
+                await writer.drain()
+            except ConnectionError:
+                break  # server cut us off mid-dribble
+            if asyncio.get_running_loop().time() > deadline:
+                break
+            await asyncio.sleep(byte_interval)
+        # Never send the terminating blank line; wait for the verdict.
+        return await _read_status(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def disconnect_mid_response(
+    host: str, port: int, *, path: str = "/metrics", read_bytes: int = 64
+) -> int:
+    """Request ``path``, read ``read_bytes`` of the response, vanish.
+
+    Returns how many bytes were actually read before aborting.  The
+    server is left holding a half-written response on a dead socket —
+    its write path must absorb that without stalling the feed loop.
+    """
+    reader, writer = await _open(host, port)
+    writer.write(f"GET {path} HTTP/1.1\r\n\r\n".encode())
+    await writer.drain()
+    got = await reader.read(read_bytes)
+    # Abort the transport (RST) rather than close (FIN): the rudest exit.
+    writer.transport.abort()
+    return len(got)
+
+
+async def torn_request(host: str, port: int) -> bytes:
+    """Send half a request line and close; returns whatever came back.
+
+    A correct server answers nothing (there is no request to answer)
+    and the connection just ends — so the expected return is ``b""``.
+    """
+    reader, writer = await _open(host, port)
+    try:
+        writer.write(b"GET /quer")  # no newline, never completed
+        await writer.drain()
+        writer.write_eof()
+        return await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def oversized_body(
+    host: str, port: int, *, declared: int = 1 << 30
+) -> Optional[int]:
+    """Declare an absurd Content-Length; return the server's verdict.
+
+    The refusal (413) must arrive *without* the body being sent — the
+    bound is enforced on the declaration, not after a gigabyte of reads.
+    """
+    reader, writer = await _open(host, port)
+    try:
+        writer.write(
+            b"POST /queries HTTP/1.1\r\n"
+            + f"Content-Length: {declared}\r\n\r\n".encode()
+        )
+        await writer.drain()
+        return await _read_status(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def oversized_headers(
+    host: str, port: int, *, header_bytes: int = 1 << 16
+) -> Optional[int]:
+    """Send a header block past the cap; return the verdict (431)."""
+    reader, writer = await _open(host, port)
+    try:
+        writer.write(b"GET /healthz HTTP/1.1\r\n")
+        filler = b"X-Padding: " + b"a" * header_bytes + b"\r\n"
+        try:
+            writer.write(filler)
+            await writer.drain()
+            writer.write(b"\r\n")
+            await writer.drain()
+        except ConnectionError:
+            pass  # server may cut the connection as soon as the cap trips
+        return await _read_status(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def flood(
+    host: str, port: int, *, connections: int, hold: float = 0.5
+) -> List[Optional[int]]:
+    """Open ``connections`` idle connections at once, then one probe.
+
+    Holds every connection open (no request sent) for ``hold`` seconds
+    while a final well-formed request is made; returns the list of
+    statuses observed — the probe's verdict is the last element.  With
+    the cap exceeded, late connections see a structured 503 while the
+    server itself stays live.
+    """
+    writers: List[asyncio.StreamWriter] = []
+    statuses: List[Optional[int]] = []
+    try:
+        for _ in range(connections):
+            try:
+                _, writer = await _open(host, port)
+            except ConnectionError:
+                statuses.append(None)
+                continue
+            writers.append(writer)
+        await asyncio.sleep(hold)
+        try:
+            reader, writer = await _open(host, port)
+            writers.append(writer)
+            writer.write(b"GET /healthz HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            statuses.append(await _read_status(reader))
+        except ConnectionError:
+            statuses.append(None)
+        return statuses
+    finally:
+        for writer in writers:
+            writer.close()
+        for writer in writers:
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass

@@ -48,6 +48,7 @@ class TestReportShape:
             "shed",
             "quarantined",
             "quota_shed",
+            "poison_skipped",
         }
         assert set(report["queries"]["q"]) == {
             "late_tuples",

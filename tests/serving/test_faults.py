@@ -1,0 +1,418 @@
+"""Per-query fault isolation: breakers, dead letters, leader failover.
+
+The serving contract under faults: one poisoned standing query — a
+scalar that starts raising at a data-determined point — is quarantined
+behind its own circuit breaker (failures dead-lettered, skipped batches
+accounted into the conservation identity) while **every other query
+keeps serving byte-identically to its solo oracle**, even when the
+poisoned query was the shared-group leader whose instance ran the
+common prefix for everyone else.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import render_prometheus
+from repro.serving.faults import (
+    BreakerConfig,
+    CircuitBreaker,
+    DeadLetter,
+    DeadLetterLog,
+)
+from repro.serving.journal import ServingJournal
+from repro.serving.server import StandingQueryEngine, drive, resume_serving
+
+from tests.serving.conftest import BATCH, make_instance, served_state, solo_state
+
+#: The poison trigger: ``POISON(time)`` raises once ``time`` crosses
+#: this value.  The research feed's ``time`` is increasing, so failures
+#: begin at a data-determined batch and never stop — deterministic
+#: across runs, resumes, and processes.
+POISON_AFTER = 4
+
+
+def _poison(value):
+    if value >= POISON_AFTER:
+        raise RuntimeError("poisoned scalar blew up")
+    return 1
+
+
+def poison_factory():
+    """A standard instance plus the poison scalar, under two names:
+    ``POISON`` shares (deterministic), ``FLAKY`` refuses sharing
+    (flagged nondeterministic) and lands on the direct path."""
+    gs = make_instance()
+    gs.register_scalar("POISON", _poison, deterministic=True)
+    gs.register_scalar("FLAKY", _poison, deterministic=False)
+    return gs
+
+
+#: Poisoned aggregation: joins the TCP pass-through shared group (the
+#: WHERE evaluates in its high-level node), so registering it first
+#: makes it the group *leader*.
+POISON_SHARED = (
+    "SELECT tb, count(*) FROM TCP WHERE POISON(time) > 0"
+    " GROUP BY time/10 as tb"
+)
+#: Poisoned selection on the direct path (nondeterministic scalar).
+POISON_DIRECT = "SELECT time, len FROM TCP WHERE FLAKY(time) > 0"
+
+HEALTHY_AGGS = [
+    f"SELECT tb, count(*), sum(len) FROM TCP GROUP BY time/{k} as tb"
+    for k in range(2, 9)
+]
+HEALTHY_SELECTIONS = [
+    f"SELECT time, srcIP, len FROM TCP WHERE len > {threshold}"
+    for threshold in range(100, 800, 100)
+]
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=3))
+        for _ in range(2):
+            assert breaker.admits()
+            breaker.record_failure("boom")
+            assert breaker.state == "closed"
+        breaker.record_failure("boom")
+        assert breaker.state == "open"
+        assert breaker.opens_total == 1
+        assert breaker.quarantined
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=2))
+        breaker.record_failure("boom")
+        breaker.record_success()
+        breaker.record_failure("boom")
+        assert breaker.state == "closed"  # never two in a row
+
+    def test_cooldown_skips_then_half_open_probe(self):
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=1, cooldown_batches=3)
+        )
+        breaker.record_failure("boom")
+        assert breaker.state == "open"
+        assert not breaker.admits()  # skip 1
+        assert not breaker.admits()  # skip 2
+        assert breaker.admits()  # the probe
+        assert breaker.state == "half_open"
+        assert breaker.skipped_batches == 2
+
+    def test_probe_success_closes_probe_failure_reopens(self):
+        config = BreakerConfig(failure_threshold=1, cooldown_batches=1)
+        healed = CircuitBreaker(config)
+        healed.record_failure("boom")
+        assert healed.admits()
+        healed.record_success()
+        assert healed.state == "closed"
+        assert healed.last_error is None
+
+        sick = CircuitBreaker(config)
+        sick.record_failure("boom")
+        assert sick.admits()
+        sick.record_failure("still sick")
+        assert sick.state == "open"
+        assert sick.opens_total == 2
+
+    def test_checkpoint_restore_round_trip(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=2))
+        breaker.record_failure("a")
+        breaker.record_failure("b")
+        breaker.admits()
+        snapshot = breaker.checkpoint()
+        twin = CircuitBreaker(BreakerConfig(failure_threshold=2))
+        twin.restore(snapshot)
+        assert twin.checkpoint() == snapshot
+        assert twin.state == breaker.state
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerConfig(cooldown_batches=0)
+
+
+class TestDeadLetterLog:
+    def entry(self, qid, offset=0):
+        return DeadLetter(
+            qid=qid, tenant="t", role="direct", offset=offset,
+            batch_size=128, error_type="RuntimeError", error="boom",
+            breaker_state="closed",
+        )
+
+    def test_bounded_retention_counts_evictions(self):
+        log = DeadLetterLog(capacity=2)
+        for i in range(5):
+            log.put(self.entry("sq1", offset=i))
+        assert len(log) == 2
+        assert log.total == 5
+        assert log.evicted == 3
+        assert [e.offset for e in log.entries] == [3, 4]
+        assert log.counts_by_query() == {"sq1": 5}
+
+    def test_jsonl_export(self, tmp_path):
+        log = DeadLetterLog()
+        log.put(self.entry("sq1"))
+        log.put(self.entry("sq2"))
+        path = str(tmp_path / "dead.jsonl")
+        assert log.write_jsonl(path) == 2
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [json.loads(line) for line in fh]
+        assert [line["qid"] for line in lines] == ["sq1", "sq2"]
+        assert lines[0]["error_type"] == "RuntimeError"
+
+    def test_checkpoint_restore_round_trip(self):
+        log = DeadLetterLog(capacity=8)
+        for i in range(3):
+            log.put(self.entry("sq1", offset=i))
+        twin = DeadLetterLog(capacity=8)
+        twin.restore(log.checkpoint())
+        assert twin.checkpoint() == log.checkpoint()
+        assert [e.offset for e in twin.entries] == [0, 1, 2]
+
+
+def feed_all(engine, records):
+    for start in range(0, len(records), BATCH):
+        engine.feed(records[start : start + BATCH])
+
+
+class TestPoisonQuarantine:
+    def test_sixteen_queries_two_poisoned_rest_byte_identical(self, records):
+        """The acceptance scenario: 16 standing queries, 2 poisoned —
+        one of them the leader of the shared aggregation group — and
+        the other 14 still byte-identical to their solo oracles."""
+        engine = StandingQueryEngine(
+            poison_factory,
+            breaker=BreakerConfig(failure_threshold=3, cooldown_batches=4),
+        )
+        poisoned_leader = engine.register(POISON_SHARED, name="q")
+        healthy = [
+            (text, engine.register(text, name="q"))
+            for text in HEALTHY_AGGS + HEALTHY_SELECTIONS
+        ]
+        poisoned_direct = engine.register(POISON_DIRECT, name="q")
+        assert len(engine.queries()) == 16
+
+        # The poisoned aggregation leads the shared pass-through group
+        # (registered first); the FLAKY query was refused sharing.
+        assert poisoned_leader.signature is not None
+        group = engine._groups[poisoned_leader.signature]
+        assert group[0] == poisoned_leader.qid
+        assert len(group) == 8  # the 7 healthy aggregations follow it
+        assert poisoned_direct.signature is None
+
+        feed_all(engine, records)
+        engine.close()
+
+        # Both poisoned queries are quarantined, with the failure
+        # recorded: breaker open, dead letters attributed.
+        for sq, role in [(poisoned_leader, "leader"), (poisoned_direct, "direct")]:
+            assert sq.breaker.state == "open"
+            assert "poisoned scalar blew up" in sq.breaker.last_error
+            assert engine.dead_letters.counts_by_query()[sq.qid] > 0
+        roles = {e.qid: e.role for e in engine.dead_letters.entries}
+        assert roles[poisoned_leader.qid] == "leader"
+        assert roles[poisoned_direct.qid] == "direct"
+
+        # The group survived its leader: failovers were recorded and
+        # every healthy query — follower or private — equals solo.
+        assert engine.metrics.value("serving_leader_failovers_total") > 0
+        for text, sq in healthy:
+            assert served_state(sq) == solo_state(text, records), (
+                f"{sq.qid} diverged behind a quarantined leader"
+            )
+
+        # Quarantine is visible in the exposition: the breaker gauge
+        # reads open (2) and the skip/batch counters are labelled.
+        text = render_prometheus(engine.export_metrics())
+        assert (
+            f'serving_breaker_state{{serve_id="{poisoned_leader.qid}"}} 2'
+            in text
+        )
+        assert "serving_poison_batches_total" in text
+        assert "serve_poison_skipped_total" in text
+
+    def test_poison_skips_close_the_conservation_identity(self, records):
+        """Skipped batches are accounted, not silent: the poisoned
+        instance's admission identity still balances to zero."""
+        engine = StandingQueryEngine(
+            poison_factory,
+            breaker=BreakerConfig(failure_threshold=2, cooldown_batches=3),
+        )
+        sq = engine.register(POISON_SHARED, name="q")
+        feed_all(engine, records)
+        engine.close()
+        metrics = sq.instance.metrics
+        offered = metrics.value("stream_records_total", stream="TCP")
+        parts = {
+            name: metrics.value(name, stream="TCP")
+            for name in [
+                "stream_ingested_total",
+                "stream_shed_total",
+                "stream_quarantined_total",
+                "stream_quota_shed_total",
+                "serve_poison_skipped_total",
+            ]
+        }
+        assert offered == len(records)
+        assert parts["serve_poison_skipped_total"] > 0
+        assert offered == sum(parts.values()), parts
+        # And the skip shows up in the run report + cost accounts.
+        report = sq.instance.run_report()
+        assert report["streams"]["TCP"]["poison_skipped"] == (
+            parts["serve_poison_skipped_total"]
+        )
+        assert sq.instance.cost.cycles("TCP") > 0
+
+    def test_breaker_closes_again_when_the_fault_heals(self, records):
+        """A transient fault (raises only inside a time window) opens
+        the breaker, then a successful half-open probe re-closes it and
+        the query serves again."""
+
+        def transient(value):
+            if 2 <= value < 4:
+                raise RuntimeError("transient fault window")
+            return 1
+
+        def factory():
+            gs = make_instance()
+            gs.register_scalar("POISON", transient, deterministic=True)
+            return gs
+
+        engine = StandingQueryEngine(
+            factory,
+            breaker=BreakerConfig(failure_threshold=1, cooldown_batches=1),
+        )
+        sq = engine.register(POISON_SHARED, name="q")
+        witness = engine.register(HEALTHY_AGGS[0], name="q")
+        feed_all(engine, records)
+        engine.close()
+        assert sq.breaker.opens_total > 0
+        assert sq.breaker.state == "closed"
+        assert sq.breaker.last_error is None
+        assert len(sq.results) > 0  # served again after healing
+        assert served_state(witness) == solo_state(HEALTHY_AGGS[0], records)
+
+    def test_unregistering_the_leader_promotes_the_next_member(self, records):
+        """Removing a shared-group leader mid-stream hands leadership to
+        the next member with no gap for the rest of the group."""
+        engine = StandingQueryEngine(make_instance)
+        leader = engine.register(HEALTHY_AGGS[0], name="q")
+        follower = engine.register(HEALTHY_AGGS[1], name="q")
+        half = (len(records) // (2 * BATCH)) * BATCH
+        feed_all(engine, records[:half])
+        engine.unregister(leader.qid)
+        feed_all(engine, records[half:])
+        engine.close()
+        assert served_state(follower) == solo_state(HEALTHY_AGGS[1], records)
+        assert served_state(leader) == solo_state(
+            HEALTHY_AGGS[0], records[:half]
+        )
+
+    def test_every_group_member_failing_dead_letters_each(self, records):
+        """When the whole group is poisoned there is no leader to fail
+        over to: every member is dead-lettered, nothing propagates."""
+        engine = StandingQueryEngine(
+            poison_factory,
+            breaker=BreakerConfig(failure_threshold=2, cooldown_batches=4),
+        )
+        a = engine.register(POISON_SHARED, name="q")
+        b = engine.register(POISON_SHARED, name="q")
+        feed_all(engine, records)
+        engine.close()
+        counts = engine.dead_letters.counts_by_query()
+        assert counts[a.qid] > 0 and counts[b.qid] > 0
+        assert a.breaker.state == "open"
+        assert b.breaker.state == "open"
+
+    def test_report_and_describe_surface_quarantine(self, records):
+        engine = StandingQueryEngine(
+            poison_factory, breaker=BreakerConfig(failure_threshold=1)
+        )
+        sq = engine.register(POISON_SHARED, name="q")
+        feed_all(engine, records)
+        engine.close()
+        report = engine.report()
+        (described,) = report["queries"]
+        assert described["quarantined"] is True
+        assert described["breaker"]["state"] == "open"
+        assert report["dead_letters"]["total"] > 0
+        assert report["dead_letters"]["by_query"] == {sq.qid: (
+            report["dead_letters"]["total"]
+        )}
+
+
+class TestBreakerDurability:
+    def run_drive(self, journal_path, records, fresh=True):
+        engine = StandingQueryEngine(
+            poison_factory,
+            journal=ServingJournal(journal_path, fresh=fresh) if journal_path
+            else None,
+            breaker=BreakerConfig(failure_threshold=2, cooldown_batches=3),
+        )
+        engine.register(POISON_SHARED, name="q", qid="bad")
+        engine.register(HEALTHY_AGGS[0], name="q", qid="good")
+        drive(engine, records, batch_size=BATCH, commit_interval=2)
+        return engine
+
+    def test_breaker_and_dead_letter_state_ride_the_journal(
+        self, tmp_path, records
+    ):
+        """A resumed serve restores breaker + dead-letter state from the
+        last commit and replays to the same terminal quarantine state."""
+        path = str(tmp_path / "serve.wal")
+        oracle = self.run_drive(None, records)
+        self.run_drive(path, records)
+        resumed = resume_serving(
+            poison_factory,
+            path,
+            (_ for _ in ()),  # final commit present: reads no input
+            batch_size=BATCH,
+            commit_interval=2,
+            breaker=BreakerConfig(failure_threshold=2, cooldown_batches=3),
+        )
+        assert resumed.closed
+        for qid in ("bad", "good"):
+            assert resumed.lookup(qid).breaker.checkpoint() == (
+                oracle.lookup(qid).breaker.checkpoint()
+            )
+        assert resumed.dead_letters.checkpoint() == (
+            oracle.dead_letters.checkpoint()
+        )
+
+    def test_old_journals_without_breaker_state_still_resume(
+        self, tmp_path, records
+    ):
+        """Commits written before fault isolation (no ``breakers`` /
+        ``dead_letters`` keys) restore with everything closed."""
+        path = str(tmp_path / "serve.wal")
+        engine = StandingQueryEngine(
+            make_instance, journal=ServingJournal(path, fresh=True)
+        )
+        engine.register(HEALTHY_AGGS[0], name="q", qid="good")
+        half = (len(records) // (2 * BATCH)) * BATCH
+        feed_all(engine, records[:half])
+
+        # Rewrite the journal's entries with the legacy commit shape.
+        engine.commit()
+        engine.journal.close()
+        entries = ServingJournal.read(path)
+        legacy = ServingJournal(path, fresh=True)
+        for entry in entries:
+            entry = dict(entry)
+            kind = entry.pop("kind")
+            entry.pop("serving_version", None)
+            entry.pop("breakers", None)
+            entry.pop("dead_letters", None)
+            legacy.append(kind, **entry)
+        legacy.close()
+
+        resumed = resume_serving(
+            make_instance, path, records, batch_size=BATCH
+        )
+        assert resumed.lookup("good").breaker.state == "closed"
+        assert resumed.dead_letters.total == 0
+        assert served_state(resumed.lookup("good")) == solo_state(
+            HEALTHY_AGGS[0], records
+        )

@@ -282,10 +282,18 @@ class TestHttpPlane:
 
             status, _ = await self.request(port, "GET /nope HTTP/1.1\r\n\r\n")
             assert status == 404
-            status, _ = await self.request(
+            # Unknown standing-query ids are 404, not 400/500: the
+            # route exists, the resource doesn't.
+            status, payload = await self.request(
                 port, "GET /queries/ghost/results HTTP/1.1\r\n\r\n"
             )
-            assert status == 400
+            assert status == 404
+            assert json.loads(payload)["error"]["reason"] == "unknown_query"
+            status, payload = await self.request(
+                port, "DELETE /queries/ghost HTTP/1.1\r\n\r\n"
+            )
+            assert status == 404
+            assert json.loads(payload)["error"]["reason"] == "unknown_query"
 
             await server.stop_http()
             return engine.lookup(qid)
